@@ -1,0 +1,84 @@
+// Shared helpers for the experiment binaries (one per paper table/figure):
+// result-table rendering, training profiles, and the paper's reported
+// numbers for side-by-side shape comparison.
+//
+// Every binary honours LOGCL_BENCH_FAST=1 (smoke-test profile: fewer epochs
+// and datasets) so the suite can be iterated on quickly; the default profile
+// is the one used for EXPERIMENTS.md.
+
+#ifndef LOGCL_BENCH_BENCH_COMMON_H_
+#define LOGCL_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "eval/metrics.h"
+#include "synth/presets.h"
+#include "tkg/filters.h"
+
+namespace logcl {
+namespace bench {
+
+/// True when LOGCL_BENCH_FAST=1 (quick smoke-test profile).
+inline bool FastMode() {
+  const char* value = std::getenv("LOGCL_BENCH_FAST");
+  return value != nullptr && std::string(value) == "1";
+}
+
+/// Scales an epoch count down in fast mode (minimum 1).
+inline int64_t Epochs(int64_t full) {
+  if (!FastMode()) return full;
+  return full >= 4 ? full / 4 : 1;
+}
+
+/// Learning rate used across experiment binaries (tuned for the miniature
+/// datasets; the paper uses 1e-3 at d=200 scale).
+inline constexpr float kLearningRate = 3e-3f;
+
+/// Header line for a metrics table.
+inline void PrintHeader(const std::string& first_column) {
+  std::printf("%-24s %8s %8s %8s %8s\n", first_column.c_str(), "MRR",
+              "Hits@1", "Hits@3", "Hits@10");
+  std::printf("%s\n", std::string(60, '-').c_str());
+}
+
+/// One row of measured results.
+inline void PrintRow(const std::string& label, const EvalResult& result) {
+  std::printf("%-24s %8.2f %8.2f %8.2f %8.2f\n", label.c_str(), result.mrr,
+              result.hits1, result.hits3, result.hits10);
+  std::fflush(stdout);
+}
+
+/// A paper-reported reference row (printed dimmed-style with a marker).
+inline void PrintPaperRow(const std::string& label, double mrr, double h1,
+                          double h3, double h10) {
+  std::printf("%-24s %8.2f %8.2f %8.2f %8.2f   (paper)\n", label.c_str(), mrr,
+              h1, h3, h10);
+}
+
+inline void PrintSectionTitle(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Datasets used by two-dataset experiments (the paper sweeps ICEWS14/18).
+inline std::vector<PaperDataset> SweepDatasets() {
+  if (FastMode()) return {PaperDataset::kIcews14Like};
+  return {PaperDataset::kIcews14Like, PaperDataset::kIcews18Like};
+}
+
+/// Single headline dataset for hyperparameter sweeps. The recorded profile
+/// keeps single-core runtime bounded; pass LOGCL_BENCH_ALL=1 to sweep both
+/// ICEWS14/18-like datasets as the paper's figures do.
+inline std::vector<PaperDataset> PrimaryDatasets() {
+  const char* all = std::getenv("LOGCL_BENCH_ALL");
+  if (all != nullptr && std::string(all) == "1") return SweepDatasets();
+  return {PaperDataset::kIcews14Like};
+}
+
+}  // namespace bench
+}  // namespace logcl
+
+#endif  // LOGCL_BENCH_BENCH_COMMON_H_

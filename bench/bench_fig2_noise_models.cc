@@ -1,0 +1,153 @@
+// Fig.2: Gaussian-noise robustness of RE-GCN vs TiRGN vs LogCL on the
+// ICEWS14/18-like datasets. Noise N(0, sigma^2) is added to the entity base
+// embeddings on every forward pass (train and eval). Expected shape (paper):
+// all models degrade with noise, RE-GCN degrades the most, LogCL the least.
+
+#include <cstdio>
+#include <memory>
+
+#include "baselines/regcn.h"
+#include "baselines/model_zoo.h"
+#include "baselines/tirgn.h"
+#include "bench_common.h"
+#include "core/logcl_model.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+namespace {
+
+// RE-GCN / TiRGN have no built-in noise hook; wrap them with one that
+// perturbs the shared base entity embeddings before each scoring/training
+// call by temporarily adding noise to the leaf parameter data.
+class NoisyWrapper : public TkgModel {
+ public:
+  NoisyWrapper(std::unique_ptr<TkgModel> inner, Tensor base_entities,
+               float stddev, uint64_t seed)
+      : TkgModel(&inner->dataset()),
+        inner_(std::move(inner)),
+        base_entities_(base_entities),
+        stddev_(stddev),
+        rng_(seed) {
+    AddChild(inner_.get());
+  }
+
+  std::string name() const override { return inner_->name(); }
+
+  std::vector<std::vector<float>> ScoreQueries(
+      const std::vector<Quadruple>& queries) override {
+    NoiseScope scope(this);
+    return inner_->ScoreQueries(queries);
+  }
+
+  double TrainEpoch(AdamOptimizer* optimizer) override {
+    // Per-timestamp noise: delegate through TrainOnTimestamp.
+    double total = 0.0;
+    int64_t steps = 0;
+    for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
+      if (t == 0) continue;
+      total += TrainOnTimestamp(t, optimizer);
+      ++steps;
+    }
+    return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+  }
+
+  double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override {
+    NoiseScope scope(this);
+    return inner_->TrainOnTimestamp(t, optimizer);
+  }
+
+ private:
+  // Adds noise to the embedding data for the duration of one call and
+  // removes exactly the same noise afterwards (the optimizer updates in
+  // between operate on the perturbed point, as with true noisy inputs).
+  class NoiseScope {
+   public:
+    explicit NoiseScope(NoisyWrapper* owner) : owner_(owner) {
+      if (owner_->stddev_ <= 0.0f) return;
+      std::vector<float>& data = owner_->base_entities_.mutable_data();
+      noise_.resize(data.size());
+      for (size_t i = 0; i < data.size(); ++i) {
+        noise_[i] = static_cast<float>(
+            owner_->rng_.Normal(0.0, owner_->stddev_));
+        data[i] += noise_[i];
+      }
+    }
+    ~NoiseScope() {
+      if (noise_.empty()) return;
+      std::vector<float>& data = owner_->base_entities_.mutable_data();
+      for (size_t i = 0; i < data.size(); ++i) data[i] -= noise_[i];
+    }
+
+   private:
+    NoisyWrapper* owner_;
+    std::vector<float> noise_;
+  };
+
+  std::unique_ptr<TkgModel> inner_;
+  Tensor base_entities_;
+  float stddev_;
+  Rng rng_;
+};
+
+Tensor FindEntityEmbedding(TkgModel* model, int64_t num_entities) {
+  // The entity table is the unique [E, d] parameter.
+  for (Tensor& p : model->Parameters()) {
+    if (p.shape().rank() == 2 && p.shape().rows() == num_entities) return p;
+  }
+  LOGCL_CHECK(false) << "no entity embedding found";
+  return Tensor();
+}
+
+void Run() {
+  constexpr float kNoise[] = {0.0f, 0.5f, 1.0f};
+  for (PaperDataset preset : bench::SweepDatasets()) {
+    TkgDataset dataset = MakePaperDataset(preset);
+    TimeAwareFilter filter(dataset);
+    bench::PrintSectionTitle("Fig.2 noise robustness on " + dataset.name());
+    std::printf("%-10s %8s %10s %12s\n", "Model", "sigma", "MRR",
+                "drop vs 0");
+    for (const char* name : {"RE-GCN", "TiRGN", "LogCL"}) {
+      double clean_mrr = 0.0;
+      for (float sigma : kNoise) {
+        std::unique_ptr<TkgModel> model;
+        if (std::string(name) == "LogCL") {
+          LogClConfig config;
+          config.embedding_dim = 32;
+          config.noise_stddev = sigma;
+          model = std::make_unique<LogClModel>(&dataset, config);
+        } else {
+          ZooOptions zoo;
+          zoo.embedding_dim = 32;
+          zoo.history_length = 5;
+          std::unique_ptr<TkgModel> inner = MakeZooModel(name, &dataset, zoo);
+          Tensor entities =
+              FindEntityEmbedding(inner.get(), dataset.num_entities());
+          model = std::make_unique<NoisyWrapper>(std::move(inner), entities,
+                                                 sigma, /*seed=*/97);
+        }
+        OfflineOptions train;
+        train.epochs = bench::Epochs(4);
+        train.learning_rate = bench::kLearningRate;
+        EvalResult result = TrainAndEvaluate(model.get(), &filter, train);
+        if (sigma == 0.0f) clean_mrr = result.mrr;
+        double drop = clean_mrr > 0.0
+                          ? 100.0 * (clean_mrr - result.mrr) / clean_mrr
+                          : 0.0;
+        std::printf("%-10s %8.2f %10.2f %11.1f%%\n", name, sigma, result.mrr,
+                    drop);
+        std::fflush(stdout);
+      }
+    }
+    std::printf(
+        "\nPaper Fig.2: with noise, RE-GCN loses ~64-66%% MRR, TiRGN less,\n"
+        "LogCL the least; the same ordering of drops is expected above.\n");
+  }
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig.5: noise-intensity study — LogCL vs LogCL-w/o-cl under increasing
+// Gaussian noise on the three ICEWS-like datasets (MRR and Hits@1).
+// Expected shape (paper): both degrade as sigma grows; the contrastive
+// variant stays above the -w/o-cl variant at every intensity, and the gap
+// widens with stronger noise.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+
+namespace logcl {
+namespace {
+
+void Run() {
+  constexpr float kNoise[] = {0.0f, 1.0f, 2.0f};
+  std::vector<PaperDataset> datasets = bench::PrimaryDatasets();
+  for (PaperDataset preset : datasets) {
+    TkgDataset dataset = MakePaperDataset(preset);
+    TimeAwareFilter filter(dataset);
+    bench::PrintSectionTitle("Fig.5 noise intensity on " + dataset.name());
+    std::printf("%-16s %8s %10s %10s\n", "Variant", "sigma", "MRR", "Hits@1");
+    for (bool use_contrast : {true, false}) {
+      for (float sigma : kNoise) {
+        LogClConfig config;
+        config.embedding_dim = 32;
+        config.use_contrast = use_contrast;
+        config.noise_stddev = sigma;
+        LogClModel model(&dataset, config);
+        OfflineOptions train;
+        train.epochs = bench::Epochs(4);
+        train.learning_rate = bench::kLearningRate;
+        EvalResult result = TrainAndEvaluate(&model, &filter, train);
+        std::printf("%-16s %8.2f %10.2f %10.2f\n",
+                    use_contrast ? "LogCL" : "LogCL-w/o-cl", sigma, result.mrr,
+                    result.hits1);
+        std::fflush(stdout);
+      }
+    }
+    std::printf(
+        "\nPaper Fig.5: LogCL stays above LogCL-w/o-cl at every noise level\n"
+        "and degrades more slowly as the intensity grows.\n");
+  }
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Fig.6: number of R-GCN layers (hops) in the global entity-aware attention
+// encoder on the ICEWS14/18-like datasets. Expected shape (paper): 2 layers
+// slightly better than 1; going beyond 2 does not help (and hurts on
+// ICEWS18).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+
+namespace logcl {
+namespace {
+
+void Run() {
+  for (PaperDataset preset : bench::PrimaryDatasets()) {
+    TkgDataset dataset = MakePaperDataset(preset);
+    TimeAwareFilter filter(dataset);
+    bench::PrintSectionTitle("Fig.6 global R-GCN layers on " + dataset.name());
+    bench::PrintHeader("Layers");
+    for (int64_t layers : {1, 2, 3}) {
+      LogClConfig config;
+      config.embedding_dim = 32;
+      config.global.num_layers = layers;
+      LogClModel model(&dataset, config);
+      OfflineOptions train;
+      train.epochs = bench::Epochs(4);
+      train.learning_rate = bench::kLearningRate;
+      bench::PrintRow(std::to_string(layers) + "-layer",
+                      TrainAndEvaluate(&model, &filter, train));
+    }
+  }
+  std::printf(
+      "\nPaper Fig.6: two hops are slightly better than one; three hops add\n"
+      "nothing on ICEWS14 and hurt on ICEWS18.\n");
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::Run();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Micro-benchmarks (google-benchmark) for the graph layers and encoders:
+// per-layer forward cost, full local evolution, and global subgraph
+// sampling + encoding.
+
+#include <benchmark/benchmark.h>
+
+#include "core/global_encoder.h"
+#include "core/local_encoder.h"
+#include "graph/rel_graph_encoder.h"
+#include "synth/presets.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+namespace {
+
+SnapshotGraph RandomGraph(int64_t nodes, int64_t edges, int64_t relations,
+                          Rng* rng) {
+  SnapshotGraph g;
+  g.num_nodes = nodes;
+  for (int64_t i = 0; i < edges; ++i) {
+    g.AddEdge(static_cast<int64_t>(rng->UniformInt(nodes)),
+              static_cast<int64_t>(rng->UniformInt(relations)),
+              static_cast<int64_t>(rng->UniformInt(nodes)));
+  }
+  return g;
+}
+
+void BM_LayerForward(benchmark::State& state) {
+  GcnKind kind = static_cast<GcnKind>(state.range(0));
+  Rng rng(1);
+  auto layer = MakeRelGraphLayer(kind, 32, &rng);
+  SnapshotGraph g = RandomGraph(256, 2048, 16, &rng);
+  Tensor nodes = Tensor::RandomNormal(Shape{256, 32}, 1.0f, &rng);
+  Tensor rels = Tensor::RandomNormal(Shape{16, 32}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        layer->Forward(g, nodes, rels, /*training=*/false, nullptr));
+  }
+  state.SetLabel(GcnKindToString(kind));
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_LayerForward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_LocalEncode(benchmark::State& state) {
+  static TkgDataset* dataset =
+      new TkgDataset(MakePaperDataset(PaperDataset::kIcews14Like));
+  Rng rng(2);
+  LocalEncoderOptions options;
+  options.history_length = state.range(0);
+  LocalEncoder encoder(32, dataset->num_relations_with_inverse(), options,
+                       &rng);
+  Tensor h0 = Tensor::XavierUniform(Shape{dataset->num_entities(), 32}, &rng);
+  Tensor r0 = Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encoder.Encode(*dataset, 50, h0, r0, /*training=*/false, nullptr));
+  }
+}
+BENCHMARK(BM_LocalEncode)->Arg(3)->Arg(5)->Arg(9);
+
+void BM_GlobalSubgraphBuild(benchmark::State& state) {
+  static TkgDataset* dataset =
+      new TkgDataset(MakePaperDataset(PaperDataset::kIcews14Like));
+  static HistoryIndex* history = new HistoryIndex(*dataset);
+  Rng rng(3);
+  GlobalEncoder encoder(32, {}, &rng);
+  std::vector<Quadruple> queries =
+      dataset->WithInverses(dataset->FactsAt(60));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.BuildQuerySubgraph(
+        *history, queries, dataset->num_entities()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_GlobalSubgraphBuild);
+
+void BM_GlobalEncode(benchmark::State& state) {
+  static TkgDataset* dataset =
+      new TkgDataset(MakePaperDataset(PaperDataset::kIcews14Like));
+  static HistoryIndex* history = new HistoryIndex(*dataset);
+  Rng rng(4);
+  GlobalEncoder encoder(32, {}, &rng);
+  std::vector<Quadruple> queries =
+      dataset->WithInverses(dataset->FactsAt(60));
+  SnapshotGraph graph = encoder.BuildQuerySubgraph(*history, queries,
+                                                   dataset->num_entities());
+  Tensor h0 = Tensor::XavierUniform(Shape{dataset->num_entities(), 32}, &rng);
+  Tensor r0 = Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), 32}, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        encoder.Encode(graph, h0, r0, /*training=*/false, nullptr));
+  }
+  state.SetItemsProcessed(state.iterations() * graph.num_edges());
+}
+BENCHMARK(BM_GlobalEncode);
+
+}  // namespace
+}  // namespace logcl
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+// Micro-benchmarks (google-benchmark) for the tensor substrate: the kernels
+// that dominate LogCL training time.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng, true);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng, true);
+  for (auto _ : state) {
+    a.ZeroGrad();
+    b.ZeroGrad();
+    Backward(ops::SumAll(ops::MatMul(a, b)));
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(3);
+  Tensor x = Tensor::RandomNormal(Shape{state.range(0), 128}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Softmax(x));
+  }
+}
+BENCHMARK(BM_Softmax)->Arg(16)->Arg(128);
+
+void BM_IndexSelectScatter(benchmark::State& state) {
+  int64_t edges = state.range(0);
+  Rng rng(4);
+  Tensor x = Tensor::RandomNormal(Shape{256, 32}, 1.0f, &rng);
+  std::vector<int64_t> src(static_cast<size_t>(edges));
+  std::vector<int64_t> dst(static_cast<size_t>(edges));
+  for (auto& v : src) v = static_cast<int64_t>(rng.UniformInt(256));
+  for (auto& v : dst) v = static_cast<int64_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    Tensor selected = ops::IndexSelectRows(x, src);
+    benchmark::DoNotOptimize(ops::ScatterMeanRows(selected, dst, 256));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_IndexSelectScatter)->Arg(512)->Arg(4096);
+
+void BM_Conv2x3(benchmark::State& state) {
+  Rng rng(5);
+  Tensor h = Tensor::RandomNormal(Shape{state.range(0), 32}, 1.0f, &rng);
+  Tensor r = Tensor::RandomNormal(Shape{state.range(0), 32}, 1.0f, &rng);
+  Tensor kernels = Tensor::RandomNormal(Shape{50, 6}, 1.0f, &rng);
+  Tensor bias = Tensor::Zeros(Shape{50});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Conv2x3(h, r, kernels, bias));
+  }
+}
+BENCHMARK(BM_Conv2x3)->Arg(32)->Arg(128);
+
+void BM_CrossEntropy(benchmark::State& state) {
+  int64_t batch = state.range(0);
+  Rng rng(6);
+  Tensor logits = Tensor::RandomNormal(Shape{batch, 256}, 1.0f, &rng, true);
+  std::vector<int64_t> targets(static_cast<size_t>(batch));
+  for (auto& t : targets) t = static_cast<int64_t>(rng.UniformInt(256));
+  for (auto _ : state) {
+    logits.ZeroGrad();
+    Backward(ops::CrossEntropyWithLogits(logits, targets));
+  }
+}
+BENCHMARK(BM_CrossEntropy)->Arg(16)->Arg(128);
+
+}  // namespace
+}  // namespace logcl
+
+BENCHMARK_MAIN();

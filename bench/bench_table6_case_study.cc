@@ -1,0 +1,80 @@
+// Table VI: case study — top-5 predictions with probabilities for sample
+// test queries, comparing LogCL, LogCL-w/o-eatt and LogCL-w/o-cl. The
+// paper's qualitative claim: the full model ranks the true answer higher
+// and with more probability mass than the ablated variants.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+#include "eval/ranking.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+namespace {
+
+void PrintTopK(const std::string& label, LogClModel* model,
+               const Quadruple& query) {
+  std::printf("  %-18s", label.c_str());
+  for (const auto& [entity, prob] : model->PredictTopK(query, 5)) {
+    std::printf("  E%lld:%.3f", static_cast<long long>(entity), prob);
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
+  bench::PrintSectionTitle("Table VI case study on " + dataset.name());
+
+  OfflineOptions train;
+  train.epochs = bench::Epochs(6);
+  train.learning_rate = bench::kLearningRate;
+  TimeAwareFilter filter(dataset);
+
+  LogClConfig full;
+  full.embedding_dim = 32;
+  LogClConfig no_eatt = full;
+  no_eatt.use_entity_attention = false;
+  LogClConfig no_cl = full;
+  no_cl.use_contrast = false;
+
+  LogClModel model_full(&dataset, full);
+  LogClModel model_no_eatt(&dataset, no_eatt);
+  LogClModel model_no_cl(&dataset, no_cl);
+  TrainAndEvaluate(&model_full, &filter, train);
+  TrainAndEvaluate(&model_no_eatt, &filter, train);
+  TrainAndEvaluate(&model_no_cl, &filter, train);
+
+  // Pick a handful of repetition-style test queries (answer seen before),
+  // mirroring the paper's "Sign formal agreement" / "Engage in diplomatic
+  // cooperation" examples.
+  HistoryIndex history(dataset);
+  int shown = 0;
+  for (const Quadruple& q : dataset.test()) {
+    if (shown >= 4) break;
+    if (!history.SeenBefore(q.subject, q.relation, q.object, q.time)) {
+      continue;  // showcase repetition queries, as the paper does
+    }
+    ++shown;
+    std::printf("\nQuery (E%lld, R%lld, ?, t=%lld); answer E%lld\n",
+                static_cast<long long>(q.subject),
+                static_cast<long long>(q.relation),
+                static_cast<long long>(q.time),
+                static_cast<long long>(q.object));
+    PrintTopK("LogCL", &model_full, q);
+    PrintTopK("LogCL-w/o-eatt", &model_no_eatt, q);
+    PrintTopK("LogCL-w/o-cl", &model_no_cl, q);
+  }
+  std::printf(
+      "\nPaper Table VI: the full model ranks the answer top-1 with the\n"
+      "largest probability; -w/o-eatt misses or under-weights it.\n");
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::Run();
+  return 0;
+}

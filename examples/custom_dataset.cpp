@@ -1,0 +1,81 @@
+// Custom-dataset walkthrough: build a TKG programmatically (or from TSV
+// files on disk), inspect its history indexes, and compare a frequency
+// baseline with LogCL on it. Demonstrates the data-layer API a downstream
+// user would touch first.
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/cygnet.h"
+#include "core/logcl_model.h"
+#include "core/trainer.h"
+#include "tkg/dataset.h"
+#include "tkg/filters.h"
+#include "tkg/history_index.h"
+#include "tkg/vocabulary.h"
+
+int main() {
+  using namespace logcl;  // NOLINT: example brevity
+
+  // 1. Name your entities/relations with a Vocabulary, then express facts
+  //    as dense ids. (TkgDataset::LoadTsv reads the standard benchmark
+  //    format "s r o t" directly.)
+  Vocabulary entities;
+  Vocabulary relations;
+  int64_t china = entities.GetOrAdd("china");
+  int64_t iran = entities.GetOrAdd("iran");
+  int64_t oman = entities.GetOrAdd("oman");
+  int64_t un = entities.GetOrAdd("united_nations");
+  int64_t consult = relations.GetOrAdd("consult");
+  int64_t cooperate = relations.GetOrAdd("cooperate");
+
+  // A weekly cooperation pattern plus some consultations.
+  std::vector<Quadruple> train;
+  for (int64_t week = 0; week < 16; ++week) {
+    train.push_back({china, cooperate, week % 2 == 0 ? iran : oman, week});
+    train.push_back({iran, consult, un, week});
+    if (week % 4 == 0) train.push_back({oman, consult, china, week});
+  }
+  std::vector<Quadruple> valid = {{china, cooperate, china == 0 ? iran : iran, 16},
+                                  {iran, consult, un, 16}};
+  std::vector<Quadruple> test = {{china, cooperate, oman, 17},
+                                 {iran, consult, un, 17}};
+  TkgDataset dataset = TkgDataset::FromQuadruples(
+      "diplomacy", entities.size(), relations.size(), train, valid, test);
+  std::printf("dataset: %s\n", dataset.Stats().ToString().c_str());
+
+  // 2. Inspect the global history the models will exploit.
+  HistoryIndex history(dataset);
+  std::printf("historical partners of (china, cooperate) before t=17:");
+  for (int64_t object : history.ObjectsBefore(china, cooperate, 17)) {
+    std::printf(" %s", entities.Name(object).c_str());
+  }
+  std::printf("\n");
+
+  // 3. Train a frequency-style baseline and LogCL; compare.
+  TimeAwareFilter filter(dataset);
+  OfflineOptions opts;
+  opts.epochs = 30;
+  opts.learning_rate = 5e-3f;
+
+  CyGNet baseline(&dataset, /*dim=*/16);
+  EvalResult baseline_result = TrainAndEvaluate(&baseline, &filter, opts);
+  std::printf("CyGNet: %s\n", baseline_result.ToString().c_str());
+
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  config.decoder.num_kernels = 8;
+  LogClModel model(&dataset, config);
+  EvalResult logcl_result = TrainAndEvaluate(&model, &filter, opts);
+  std::printf("LogCL:  %s\n", logcl_result.ToString().c_str());
+
+  // 4. What does LogCL predict china cooperates with at t=17? The weekly
+  //    alternation (iran, oman, iran, ...) makes oman the right answer.
+  std::printf("china cooperates with (t=17):\n");
+  for (const auto& [entity, prob] :
+       model.PredictTopK({china, cooperate, oman, 17}, 3)) {
+    std::printf("  %-16s p=%.3f\n", entities.Name(entity).c_str(), prob);
+  }
+  return 0;
+}

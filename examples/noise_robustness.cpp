@@ -1,0 +1,49 @@
+// Noise-robustness demo: the paper's second headline claim is that the
+// local-global query contrast module makes LogCL robust to contaminated
+// inputs. This example trains LogCL with and without the contrast module
+// under increasing Gaussian noise on the entity embeddings and prints the
+// degradation curves (a miniature of Fig.5).
+
+#include <cstdio>
+
+#include "core/logcl_model.h"
+#include "core/trainer.h"
+#include "synth/presets.h"
+#include "tkg/filters.h"
+
+int main() {
+  using namespace logcl;  // NOLINT: example brevity
+
+  TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
+  TimeAwareFilter filter(dataset);
+  std::printf("dataset: %s\n\n", dataset.Stats().ToString().c_str());
+  std::printf("%-16s %8s %10s %10s\n", "variant", "sigma", "MRR", "Hits@1");
+
+  for (bool use_contrast : {true, false}) {
+    double clean_mrr = 0.0;
+    for (float sigma : {0.0f, 1.0f, 2.0f}) {
+      LogClConfig config;
+      config.embedding_dim = 32;
+      config.use_contrast = use_contrast;
+      config.noise_stddev = sigma;  // N(0, sigma^2) on entity embeddings
+      LogClModel model(&dataset, config);
+      OfflineOptions train;
+      train.epochs = 5;
+      train.learning_rate = 3e-3f;
+      EvalResult result = TrainAndEvaluate(&model, &filter, train);
+      if (sigma == 0.0f) clean_mrr = result.mrr;
+      std::printf("%-16s %8.1f %10.2f %10.2f",
+                  use_contrast ? "LogCL" : "LogCL-w/o-cl", sigma, result.mrr,
+                  result.hits1);
+      if (sigma > 0.0f && clean_mrr > 0.0) {
+        std::printf("   (%.1f%% of clean)", 100.0 * result.mrr / clean_mrr);
+      }
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+  std::printf(
+      "\nExpected: both variants degrade with noise, but the contrastive\n"
+      "variant retains more of its clean performance (paper Fig.5).\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Online forecasting demo (Section IV.H): a deployed TKG forecaster keeps
+// receiving new event snapshots. This example replays the test period
+// chronologically — each day is first predicted, then absorbed with one
+// gradient update — and compares against the frozen offline model.
+
+#include <cstdio>
+
+#include "core/logcl_model.h"
+#include "core/trainer.h"
+#include "synth/presets.h"
+#include "tkg/filters.h"
+
+int main() {
+  using namespace logcl;  // NOLINT: example brevity
+
+  TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
+  TimeAwareFilter filter(dataset);
+  std::printf("dataset: %s\n", dataset.Stats().ToString().c_str());
+
+  LogClConfig config;
+  config.embedding_dim = 32;
+
+  // Offline: train once, freeze, evaluate the whole test period.
+  LogClModel offline_model(&dataset, config);
+  OfflineOptions offline;
+  offline.epochs = 6;
+  offline.learning_rate = 3e-3f;
+  EvalResult offline_result =
+      TrainAndEvaluate(&offline_model, &filter, offline);
+  std::printf("offline:  %s\n", offline_result.ToString().c_str());
+
+  // Online: same pretraining, but keep learning as test snapshots arrive.
+  LogClModel online_model(&dataset, config);
+  OnlineOptions online;
+  online.offline_epochs = offline.epochs;
+  online.learning_rate = 3e-3f;
+  online.updates_per_timestamp = 1;
+  EvalResult online_result =
+      TrainAndEvaluateOnline(&online_model, &filter, online);
+  std::printf("online:   %s\n", online_result.ToString().c_str());
+
+  std::printf(
+      "\nExpected: the online model outperforms the frozen one because each\n"
+      "evaluated snapshot immediately improves subsequent predictions\n"
+      "(paper Fig.10).\n");
+  return 0;
+}

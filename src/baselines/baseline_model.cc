@@ -1,0 +1,95 @@
+#include "baselines/baseline_model.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+EmbeddingModel::EmbeddingModel(const TkgDataset* dataset, int64_t dim,
+                               uint64_t seed)
+    : TkgModel(dataset), dim_(dim), rng_(seed) {
+  entity_embeddings_ = AddParameter(
+      Tensor::XavierUniform(Shape{dataset->num_entities(), dim}, &rng_));
+  relation_embeddings_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), dim}, &rng_));
+}
+
+std::vector<std::vector<float>> EmbeddingModel::ScoreQueries(
+    const std::vector<Quadruple>& queries) {
+  NoGradGuard no_grad;
+  Tensor scores = ScoreBatch(queries, /*training=*/false);
+  int64_t num_entities = dataset().num_entities();
+  LOGCL_CHECK_EQ(scores.shape().rows(),
+                 static_cast<int64_t>(queries.size()));
+  LOGCL_CHECK_EQ(scores.shape().cols(), num_entities);
+  std::vector<std::vector<float>> out;
+  out.reserve(queries.size());
+  const std::vector<float>& data = scores.data();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto begin = data.begin() + static_cast<int64_t>(i) * num_entities;
+    out.emplace_back(begin, begin + num_entities);
+  }
+  return out;
+}
+
+double EmbeddingModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+  std::vector<Quadruple> facts = dataset().FactsAt(t);
+  if (facts.empty()) return 0.0;
+  std::vector<Quadruple> batch = dataset().WithInverses(facts);
+  optimizer->ZeroGrad();
+  Tensor scores = ScoreBatch(batch, /*training=*/true);
+  Tensor loss = ops::CrossEntropyWithLogits(scores, Targets(batch));
+  Tensor aux = AuxiliaryLoss(batch);
+  if (aux.defined()) loss = ops::Add(loss, aux);
+  double value = loss.at(0);
+  Backward(loss);
+  optimizer->ClipGradNorm(grad_clip_norm_);
+  optimizer->Step();
+  return value;
+}
+
+double EmbeddingModel::TrainEpoch(AdamOptimizer* optimizer) {
+  double total = 0.0;
+  int64_t steps = 0;
+  for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
+    total += TrainOnTimestamp(t, optimizer);
+    ++steps;
+  }
+  return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+}
+
+Tensor EmbeddingModel::SubjectEmbeddings(
+    const std::vector<Quadruple>& queries) const {
+  std::vector<int64_t> ids;
+  ids.reserve(queries.size());
+  for (const Quadruple& q : queries) ids.push_back(q.subject);
+  return ops::IndexSelectRows(entity_embeddings_, ids);
+}
+
+Tensor EmbeddingModel::RelationEmbeddings(
+    const std::vector<Quadruple>& queries) const {
+  std::vector<int64_t> ids;
+  ids.reserve(queries.size());
+  for (const Quadruple& q : queries) ids.push_back(q.relation);
+  return ops::IndexSelectRows(relation_embeddings_, ids);
+}
+
+std::vector<int64_t> EmbeddingModel::Targets(
+    const std::vector<Quadruple>& queries) {
+  std::vector<int64_t> targets;
+  targets.reserve(queries.size());
+  for (const Quadruple& q : queries) targets.push_back(q.object);
+  return targets;
+}
+
+Tensor NegativeSquaredDistanceScores(const Tensor& queries,
+                                     const Tensor& candidates) {
+  // -||q - h||^2 = 2 q.h - ||h||^2 - ||q||^2; the last term is constant per
+  // row and dropped (softmax CE and ranking are shift-invariant per row).
+  Tensor dot = ops::Scale(ops::MatMul(queries, ops::Transpose(candidates)),
+                          2.0f);
+  Tensor norms = ops::RowSum(ops::Mul(candidates, candidates));  // [E, 1]
+  Tensor norms_row = ops::Transpose(norms);                      // [1, E]
+  return ops::Sub(dot, ops::Reshape(norms_row, Shape{norms_row.shape().cols()}));
+}
+
+}  // namespace logcl

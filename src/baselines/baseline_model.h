@@ -1,0 +1,72 @@
+// Shared infrastructure for the re-implemented baselines of Table III.
+//
+// EmbeddingModel covers every baseline that scores a batch of queries from
+// embedding tables (static, interpolation, and the simpler extrapolation
+// models): it owns the entity/relation embeddings, the per-timestamp
+// cross-entropy training loop (with inverse queries, like the shared
+// evaluation protocol) and gradient clipping; subclasses implement
+// ScoreBatch.
+//
+// Each baseline reproduces the *mechanism* its paper contributes (see the
+// per-class comments); engineering details that do not affect the Table III
+// comparison (e.g. negative sampling schedules) are unified to softmax
+// cross-entropy over all entities, as is standard in the RE-GCN code line.
+
+#ifndef LOGCL_BASELINES_BASELINE_MODEL_H_
+#define LOGCL_BASELINES_BASELINE_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/tkg_model.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+class EmbeddingModel : public TkgModel {
+ public:
+  EmbeddingModel(const TkgDataset* dataset, int64_t dim, uint64_t seed);
+
+  std::vector<std::vector<float>> ScoreQueries(
+      const std::vector<Quadruple>& queries) override;
+
+  double TrainEpoch(AdamOptimizer* optimizer) override;
+
+  double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
+
+ protected:
+  /// Logits [B, E] for a batch of same-timestamp queries.
+  virtual Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                            bool training) = 0;
+
+  /// Optional extra loss term (e.g. CENET's contrastive term). Default none.
+  virtual Tensor AuxiliaryLoss(const std::vector<Quadruple>& queries) {
+    (void)queries;
+    return Tensor();
+  }
+
+  /// Gathers subject embeddings [B, d].
+  Tensor SubjectEmbeddings(const std::vector<Quadruple>& queries) const;
+  /// Gathers relation embeddings [B, d].
+  Tensor RelationEmbeddings(const std::vector<Quadruple>& queries) const;
+  /// Ground-truth object ids.
+  static std::vector<int64_t> Targets(const std::vector<Quadruple>& queries);
+
+  int64_t dim_;
+  Rng rng_;
+  Tensor entity_embeddings_;    // [E, d]
+  Tensor relation_embeddings_;  // [2R, d]
+  float grad_clip_norm_ = 1.0f;
+};
+
+/// Ranking-equivalent negative squared L2 distance from each decoded query
+/// row to every candidate row: 2 q H^T - ||H||^2 (the per-query ||q||^2 term
+/// is a per-row constant, invisible to both softmax CE and ranking).
+Tensor NegativeSquaredDistanceScores(const Tensor& queries,
+                                     const Tensor& candidates);
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_BASELINE_MODEL_H_

@@ -1,0 +1,44 @@
+#include "baselines/cen.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+namespace {
+LocalEncoderOptions CenEncoder(int64_t max_length) {
+  LocalEncoderOptions options;
+  options.history_length = max_length;
+  options.num_layers = 2;
+  options.use_time_encoding = false;
+  return options;
+}
+ConvTransEOptions CenDecoder() {
+  ConvTransEOptions options;
+  options.num_kernels = 16;
+  return options;
+}
+int64_t MaxOf(const std::vector<int64_t>& lengths) {
+  LOGCL_CHECK(!lengths.empty());
+  int64_t max_length = lengths.front();
+  for (int64_t l : lengths) max_length = std::max(max_length, l);
+  return max_length;
+}
+}  // namespace
+
+Cen::Cen(const TkgDataset* dataset, int64_t dim,
+         std::vector<int64_t> history_lengths, uint64_t seed)
+    : RecurrentModel(dataset, dim, CenEncoder(MaxOf(history_lengths)),
+                     CenDecoder(), seed),
+      history_lengths_(std::move(history_lengths)) {}
+
+Tensor Cen::ScoreBatch(const std::vector<Quadruple>& queries, bool training) {
+  Tensor total;
+  for (int64_t length : history_lengths_) {
+    Tensor scores = EvolveAndScore(queries, length, training);
+    total = total.defined() ? ops::Add(total, scores) : scores;
+  }
+  return ops::Scale(total, 1.0f / static_cast<float>(history_lengths_.size()));
+}
+
+}  // namespace logcl

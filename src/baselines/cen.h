@@ -1,0 +1,33 @@
+// CEN (Li et al., 2022): complex evolutional pattern learning via a
+// length-diversified ensemble — the same evolutional encoder is unrolled
+// with several history lengths and the per-length scores are averaged, so
+// short- and long-range evolutional patterns both contribute. (The original
+// additionally trains the lengths curriculum-style online; our online mode
+// covers that via TrainOnTimestamp.)
+
+#ifndef LOGCL_BASELINES_CEN_H_
+#define LOGCL_BASELINES_CEN_H_
+
+#include "baselines/recurrent_base.h"
+
+namespace logcl {
+
+class Cen : public RecurrentModel {
+ public:
+  /// `history_lengths` is the ensemble, e.g. {2, 4, 6}.
+  Cen(const TkgDataset* dataset, int64_t dim,
+      std::vector<int64_t> history_lengths, uint64_t seed = 22);
+
+  std::string name() const override { return "CEN"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  std::vector<int64_t> history_lengths_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_CEN_H_

@@ -1,0 +1,63 @@
+#include "baselines/cenet.h"
+
+#include <cmath>
+
+#include "core/contrast.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+Cenet::Cenet(const TkgDataset* dataset, int64_t dim, float contrast_tau,
+             uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed),
+      history_(*dataset),
+      projection_(2 * dim, dim, dim, &rng_),
+      contrast_tau_(contrast_tau) {
+  AddChild(&projection_);
+  frequency_gain_ =
+      AddParameter(Tensor::Full(Shape{}, 1.0f, /*requires_grad=*/true));
+}
+
+Tensor Cenet::FrequencyFeatures(const std::vector<Quadruple>& queries) const {
+  int64_t num_entities = dataset().num_entities();
+  int64_t batch = static_cast<int64_t>(queries.size());
+  std::vector<float> features(static_cast<size_t>(batch * num_entities),
+                              0.0f);
+  for (int64_t i = 0; i < batch; ++i) {
+    const Quadruple& q = queries[static_cast<size_t>(i)];
+    for (const auto& [object, count] :
+         history_.ObjectCountsBefore(q.subject, q.relation, q.time)) {
+      features[static_cast<size_t>(i * num_entities + object)] =
+          std::log1p(static_cast<float>(count));
+    }
+  }
+  return Tensor::FromVector(Shape{batch, num_entities}, std::move(features));
+}
+
+Tensor Cenet::ScoreBatch(const std::vector<Quadruple>& queries,
+                         bool training) {
+  (void)training;
+  Tensor similarity = ops::MatMul(
+      ops::Mul(SubjectEmbeddings(queries), RelationEmbeddings(queries)),
+      ops::Transpose(entity_embeddings_));
+  Tensor frequency = ops::Mul(FrequencyFeatures(queries), frequency_gain_);
+  return ops::Add(similarity, frequency);
+}
+
+Tensor Cenet::AuxiliaryLoss(const std::vector<Quadruple>& queries) {
+  // Binary labels: is the ground-truth answer historical for (s, r)?
+  std::vector<int64_t> labels;
+  labels.reserve(queries.size());
+  for (const Quadruple& q : queries) {
+    labels.push_back(
+        history_.SeenBefore(q.subject, q.relation, q.object, q.time) ? 1 : 0);
+  }
+  Tensor z = projection_.Forward(
+      ops::ConcatCols({SubjectEmbeddings(queries),
+                       RelationEmbeddings(queries)}),
+      /*normalize=*/true);
+  return SupervisedInfoNce(z, z, labels, contrast_tau_,
+                           /*exclude_self=*/true);
+}
+
+}  // namespace logcl

@@ -1,0 +1,43 @@
+// CENET (Xu et al., 2023): temporal reasoning with historical contrastive
+// learning. Scores combine an embedding similarity term with a learned
+// weighting of each candidate's historical frequency for the query's
+// (s, r); a contrastive objective separates the representations of queries
+// whose answers are historical from those whose answers are new (the
+// "historical vs non-historical dependency" of the paper).
+
+#ifndef LOGCL_BASELINES_CENET_H_
+#define LOGCL_BASELINES_CENET_H_
+
+#include "baselines/baseline_model.h"
+#include "nn/mlp.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+
+class Cenet : public EmbeddingModel {
+ public:
+  Cenet(const TkgDataset* dataset, int64_t dim, float contrast_tau = 0.1f,
+        uint64_t seed = 25);
+
+  std::string name() const override { return "CENET"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+  /// Historical contrastive term over the batch's query representations.
+  Tensor AuxiliaryLoss(const std::vector<Quadruple>& queries) override;
+
+ private:
+  /// log(1 + count) frequency features [B, E] (constant w.r.t. parameters).
+  Tensor FrequencyFeatures(const std::vector<Quadruple>& queries) const;
+
+  HistoryIndex history_;
+  Mlp projection_;         // contrastive head
+  Tensor frequency_gain_;  // scalar weight on the frequency features
+  float contrast_tau_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_CENET_H_

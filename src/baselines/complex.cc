@@ -1,0 +1,36 @@
+#include "baselines/complex.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+ComplEx::ComplEx(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed) {
+  LOGCL_CHECK_EQ(dim % 2, 0) << "ComplEx needs an even embedding size";
+}
+
+Tensor ComplEx::ComplexScores(const Tensor& subjects,
+                              const Tensor& relations) const {
+  int64_t half = dim_ / 2;
+  Tensor s_re = ops::SliceCols(subjects, 0, half);
+  Tensor s_im = ops::SliceCols(subjects, half, half);
+  Tensor r_re = ops::SliceCols(relations, 0, half);
+  Tensor r_im = ops::SliceCols(relations, half, half);
+  Tensor e_re = ops::SliceCols(entity_embeddings_, 0, half);
+  Tensor e_im = ops::SliceCols(entity_embeddings_, half, half);
+  // Re(<s, r, conj(o)>) = (s_re r_re - s_im r_im) . o_re
+  //                     + (s_re r_im + s_im r_re) . o_im
+  Tensor q_re = ops::Sub(ops::Mul(s_re, r_re), ops::Mul(s_im, r_im));
+  Tensor q_im = ops::Add(ops::Mul(s_re, r_im), ops::Mul(s_im, r_re));
+  return ops::Add(ops::MatMul(q_re, ops::Transpose(e_re)),
+                  ops::MatMul(q_im, ops::Transpose(e_im)));
+}
+
+Tensor ComplEx::ScoreBatch(const std::vector<Quadruple>& queries,
+                           bool training) {
+  (void)training;
+  return ComplexScores(SubjectEmbeddings(queries),
+                       RelationEmbeddings(queries));
+}
+
+}  // namespace logcl

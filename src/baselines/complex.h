@@ -1,0 +1,31 @@
+// ComplEx (Trouillon et al., 2016): complex-valued bilinear scoring
+//   score(s, r, o) = Re(<h_s, r, conj(h_o)>).
+// Embeddings of size `dim` hold the real half in the first dim/2 columns
+// and the imaginary half in the rest.
+
+#ifndef LOGCL_BASELINES_COMPLEX_H_
+#define LOGCL_BASELINES_COMPLEX_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class ComplEx : public EmbeddingModel {
+ public:
+  /// `dim` must be even.
+  ComplEx(const TkgDataset* dataset, int64_t dim, uint64_t seed = 12);
+
+  std::string name() const override { return "ComplEx"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+  /// Shared with TNTComplEx: ComplEx scoring of query-side (subject,
+  /// relation) pairs against all entities.
+  Tensor ComplexScores(const Tensor& subjects, const Tensor& relations) const;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_COMPLEX_H_

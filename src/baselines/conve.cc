@@ -1,0 +1,36 @@
+#include "baselines/conve.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+ConvE::ConvE(const TkgDataset* dataset, int64_t dim, int64_t num_kernels,
+             int64_t reshape_h, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed),
+      num_kernels_(num_kernels),
+      reshape_h_(reshape_h),
+      reshape_w_(dim / reshape_h),
+      fc_(num_kernels * 2 * reshape_h * (dim / reshape_h), dim, &rng_) {
+  LOGCL_CHECK_EQ(dim % reshape_h, 0) << "dim must factor into the image";
+  kernels_ =
+      AddParameter(Tensor::XavierUniform(Shape{num_kernels, 9}, &rng_));
+  kernel_bias_ = AddParameter(
+      Tensor::Zeros(Shape{num_kernels}, /*requires_grad=*/true));
+  AddChild(&fc_);
+}
+
+Tensor ConvE::ScoreBatch(const std::vector<Quadruple>& queries,
+                         bool training) {
+  // Stack subject over relation: a 1-channel (2h x w) image per query.
+  Tensor image = ops::ConcatCols(
+      {SubjectEmbeddings(queries), RelationEmbeddings(queries)});
+  Tensor features =
+      ops::Relu(ops::Conv2d(image, /*channels=*/1, /*height=*/2 * reshape_h_,
+                            /*width=*/reshape_w_, kernels_, 3, 3, /*pad=*/1,
+                            kernel_bias_));
+  features = ops::Dropout(features, dropout_, training, &rng_);
+  Tensor decoded = ops::Relu(fc_.Forward(features));
+  return ops::MatMul(decoded, ops::Transpose(entity_embeddings_));
+}
+
+}  // namespace logcl

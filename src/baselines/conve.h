@@ -1,0 +1,38 @@
+// ConvE (Dettmers et al., 2018): 2-D CNN over the stacked reshaped subject
+// and relation embeddings, FC projection, dot-product candidate scoring.
+
+#ifndef LOGCL_BASELINES_CONVE_H_
+#define LOGCL_BASELINES_CONVE_H_
+
+#include "baselines/baseline_model.h"
+#include "nn/linear.h"
+
+namespace logcl {
+
+class ConvE : public EmbeddingModel {
+ public:
+  /// Embeddings are reshaped to `reshape_h` x (dim / reshape_h) images; the
+  /// subject and relation images are stacked vertically (2*reshape_h rows).
+  /// `dim` must be divisible by `reshape_h`.
+  ConvE(const TkgDataset* dataset, int64_t dim, int64_t num_kernels = 8,
+        int64_t reshape_h = 4, uint64_t seed = 14);
+
+  std::string name() const override { return "ConvE"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  int64_t num_kernels_;
+  int64_t reshape_h_;
+  int64_t reshape_w_;
+  Tensor kernels_;  // [K, 3*3] single input channel
+  Tensor kernel_bias_;
+  Linear fc_;
+  float dropout_ = 0.2f;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_CONVE_H_

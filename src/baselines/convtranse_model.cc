@@ -1,0 +1,27 @@
+#include "baselines/convtranse_model.h"
+
+namespace logcl {
+
+namespace {
+ConvTransEOptions SmallDecoder() {
+  ConvTransEOptions options;
+  options.num_kernels = 16;
+  return options;
+}
+}  // namespace
+
+ConvTransEModel::ConvTransEModel(const TkgDataset* dataset, int64_t dim,
+                                 uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed),
+      decoder_(dim, SmallDecoder(), &rng_) {
+  AddChild(&decoder_);
+}
+
+Tensor ConvTransEModel::ScoreBatch(const std::vector<Quadruple>& queries,
+                                   bool training) {
+  return decoder_.Score(SubjectEmbeddings(queries),
+                        RelationEmbeddings(queries), entity_embeddings_,
+                        training, &rng_);
+}
+
+}  // namespace logcl

@@ -1,0 +1,28 @@
+// Conv-TransE (Shang et al., 2019) as a standalone static baseline: the
+// nn/ConvTransE decoder applied directly to static embeddings.
+
+#ifndef LOGCL_BASELINES_CONVTRANSE_MODEL_H_
+#define LOGCL_BASELINES_CONVTRANSE_MODEL_H_
+
+#include "baselines/baseline_model.h"
+#include "nn/convtranse.h"
+
+namespace logcl {
+
+class ConvTransEModel : public EmbeddingModel {
+ public:
+  ConvTransEModel(const TkgDataset* dataset, int64_t dim, uint64_t seed = 15);
+
+  std::string name() const override { return "Conv-TransE"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  ConvTransE decoder_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_CONVTRANSE_MODEL_H_

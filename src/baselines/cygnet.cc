@@ -1,0 +1,41 @@
+#include "baselines/cygnet.h"
+
+#include "baselines/tirgn.h"  // HistoryVocabularyMask
+#include "tensor/ops.h"
+
+namespace logcl {
+
+CyGNet::CyGNet(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed),
+      history_(*dataset),
+      copy_head_(2 * dim, dim, &rng_),
+      generate_head_(2 * dim, dim, &rng_) {
+  AddChild(&copy_head_);
+  AddChild(&generate_head_);
+  mixing_logit_ =
+      AddParameter(Tensor::Zeros(Shape{}, /*requires_grad=*/true));
+}
+
+Tensor CyGNet::ScoreBatch(const std::vector<Quadruple>& queries,
+                          bool training) {
+  (void)training;
+  Tensor query = ops::ConcatCols(
+      {SubjectEmbeddings(queries), RelationEmbeddings(queries)});
+  Tensor candidates_t = ops::Transpose(entity_embeddings_);
+  Tensor copy_logits =
+      ops::MatMul(ops::Tanh(copy_head_.Forward(query)), candidates_t);
+  Tensor generate_logits =
+      ops::MatMul(ops::Tanh(generate_head_.Forward(query)), candidates_t);
+  Tensor mask =
+      HistoryVocabularyMask(history_, queries, dataset().num_entities());
+  Tensor copy_prob = ops::Softmax(ops::Add(copy_logits, mask));
+  Tensor generate_prob = ops::Softmax(generate_logits);
+  Tensor alpha = ops::Sigmoid(mixing_logit_);  // scalar
+  // p = alpha * copy + (1 - alpha) * gen, broadcast over the batch.
+  Tensor weighted_copy = ops::Mul(copy_prob, alpha);
+  Tensor weighted_generate =
+      ops::Mul(generate_prob, ops::AddScalar(ops::Neg(alpha), 1.0f));
+  return ops::Log(ops::Add(weighted_copy, weighted_generate));
+}
+
+}  // namespace logcl

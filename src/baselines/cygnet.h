@@ -1,0 +1,38 @@
+// CyGNet (Zhu et al., 2021): sequential copy-generation networks. Two
+// scoring modes share the query representation [h_s * r]:
+//   - copy mode: scores restricted (masked) to the historical vocabulary of
+//     (s, r) — "facts repeat";
+//   - generation mode: scores over all entities.
+// Final probability: p = alpha * softmax(copy) + (1 - alpha) * softmax(gen),
+// with a learnable mixing weight.
+
+#ifndef LOGCL_BASELINES_CYGNET_H_
+#define LOGCL_BASELINES_CYGNET_H_
+
+#include "baselines/baseline_model.h"
+#include "nn/linear.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+
+class CyGNet : public EmbeddingModel {
+ public:
+  CyGNet(const TkgDataset* dataset, int64_t dim, uint64_t seed = 24);
+
+  std::string name() const override { return "CyGNet"; }
+
+ protected:
+  /// Returns log-probabilities of the copy-generation mixture.
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  HistoryIndex history_;
+  Linear copy_head_;       // query -> d
+  Linear generate_head_;   // query -> d
+  Tensor mixing_logit_;    // alpha = sigmoid(mixing_logit_)
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_CYGNET_H_

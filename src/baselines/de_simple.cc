@@ -1,0 +1,48 @@
+#include "baselines/de_simple.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+DeSimplE::DeSimplE(const TkgDataset* dataset, int64_t dim,
+                   float temporal_fraction, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed) {
+  LOGCL_CHECK_GT(temporal_fraction, 0.0f);
+  LOGCL_CHECK_LT(temporal_fraction, 1.0f);
+  temporal_dim_ = std::max<int64_t>(
+      1, static_cast<int64_t>(static_cast<float>(dim) * temporal_fraction));
+  Shape shape{dataset->num_entities(), temporal_dim_};
+  amplitude_ = AddParameter(Tensor::XavierUniform(shape, &rng_));
+  frequency_ = AddParameter(Tensor::XavierUniform(shape, &rng_));
+  phase_ = AddParameter(Tensor::XavierUniform(shape, &rng_));
+}
+
+Tensor DeSimplE::EntitiesAt(int64_t t) const {
+  Tensor static_part =
+      ops::SliceCols(entity_embeddings_, 0, dim_ - temporal_dim_);
+  // a * sin(w t + b); sin(x) = cos(x - pi/2).
+  Tensor angle = ops::AddScalar(
+      ops::Add(ops::Scale(frequency_, static_cast<float>(t)), phase_),
+      -1.5707963f);
+  Tensor temporal = ops::Mul(amplitude_, ops::Cos(angle));
+  return ops::ConcatCols({static_part, temporal});
+}
+
+Tensor DeSimplE::ScoreBatch(const std::vector<Quadruple>& queries,
+                            bool training) {
+  (void)training;
+  LOGCL_CHECK(!queries.empty());
+  int64_t t = std::clamp<int64_t>(queries.front().time, 0,
+                                  dataset().num_timestamps() - 1);
+  Tensor entities_t = EntitiesAt(t);
+  std::vector<int64_t> subjects;
+  subjects.reserve(queries.size());
+  for (const Quadruple& q : queries) subjects.push_back(q.subject);
+  Tensor query = ops::Mul(ops::IndexSelectRows(entities_t, subjects),
+                          RelationEmbeddings(queries));
+  return ops::MatMul(query, ops::Transpose(entities_t));
+}
+
+}  // namespace logcl

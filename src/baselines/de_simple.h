@@ -1,0 +1,39 @@
+// DE-SimplE (Goel et al., 2020): diachronic entity embeddings. A fraction
+// of each entity's features are time-dependent,
+//   h_e(t)[i] = a_e[i] * sin(w_e[i] * t + b_e[i])   (temporal features)
+//   h_e(t)[i] = h_e[i]                              (static features),
+// scored bilinearly (the DistMult symmetrisation of SimplE, which is exact
+// under our inverse-relation augmentation).
+
+#ifndef LOGCL_BASELINES_DE_SIMPLE_H_
+#define LOGCL_BASELINES_DE_SIMPLE_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class DeSimplE : public EmbeddingModel {
+ public:
+  /// `temporal_fraction` of the embedding is diachronic (paper default 0.5).
+  DeSimplE(const TkgDataset* dataset, int64_t dim,
+           float temporal_fraction = 0.5f, uint64_t seed = 18);
+
+  std::string name() const override { return "DE-SimplE"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  /// Diachronic entity matrix at time t for ALL entities [E, d].
+  Tensor EntitiesAt(int64_t t) const;
+
+  int64_t temporal_dim_;
+  Tensor amplitude_;  // [E, temporal_dim]
+  Tensor frequency_;  // [E, temporal_dim]
+  Tensor phase_;      // [E, temporal_dim]
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_DE_SIMPLE_H_

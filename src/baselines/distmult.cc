@@ -1,0 +1,16 @@
+#include "baselines/distmult.h"
+
+namespace logcl {
+
+DistMult::DistMult(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed) {}
+
+Tensor DistMult::ScoreBatch(const std::vector<Quadruple>& queries,
+                            bool training) {
+  (void)training;
+  Tensor query = ops::Mul(SubjectEmbeddings(queries),
+                          RelationEmbeddings(queries));
+  return ops::MatMul(query, ops::Transpose(entity_embeddings_));
+}
+
+}  // namespace logcl

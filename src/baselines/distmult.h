@@ -1,0 +1,26 @@
+// DistMult (Yang et al., 2015): bilinear diagonal scoring
+//   score(s, r, o) = <h_s, r, h_o>.
+// Static baseline: timestamps are ignored, as in the paper's Table III
+// protocol ("for SKG reasoning methods, the time dimension is removed").
+
+#ifndef LOGCL_BASELINES_DISTMULT_H_
+#define LOGCL_BASELINES_DISTMULT_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class DistMult : public EmbeddingModel {
+ public:
+  DistMult(const TkgDataset* dataset, int64_t dim, uint64_t seed = 11);
+
+  std::string name() const override { return "DistMult"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_DISTMULT_H_

@@ -1,0 +1,122 @@
+#include "baselines/model_zoo.h"
+
+#include "baselines/cen.h"
+#include "baselines/cenet.h"
+#include "baselines/complex.h"
+#include "baselines/conve.h"
+#include "baselines/convtranse_model.h"
+#include "baselines/cygnet.h"
+#include "baselines/de_simple.h"
+#include "baselines/distmult.h"
+#include "baselines/regcn.h"
+#include "baselines/rotate.h"
+#include "baselines/ta_distmult.h"
+#include "baselines/tirgn.h"
+#include "baselines/tntcomplex.h"
+#include "baselines/ttranse.h"
+#include "common/logging.h"
+#include "core/logcl_model.h"
+
+namespace logcl {
+
+std::vector<ZooEntry> ModelZooEntries() {
+  return {
+      {"DistMult", ModelFamily::kStatic},
+      {"ComplEx", ModelFamily::kStatic},
+      {"ConvE", ModelFamily::kStatic},
+      {"Conv-TransE", ModelFamily::kStatic},
+      {"RotatE", ModelFamily::kStatic},
+      {"TTransE", ModelFamily::kInterpolation},
+      {"TA-DistMult", ModelFamily::kInterpolation},
+      {"DE-SimplE", ModelFamily::kInterpolation},
+      {"TNTComplEx", ModelFamily::kInterpolation},
+      {"CyGNet", ModelFamily::kExtrapolation},
+      {"RE-GCN", ModelFamily::kExtrapolation},
+      {"CEN", ModelFamily::kExtrapolation},
+      {"TiRGN", ModelFamily::kExtrapolation},
+      {"CENET", ModelFamily::kExtrapolation},
+      {"LogCL", ModelFamily::kExtrapolation},
+  };
+}
+
+std::unique_ptr<TkgModel> MakeZooModel(const std::string& name,
+                                       const TkgDataset* dataset,
+                                       const ZooOptions& options) {
+  int64_t d = options.embedding_dim;
+  int64_t m = options.history_length;
+  uint64_t seed = options.seed;
+  if (name == "DistMult") {
+    return std::make_unique<DistMult>(dataset, d, seed);
+  }
+  if (name == "ComplEx") {
+    return std::make_unique<ComplEx>(dataset, d, seed);
+  }
+  if (name == "ConvE") {
+    return std::make_unique<ConvE>(dataset, d, /*num_kernels=*/8,
+                                   /*reshape_h=*/4, seed);
+  }
+  if (name == "Conv-TransE") {
+    return std::make_unique<ConvTransEModel>(dataset, d, seed);
+  }
+  if (name == "RotatE") {
+    return std::make_unique<RotatE>(dataset, d, seed);
+  }
+  if (name == "TTransE") {
+    return std::make_unique<TTransE>(dataset, d, seed);
+  }
+  if (name == "TA-DistMult") {
+    return std::make_unique<TaDistMult>(dataset, d, seed);
+  }
+  if (name == "DE-SimplE") {
+    return std::make_unique<DeSimplE>(dataset, d, /*temporal_fraction=*/0.5f,
+                                      seed);
+  }
+  if (name == "TNTComplEx") {
+    return std::make_unique<TntComplEx>(dataset, d, seed);
+  }
+  if (name == "CyGNet") {
+    return std::make_unique<CyGNet>(dataset, d, seed);
+  }
+  if (name == "RE-GCN") {
+    return std::make_unique<ReGcn>(dataset, d, m, seed);
+  }
+  if (name == "CEN") {
+    return std::make_unique<Cen>(
+        dataset, d, std::vector<int64_t>{m / 2 + 1, m, m + 2}, seed);
+  }
+  if (name == "TiRGN") {
+    return std::make_unique<TiRgn>(dataset, d, m, /*history_weight=*/0.3f,
+                                   seed);
+  }
+  if (name == "CENET") {
+    return std::make_unique<Cenet>(dataset, d, /*contrast_tau=*/0.1f, seed);
+  }
+  if (name == "LogCL") {
+    LogClConfig config;
+    config.embedding_dim = d;
+    config.local.history_length = m;
+    // At miniature scale a leaner decoder converges faster (the paper's 50
+    // kernels suit d=200).
+    config.decoder.num_kernels = 16;
+    config.seed = seed;
+    return std::make_unique<LogClModel>(dataset, config);
+  }
+  LOGCL_CHECK(false) << "unknown zoo model: " << name;
+  return nullptr;
+}
+
+int64_t DefaultEpochsFor(const std::string& name) {
+  // Static / interpolation models are cheap per epoch; give them more.
+  // LogCL's two-phase propagation halves its per-step batch, so it needs a
+  // few more epochs than the other extrapolation models to converge.
+  if (name == "LogCL") return 12;
+  for (const ZooEntry& entry : ModelZooEntries()) {
+    if (entry.name == name) {
+      return entry.family == ModelFamily::kExtrapolation ? 6 : 12;
+    }
+  }
+  LOGCL_CHECK(false) << "unknown zoo model: " << name;
+  return 0;
+}
+
+}  // namespace logcl

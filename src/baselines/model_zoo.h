@@ -1,0 +1,46 @@
+// Model zoo: uniform construction of every Table III model with the default
+// hyperparameters used by the experiment binaries.
+
+#ifndef LOGCL_BASELINES_MODEL_ZOO_H_
+#define LOGCL_BASELINES_MODEL_ZOO_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/tkg_model.h"
+
+namespace logcl {
+
+/// The paper's three model families (Table III row groups).
+enum class ModelFamily { kStatic, kInterpolation, kExtrapolation };
+
+/// One zoo entry.
+struct ZooEntry {
+  std::string name;
+  ModelFamily family;
+};
+
+/// All models in Table III row order (LogCL last).
+std::vector<ZooEntry> ModelZooEntries();
+
+/// Shared hyperparameters for zoo construction.
+struct ZooOptions {
+  int64_t embedding_dim = 32;
+  int64_t history_length = 5;
+  uint64_t seed = 7;
+};
+
+/// Creates a model by zoo name ("DistMult", ..., "LogCL"). CHECKs on an
+/// unknown name. The dataset must outlive the model.
+std::unique_ptr<TkgModel> MakeZooModel(const std::string& name,
+                                       const TkgDataset* dataset,
+                                       const ZooOptions& options = {});
+
+/// Suggested training epochs per model family (static models converge in
+/// more, cheaper epochs; recurrent models in fewer, costlier ones).
+int64_t DefaultEpochsFor(const std::string& name);
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_MODEL_ZOO_H_

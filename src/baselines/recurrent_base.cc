@@ -1,0 +1,92 @@
+#include "baselines/recurrent_base.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+RecurrentModel::RecurrentModel(const TkgDataset* dataset, int64_t dim,
+                               LocalEncoderOptions local_options,
+                               ConvTransEOptions decoder_options,
+                               uint64_t seed)
+    : TkgModel(dataset),
+      dim_(dim),
+      rng_(seed),
+      local_encoder_(dim, dataset->num_relations_with_inverse(), local_options,
+                     &rng_),
+      decoder_(dim, decoder_options, &rng_) {
+  base_entities_ = AddParameter(
+      Tensor::XavierUniform(Shape{dataset->num_entities(), dim}, &rng_));
+  base_relations_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), dim}, &rng_));
+  AddChild(&local_encoder_);
+  AddChild(&decoder_);
+}
+
+Tensor RecurrentModel::EvolveAndScore(const std::vector<Quadruple>& queries,
+                                      int64_t history_length_override,
+                                      bool training) {
+  LOGCL_CHECK(!queries.empty());
+  int64_t t = queries.front().time;
+  LocalEncoderOutput evolved =
+      local_encoder_.Encode(dataset(), t, base_entities_, base_relations_,
+                            training, &rng_, history_length_override);
+  Tensor query = local_encoder_.QueryRepresentations(evolved, queries,
+                                                     /*use_attention=*/false);
+  std::vector<int64_t> relation_ids;
+  relation_ids.reserve(queries.size());
+  for (const Quadruple& q : queries) relation_ids.push_back(q.relation);
+  Tensor relations = ops::IndexSelectRows(evolved.relations, relation_ids);
+  return decoder_.Score(query, relations, evolved.entities, training, &rng_);
+}
+
+Tensor RecurrentModel::ScoreBatch(const std::vector<Quadruple>& queries,
+                                  bool training) {
+  return EvolveAndScore(queries, /*history_length_override=*/0, training);
+}
+
+std::vector<std::vector<float>> RecurrentModel::ScoreQueries(
+    const std::vector<Quadruple>& queries) {
+  NoGradGuard no_grad;
+  Tensor scores = ScoreBatch(queries, /*training=*/false);
+  int64_t num_entities = dataset().num_entities();
+  std::vector<std::vector<float>> out;
+  out.reserve(queries.size());
+  const std::vector<float>& data = scores.data();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto begin = data.begin() + static_cast<int64_t>(i) * num_entities;
+    out.emplace_back(begin, begin + num_entities);
+  }
+  return out;
+}
+
+double RecurrentModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+  std::vector<Quadruple> facts = dataset().FactsAt(t);
+  if (facts.empty()) return 0.0;
+  std::vector<Quadruple> batch = dataset().WithInverses(facts);
+  std::vector<int64_t> targets;
+  targets.reserve(batch.size());
+  for (const Quadruple& q : batch) targets.push_back(q.object);
+  optimizer->ZeroGrad();
+  Tensor loss =
+      ops::CrossEntropyWithLogits(ScoreBatch(batch, /*training=*/true),
+                                  targets);
+  double value = loss.at(0);
+  Backward(loss);
+  optimizer->ClipGradNorm(grad_clip_norm_);
+  optimizer->Step();
+  return value;
+}
+
+double RecurrentModel::TrainEpoch(AdamOptimizer* optimizer) {
+  double total = 0.0;
+  int64_t steps = 0;
+  for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
+    if (t == 0) continue;  // no history yet
+    total += TrainOnTimestamp(t, optimizer);
+    ++steps;
+  }
+  return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+}
+
+}  // namespace logcl

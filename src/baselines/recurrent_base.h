@@ -1,0 +1,52 @@
+// Shared plumbing for the recurrent-evolution extrapolation baselines
+// (RE-GCN, CEN, TiRGN): base embeddings + LocalEncoder (no entity-aware
+// attention, no time encoding unless enabled) + ConvTransE decoding, trained
+// per-timestamp with cross-entropy over original + inverse queries.
+
+#ifndef LOGCL_BASELINES_RECURRENT_BASE_H_
+#define LOGCL_BASELINES_RECURRENT_BASE_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/local_encoder.h"
+#include "core/tkg_model.h"
+#include "nn/convtranse.h"
+
+namespace logcl {
+
+class RecurrentModel : public TkgModel {
+ public:
+  std::vector<std::vector<float>> ScoreQueries(
+      const std::vector<Quadruple>& queries) override;
+
+  double TrainEpoch(AdamOptimizer* optimizer) override;
+
+  double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
+
+ protected:
+  RecurrentModel(const TkgDataset* dataset, int64_t dim,
+                 LocalEncoderOptions local_options,
+                 ConvTransEOptions decoder_options, uint64_t seed);
+
+  /// Logits [B, E] for same-timestamp queries; default = evolve + decode.
+  virtual Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                            bool training);
+
+  /// Evolves history up to the batch time (optionally with an explicit
+  /// length) and decodes scores against the evolved entity matrix.
+  Tensor EvolveAndScore(const std::vector<Quadruple>& queries,
+                        int64_t history_length_override, bool training);
+
+  int64_t dim_;
+  Rng rng_;
+  Tensor base_entities_;
+  Tensor base_relations_;
+  LocalEncoder local_encoder_;
+  ConvTransE decoder_;
+  float grad_clip_norm_ = 1.0f;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_RECURRENT_BASE_H_

@@ -1,0 +1,25 @@
+#include "baselines/regcn.h"
+
+namespace logcl {
+
+namespace {
+LocalEncoderOptions ReGcnEncoder(int64_t history_length) {
+  LocalEncoderOptions options;
+  options.history_length = history_length;
+  options.num_layers = 2;
+  options.use_time_encoding = false;  // RE-GCN has no Eq.2-3 time features
+  return options;
+}
+ConvTransEOptions ReGcnDecoder() {
+  ConvTransEOptions options;
+  options.num_kernels = 16;
+  return options;
+}
+}  // namespace
+
+ReGcn::ReGcn(const TkgDataset* dataset, int64_t dim, int64_t history_length,
+             uint64_t seed)
+    : RecurrentModel(dataset, dim, ReGcnEncoder(history_length),
+                     ReGcnDecoder(), seed) {}
+
+}  // namespace logcl

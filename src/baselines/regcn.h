@@ -1,0 +1,25 @@
+// RE-GCN (Li et al., 2021): evolutional representation learning — per-
+// snapshot R-GCN aggregation + GRU evolution of entities, time-gated
+// relation evolution, ConvTransE decoding. Exactly the recurrent core
+// (without LogCL's time encoding, entity-aware attention, global branch and
+// contrast). The original's optional static-graph constraint does not apply
+// to the synthetic datasets (no static side information) and is omitted.
+
+#ifndef LOGCL_BASELINES_REGCN_H_
+#define LOGCL_BASELINES_REGCN_H_
+
+#include "baselines/recurrent_base.h"
+
+namespace logcl {
+
+class ReGcn : public RecurrentModel {
+ public:
+  ReGcn(const TkgDataset* dataset, int64_t dim, int64_t history_length,
+        uint64_t seed = 21);
+
+  std::string name() const override { return "RE-GCN"; }
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_REGCN_H_

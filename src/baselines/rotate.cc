@@ -1,0 +1,31 @@
+#include "baselines/rotate.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+RotatE::RotatE(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed) {
+  LOGCL_CHECK_EQ(dim % 2, 0) << "RotatE needs an even embedding size";
+}
+
+Tensor RotatE::ScoreBatch(const std::vector<Quadruple>& queries,
+                          bool training) {
+  (void)training;
+  int64_t half = dim_ / 2;
+  Tensor subjects = SubjectEmbeddings(queries);
+  Tensor s_re = ops::SliceCols(subjects, 0, half);
+  Tensor s_im = ops::SliceCols(subjects, half, half);
+  // Phase from the first half of the relation row.
+  Tensor phase = ops::SliceCols(RelationEmbeddings(queries), 0, half);
+  Tensor cos_p = ops::Cos(phase);
+  // sin(x) = cos(x - pi/2).
+  Tensor sin_p = ops::Cos(ops::AddScalar(phase, -1.5707963f));
+  // Complex rotation: (s_re + i s_im) * (cos + i sin).
+  Tensor rot_re = ops::Sub(ops::Mul(s_re, cos_p), ops::Mul(s_im, sin_p));
+  Tensor rot_im = ops::Add(ops::Mul(s_re, sin_p), ops::Mul(s_im, cos_p));
+  Tensor rotated = ops::ConcatCols({rot_re, rot_im});
+  return NegativeSquaredDistanceScores(rotated, entity_embeddings_);
+}
+
+}  // namespace logcl

@@ -1,0 +1,27 @@
+// RotatE (Sun et al., 2019): relations as rotations in the complex plane,
+//   score(s, r, o) = -|| h_s o r - h_o ||^2
+// where `o` is element-wise complex rotation by the relation phase. The
+// relation table stores phases (first dim/2 columns used).
+
+#ifndef LOGCL_BASELINES_ROTATE_H_
+#define LOGCL_BASELINES_ROTATE_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class RotatE : public EmbeddingModel {
+ public:
+  /// `dim` must be even (real/imaginary halves).
+  RotatE(const TkgDataset* dataset, int64_t dim, uint64_t seed = 13);
+
+  std::string name() const override { return "RotatE"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_ROTATE_H_

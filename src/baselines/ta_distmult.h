@@ -1,0 +1,31 @@
+// TA-DistMult (Garcia-Duran et al., 2018): time-aware relation
+// representations combined with DistMult scoring. The original encodes the
+// relation plus time-token sequence with an LSTM; this implementation uses
+// the equivalent additive composition r_t = r + tau_t (a learned time
+// embedding per timestamp), which captures the same "relation meaning
+// drifts with time" mechanism at this scale.
+
+#ifndef LOGCL_BASELINES_TA_DISTMULT_H_
+#define LOGCL_BASELINES_TA_DISTMULT_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class TaDistMult : public EmbeddingModel {
+ public:
+  TaDistMult(const TkgDataset* dataset, int64_t dim, uint64_t seed = 17);
+
+  std::string name() const override { return "TA-DistMult"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  Tensor time_embeddings_;  // [T, d]
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_TA_DISTMULT_H_

@@ -1,0 +1,61 @@
+#include "baselines/tirgn.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+namespace {
+LocalEncoderOptions TirgnEncoder(int64_t history_length) {
+  LocalEncoderOptions options;
+  options.history_length = history_length;
+  options.num_layers = 2;
+  options.use_time_encoding = true;  // the "time-guided" part
+  return options;
+}
+ConvTransEOptions TirgnDecoder() {
+  ConvTransEOptions options;
+  options.num_kernels = 16;
+  return options;
+}
+}  // namespace
+
+Tensor HistoryVocabularyMask(const HistoryIndex& history,
+                             const std::vector<Quadruple>& queries,
+                             int64_t num_entities) {
+  int64_t batch = static_cast<int64_t>(queries.size());
+  std::vector<float> mask(static_cast<size_t>(batch * num_entities), -1e9f);
+  for (int64_t i = 0; i < batch; ++i) {
+    const Quadruple& q = queries[static_cast<size_t>(i)];
+    for (int64_t object :
+         history.ObjectsBefore(q.subject, q.relation, q.time)) {
+      mask[static_cast<size_t>(i * num_entities + object)] = 0.0f;
+    }
+  }
+  return Tensor::FromVector(Shape{batch, num_entities}, std::move(mask));
+}
+
+TiRgn::TiRgn(const TkgDataset* dataset, int64_t dim, int64_t history_length,
+             float history_weight, uint64_t seed)
+    : RecurrentModel(dataset, dim, TirgnEncoder(history_length),
+                     TirgnDecoder(), seed),
+      history_(*dataset),
+      history_weight_(history_weight) {
+  LOGCL_CHECK_GE(history_weight, 0.0f);
+  LOGCL_CHECK_LE(history_weight, 1.0f);
+}
+
+Tensor TiRgn::ScoreBatch(const std::vector<Quadruple>& queries,
+                         bool training) {
+  Tensor local = EvolveAndScore(queries, 0, training);
+  Tensor mask =
+      HistoryVocabularyMask(history_, queries, dataset().num_entities());
+  Tensor masked = ops::Softmax(ops::Add(local, mask));
+  Tensor raw = ops::Softmax(local);
+  Tensor mixture = ops::Add(ops::Scale(masked, history_weight_),
+                            ops::Scale(raw, 1.0f - history_weight_));
+  // log p: CE(softmax(log p)) == NLL(p) and ranking is order-preserving.
+  return ops::Log(mixture);
+}
+
+}  // namespace logcl

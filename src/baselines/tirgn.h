@@ -1,0 +1,44 @@
+// TiRGN (Li et al., 2022): time-guided recurrent graph network with
+// local-global historical patterns. The local branch is the RE-GCN-style
+// recurrent encoder with the periodic time encoding enabled; the global
+// branch constrains predictions to the repetitive historical vocabulary of
+// each (s, r) pair. Final probabilities mix the raw local distribution and
+// the history-masked distribution:
+//   p = alpha * softmax(local + mask) + (1 - alpha) * softmax(local).
+
+#ifndef LOGCL_BASELINES_TIRGN_H_
+#define LOGCL_BASELINES_TIRGN_H_
+
+#include "baselines/recurrent_base.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+
+class TiRgn : public RecurrentModel {
+ public:
+  TiRgn(const TkgDataset* dataset, int64_t dim, int64_t history_length,
+        float history_weight = 0.3f, uint64_t seed = 23);
+
+  std::string name() const override { return "TiRGN"; }
+
+ protected:
+  /// Returns log-probabilities (softmax-invariant, so the shared CE loss and
+  /// ranking treat them exactly like logits).
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  HistoryIndex history_;
+  float history_weight_;  // alpha
+};
+
+/// Builds the [B, E] additive mask whose entries are 0 for objects in the
+/// historical vocabulary of each query's (s, r) and -1e9 otherwise. Shared
+/// with CyGNet.
+Tensor HistoryVocabularyMask(const HistoryIndex& history,
+                             const std::vector<Quadruple>& queries,
+                             int64_t num_entities);
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_TIRGN_H_

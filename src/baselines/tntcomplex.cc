@@ -1,0 +1,42 @@
+#include "baselines/tntcomplex.h"
+
+#include <algorithm>
+
+namespace logcl {
+
+TntComplEx::TntComplEx(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : ComplEx(dataset, dim, seed) {
+  temporal_relations_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), dim}, &rng_));
+  time_embeddings_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_timestamps(), dim}, &rng_));
+}
+
+Tensor TntComplEx::ScoreBatch(const std::vector<Quadruple>& queries,
+                              bool training) {
+  (void)training;
+  std::vector<int64_t> relations;
+  std::vector<int64_t> times;
+  relations.reserve(queries.size());
+  times.reserve(queries.size());
+  int64_t max_time = dataset().num_timestamps() - 1;
+  for (const Quadruple& q : queries) {
+    relations.push_back(q.relation);
+    times.push_back(std::clamp<int64_t>(q.time, 0, max_time));
+  }
+  Tensor r_t = ops::IndexSelectRows(temporal_relations_, relations);
+  Tensor tau = ops::IndexSelectRows(time_embeddings_, times);
+  // Complex elementwise product r_t * tau.
+  int64_t half = dim_ / 2;
+  Tensor rt_re = ops::SliceCols(r_t, 0, half);
+  Tensor rt_im = ops::SliceCols(r_t, half, half);
+  Tensor tau_re = ops::SliceCols(tau, 0, half);
+  Tensor tau_im = ops::SliceCols(tau, half, half);
+  Tensor prod_re = ops::Sub(ops::Mul(rt_re, tau_re), ops::Mul(rt_im, tau_im));
+  Tensor prod_im = ops::Add(ops::Mul(rt_re, tau_im), ops::Mul(rt_im, tau_re));
+  Tensor effective_relation = ops::Add(ops::ConcatCols({prod_re, prod_im}),
+                                       RelationEmbeddings(queries));
+  return ComplexScores(SubjectEmbeddings(queries), effective_relation);
+}
+
+}  // namespace logcl

@@ -1,0 +1,30 @@
+// TNTComplEx (Lacroix et al., 2020): 4th-order tensor factorisation with a
+// temporal and a non-temporal relation component,
+//   score(s, r, o, t) = Re(<h_s, r_t * tau_t + r_nt, conj(h_o)>)
+// (complex elementwise products; tau_t is a complex time embedding).
+
+#ifndef LOGCL_BASELINES_TNTCOMPLEX_H_
+#define LOGCL_BASELINES_TNTCOMPLEX_H_
+
+#include "baselines/complex.h"
+
+namespace logcl {
+
+class TntComplEx : public ComplEx {
+ public:
+  TntComplEx(const TkgDataset* dataset, int64_t dim, uint64_t seed = 19);
+
+  std::string name() const override { return "TNTComplEx"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  Tensor temporal_relations_;  // [2R, d] (the r_t table)
+  Tensor time_embeddings_;     // [T, d]
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_TNTCOMPLEX_H_

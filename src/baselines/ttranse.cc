@@ -1,0 +1,28 @@
+#include "baselines/ttranse.h"
+
+#include <algorithm>
+
+namespace logcl {
+
+TTransE::TTransE(const TkgDataset* dataset, int64_t dim, uint64_t seed)
+    : EmbeddingModel(dataset, dim, seed) {
+  time_embeddings_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_timestamps(), dim}, &rng_));
+}
+
+Tensor TTransE::ScoreBatch(const std::vector<Quadruple>& queries,
+                           bool training) {
+  (void)training;
+  std::vector<int64_t> times;
+  times.reserve(queries.size());
+  int64_t max_time = dataset().num_timestamps() - 1;
+  for (const Quadruple& q : queries) {
+    times.push_back(std::clamp<int64_t>(q.time, 0, max_time));
+  }
+  Tensor translated = ops::Add(
+      ops::Add(SubjectEmbeddings(queries), RelationEmbeddings(queries)),
+      ops::IndexSelectRows(time_embeddings_, times));
+  return NegativeSquaredDistanceScores(translated, entity_embeddings_);
+}
+
+}  // namespace logcl

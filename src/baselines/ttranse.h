@@ -1,0 +1,30 @@
+// TTransE (Leblay & Chekol, 2018): translation with a time embedding,
+//   score(s, r, o, t) = -|| h_s + r + tau_t - h_o ||^2.
+// Interpolation baseline: the time table only covers seen timestamps;
+// queries at unseen (future) timestamps clamp to the last seen embedding,
+// which is exactly why interpolation models extrapolate poorly (Table III).
+
+#ifndef LOGCL_BASELINES_TTRANSE_H_
+#define LOGCL_BASELINES_TTRANSE_H_
+
+#include "baselines/baseline_model.h"
+
+namespace logcl {
+
+class TTransE : public EmbeddingModel {
+ public:
+  TTransE(const TkgDataset* dataset, int64_t dim, uint64_t seed = 16);
+
+  std::string name() const override { return "TTransE"; }
+
+ protected:
+  Tensor ScoreBatch(const std::vector<Quadruple>& queries,
+                    bool training) override;
+
+ private:
+  Tensor time_embeddings_;  // [T, d]
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_BASELINES_TTRANSE_H_

@@ -1,0 +1,57 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace logcl {
+
+namespace {
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityName(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+    case LogSeverity::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity), file_(file), line_(line) {}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= MinLogSeverity()) {
+    std::fprintf(stderr, "[%s %s:%d] %s\n", SeverityName(severity_), file_,
+                 line_, stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line)
+    : message_(LogSeverity::kFatal, file, line) {
+  message_.stream() << "Check failed: " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  // The fatal LogMessage member is destroyed after this body runs; its
+  // destructor prints the collected message and aborts, so this destructor
+  // never returns.
+}
+
+}  // namespace internal_logging
+}  // namespace logcl

@@ -1,0 +1,86 @@
+// Lightweight logging and invariant-checking macros for the logcl library.
+//
+// Programmer errors (shape mismatches, out-of-range ids, broken invariants)
+// abort via CHECK-style macros; recoverable conditions (I/O, parsing) are
+// reported through logcl::Status instead.
+
+#ifndef LOGCL_COMMON_LOGGING_H_
+#define LOGCL_COMMON_LOGGING_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace logcl {
+
+/// Severity levels for LOG(...).
+enum class LogSeverity {
+  kInfo = 0,
+  kWarning = 1,
+  kError = 2,
+  kFatal = 3,
+};
+
+namespace internal_logging {
+
+/// Stream-style message collector; emits on destruction. FATAL aborts.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+/// Sink used by CHECK failures: always fatal.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  // Destruction prints the message and aborts (via the fatal LogMessage).
+  ~CheckFailure();
+
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return message_.stream(); }
+
+ private:
+  LogMessage message_;
+};
+
+}  // namespace internal_logging
+
+/// Sets the minimum severity that is printed (default: kInfo).
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace logcl
+
+#define LOGCL_LOG(severity)                                               \
+  ::logcl::internal_logging::LogMessage(::logcl::LogSeverity::k##severity, \
+                                        __FILE__, __LINE__)               \
+      .stream()
+
+#define LOGCL_CHECK(condition)                                           \
+  if (condition) {                                                       \
+  } else /* NOLINT */                                                    \
+    ::logcl::internal_logging::CheckFailure(#condition, __FILE__, __LINE__) \
+        .stream()
+
+#define LOGCL_CHECK_EQ(a, b) LOGCL_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LOGCL_CHECK_NE(a, b) LOGCL_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LOGCL_CHECK_LT(a, b) LOGCL_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LOGCL_CHECK_LE(a, b) LOGCL_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LOGCL_CHECK_GT(a, b) LOGCL_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define LOGCL_CHECK_GE(a, b) LOGCL_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // LOGCL_COMMON_LOGGING_H_

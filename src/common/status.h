@@ -1,0 +1,105 @@
+// Status / Result types for recoverable errors (file I/O, parsing, config).
+//
+// Mirrors the absl::Status / rocksdb::Status idiom: functions that can fail
+// for reasons outside the programmer's control return Status (or
+// Result<T>), never throw.
+
+#ifndef LOGCL_COMMON_STATUS_H_
+#define LOGCL_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+/// Error categories; keep coarse, the message carries detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Value-semantic error carrier.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "IO_ERROR: cannot open foo.tsv".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Result<T> is either a value or an error Status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status keeps call sites readable.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    LOGCL_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    LOGCL_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    LOGCL_CHECK(ok()) << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    LOGCL_CHECK(ok()) << status_.ToString();
+    return std::move(*value_);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace logcl
+
+/// Early-return helper: propagates a non-OK Status from the current function.
+#define LOGCL_RETURN_IF_ERROR(expr)              \
+  do {                                           \
+    ::logcl::Status logcl_status_ = (expr);      \
+    if (!logcl_status_.ok()) return logcl_status_; \
+  } while (false)
+
+#endif  // LOGCL_COMMON_STATUS_H_

@@ -1,0 +1,93 @@
+#include "common/stringpiece.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace logcl {
+
+std::vector<std::string> StrSplit(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      pieces.emplace_back(text.substr(start));
+      break;
+    }
+    pieces.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) pieces.emplace_back(text.substr(start, i - start));
+  }
+  return pieces;
+}
+
+std::string StrTrim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty integer literal");
+  }
+  char* end = nullptr;
+  errno = 0;
+  long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("bad integer literal: '" + trimmed + "'");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string trimmed = StrTrim(text);
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty float literal");
+  }
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(trimmed.c_str(), &end);
+  if (errno != 0 || end != trimmed.c_str() + trimmed.size()) {
+    return Status::InvalidArgument("bad float literal: '" + trimmed + "'");
+  }
+  return value;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace logcl

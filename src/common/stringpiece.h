@@ -1,0 +1,39 @@
+// Small string utilities shared across the library (splitting, trimming,
+// number parsing and printf-style formatting).
+
+#ifndef LOGCL_COMMON_STRINGPIECE_H_
+#define LOGCL_COMMON_STRINGPIECE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace logcl {
+
+/// Splits `text` on `delimiter`; empty pieces are kept.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Splits on any run of whitespace; empty pieces are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Removes leading/trailing whitespace.
+std::string StrTrim(std::string_view text);
+
+/// Parses a base-10 integer; rejects trailing garbage.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a floating-point value; rejects trailing garbage.
+Result<double> ParseDouble(std::string_view text);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace logcl
+
+#endif  // LOGCL_COMMON_STRINGPIECE_H_

@@ -1,0 +1,102 @@
+#include "core/contrast.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+Tensor SupervisedInfoNce(const Tensor& anchors, const Tensor& contrasts,
+                         const std::vector<int64_t>& labels, float tau,
+                         bool exclude_self) {
+  LOGCL_CHECK(anchors.shape() == contrasts.shape());
+  int64_t n = anchors.shape().rows();
+  LOGCL_CHECK_EQ(n, static_cast<int64_t>(labels.size()));
+  LOGCL_CHECK_GT(tau, 0.0f);
+
+  // Positive-pair weights: W[i, j] = 1/|P(i)| for j in P(i), scaled by the
+  // number of anchors that have positives. Constant (no grad).
+  std::vector<float> weights(static_cast<size_t>(n * n), 0.0f);
+  int64_t active_anchors = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t num_positives = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (exclude_self && i == j) continue;
+      if (labels[static_cast<size_t>(j)] == labels[static_cast<size_t>(i)]) {
+        ++num_positives;
+      }
+    }
+    if (num_positives == 0) continue;
+    ++active_anchors;
+    float w = 1.0f / static_cast<float>(num_positives);
+    for (int64_t j = 0; j < n; ++j) {
+      if (exclude_self && i == j) continue;
+      if (labels[static_cast<size_t>(j)] == labels[static_cast<size_t>(i)]) {
+        weights[static_cast<size_t>(i * n + j)] = w;
+      }
+    }
+  }
+  if (active_anchors == 0) return Tensor::Scalar(0.0f);
+  float norm = 1.0f / static_cast<float>(active_anchors);
+  for (float& w : weights) w *= norm;
+
+  Tensor logits =
+      ops::Scale(ops::MatMul(anchors, ops::Transpose(contrasts)), 1.0f / tau);
+  if (exclude_self) {
+    // Mask the degenerate self-similarity out of the softmax denominator.
+    std::vector<float> mask(static_cast<size_t>(n * n), 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      mask[static_cast<size_t>(i * n + i)] = -1e9f;
+    }
+    logits = ops::Add(logits, Tensor::FromVector(Shape{n, n}, std::move(mask)));
+  }
+  Tensor log_prob = ops::LogSoftmax(logits);
+  Tensor weight_tensor = Tensor::FromVector(Shape{n, n}, std::move(weights));
+  return ops::Neg(ops::SumAll(ops::Mul(log_prob, weight_tensor)));
+}
+
+ContrastModule::ContrastModule(int64_t feature_dim, int64_t projection_dim,
+                               ContrastOptions options, Rng* rng)
+    : options_(options),
+      projection_(feature_dim, projection_dim, projection_dim, rng) {
+  AddChild(&projection_);
+}
+
+Tensor ContrastModule::Project(const Tensor& features) const {
+  return projection_.Forward(features, /*normalize=*/true);
+}
+
+Tensor ContrastModule::Loss(const Tensor& local_projected,
+                            const Tensor& global_projected,
+                            const std::vector<int64_t>& labels) const {
+  Tensor total = Tensor::Scalar(0.0f);
+  int active = 0;
+  if (options_.use_lg) {
+    total = ops::Add(total, SupervisedInfoNce(local_projected, global_projected,
+                                              labels, options_.tau,
+                                              /*exclude_self=*/false));
+    ++active;
+  }
+  if (options_.use_gl) {
+    total = ops::Add(total, SupervisedInfoNce(global_projected, local_projected,
+                                              labels, options_.tau,
+                                              /*exclude_self=*/false));
+    ++active;
+  }
+  if (options_.use_ll) {
+    total = ops::Add(total, SupervisedInfoNce(local_projected, local_projected,
+                                              labels, options_.tau,
+                                              /*exclude_self=*/true));
+    ++active;
+  }
+  if (options_.use_gg) {
+    total = ops::Add(total, SupervisedInfoNce(global_projected,
+                                              global_projected, labels,
+                                              options_.tau,
+                                              /*exclude_self=*/true));
+    ++active;
+  }
+  if (active == 0) return Tensor::Scalar(0.0f);
+  return ops::Scale(total, 1.0f / static_cast<float>(active));
+}
+
+}  // namespace logcl

@@ -1,0 +1,67 @@
+// Local-global query contrast module (Section III.E, Eq.15-17).
+//
+// Local and global query features are projected onto the unit sphere by a
+// shared MLP head (Eq.15-16). Four supervised-contrastive losses are then
+// combined (Eq.17 and the L_gl / L_ll / L_gg variants): queries at the same
+// timestamp whose ground-truth object matches are positives (supervised
+// contrastive learning, Khosla et al. 2020); in particular each query's
+// local and global views of itself are positive pairs for the cross-view
+// losses.
+
+#ifndef LOGCL_CORE_CONTRAST_H_
+#define LOGCL_CORE_CONTRAST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+/// Which of the four contrast terms are active and their shared temperature.
+struct ContrastOptions {
+  float tau = 0.2f;
+  bool use_lg = true;  // local anchors vs global contrasts
+  bool use_gl = true;  // global anchors vs local contrasts
+  bool use_ll = true;  // local vs local (self-pairs excluded)
+  bool use_gg = true;  // global vs global (self-pairs excluded)
+};
+
+/// Generic supervised InfoNCE:
+///   L = -mean_i (1/|P(i)|) sum_{p in P(i)} log softmax_j(a_i . b_j / tau)[p]
+/// P(i) = {j : labels[j] == labels[i]}, minus {i} when `exclude_self` (the
+/// same-view losses, where (i, i) is a degenerate pair). Anchors with an
+/// empty positive set are skipped. Rows of `anchors`/`contrasts` must be
+/// L2-normalised. Returns a scalar (zero tensor if no anchor has positives).
+Tensor SupervisedInfoNce(const Tensor& anchors, const Tensor& contrasts,
+                         const std::vector<int64_t>& labels, float tau,
+                         bool exclude_self);
+
+class ContrastModule : public Module {
+ public:
+  /// `feature_dim` is the size of the raw query feature [h || r] (2d);
+  /// `projection_dim` the sphere dimension.
+  ContrastModule(int64_t feature_dim, int64_t projection_dim,
+                 ContrastOptions options, Rng* rng);
+
+  /// Projects raw features (Eq.15-16). Rows are unit-normalised.
+  Tensor Project(const Tensor& features) const;
+
+  /// Combined loss L_cl = mean of the active terms over projected views.
+  /// `labels` are the queries' ground-truth object ids.
+  Tensor Loss(const Tensor& local_projected, const Tensor& global_projected,
+              const std::vector<int64_t>& labels) const;
+
+  const ContrastOptions& options() const { return options_; }
+
+ private:
+  ContrastOptions options_;
+  Mlp projection_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_CORE_CONTRAST_H_

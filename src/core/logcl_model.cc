@@ -1,0 +1,230 @@
+#include "core/logcl_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+namespace {
+
+// All queries in a batch must share one timestamp (the paper's batch is
+// "the number of quadruples in each timestamp").
+int64_t BatchTime(const std::vector<Quadruple>& queries) {
+  LOGCL_CHECK(!queries.empty());
+  int64_t t = queries.front().time;
+  for (const Quadruple& q : queries) LOGCL_CHECK_EQ(q.time, t);
+  return t;
+}
+
+}  // namespace
+
+LogClModel::LogClModel(const TkgDataset* dataset, LogClConfig config)
+    : TkgModel(dataset),
+      config_(config),
+      rng_(config.seed),
+      history_(*dataset),
+      local_encoder_(config.embedding_dim,
+                     dataset->num_relations_with_inverse(), config.local,
+                     &rng_),
+      global_encoder_(config.embedding_dim, config.global, &rng_),
+      contrast_(2 * config.embedding_dim, config.embedding_dim,
+                config.contrast, &rng_),
+      decoder_(config.embedding_dim, config.decoder, &rng_) {
+  LOGCL_CHECK(config.use_local || config.use_global)
+      << "at least one encoder must be enabled";
+  base_entities_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_entities(), config.embedding_dim}, &rng_));
+  base_relations_ = AddParameter(Tensor::XavierUniform(
+      Shape{dataset->num_relations_with_inverse(), config.embedding_dim},
+      &rng_));
+  AddChild(&local_encoder_);
+  AddChild(&global_encoder_);
+  AddChild(&contrast_);
+  AddChild(&decoder_);
+}
+
+Tensor LogClModel::BaseEntities() {
+  if (config_.noise_stddev <= 0.0f) return base_entities_;
+  Tensor noise = Tensor::RandomNormal(base_entities_.shape(),
+                                      config_.noise_stddev, &rng_);
+  return ops::Add(base_entities_, noise);
+}
+
+LogClModel::BatchOutput LogClModel::ForwardBatch(
+    const std::vector<Quadruple>& queries, bool training) {
+  int64_t t = BatchTime(queries);
+  Tensor h0 = BaseEntities();
+  LocalEncoderOutput local;
+  if (config_.use_local) {
+    local = local_encoder_.Encode(dataset(), t, h0, base_relations_, training,
+                                  &rng_);
+  }
+  return ForwardPhase(queries, h0, local, training);
+}
+
+LogClModel::BatchOutput LogClModel::ForwardPhase(
+    const std::vector<Quadruple>& queries, const Tensor& h0,
+    const LocalEncoderOutput& local, bool training) {
+  std::vector<int64_t> relation_ids;
+  std::vector<int64_t> targets;
+  relation_ids.reserve(queries.size());
+  targets.reserve(queries.size());
+  for (const Quadruple& q : queries) {
+    relation_ids.push_back(q.relation);
+    targets.push_back(q.object);
+  }
+
+  // --- Local branch (Eq.9-11; evolution shared across phases). ---
+  Tensor local_query;
+  if (config_.use_local) {
+    local_query = local_encoder_.QueryRepresentations(
+        local, queries, config_.use_entity_attention);
+  }
+
+  // --- Global branch (Eq.12-14). ---
+  Tensor global_encoded;
+  Tensor global_query;
+  if (config_.use_global) {
+    SnapshotGraph subgraph = global_encoder_.BuildQuerySubgraph(
+        history_, queries, dataset().num_entities());
+    global_encoded = global_encoder_.Encode(subgraph, h0, base_relations_,
+                                            training, &rng_);
+    global_query = global_encoder_.QueryRepresentations(
+        global_encoded, h0, queries, history_, config_.use_entity_attention);
+  }
+
+  // --- Fusion (Eq.19). The lambda trade-off applies to the *query* vector
+  // fed into ConvTransE; candidates are scored against the local evolved
+  // entity matrix (Eq.18's h_tq term carries no hat — it is the local-side
+  // representation). ---
+  Tensor fused_query;
+  Tensor candidates;
+  Tensor relation_matrix;
+  if (config_.use_local && config_.use_global) {
+    float lambda = config_.lambda;
+    fused_query = ops::Add(ops::Scale(local_query, lambda),
+                           ops::Scale(global_query, 1.0f - lambda));
+    candidates = local.entities;
+    relation_matrix = local.relations;
+  } else if (config_.use_local) {
+    fused_query = local_query;
+    candidates = local.entities;
+    relation_matrix = local.relations;
+  } else {
+    fused_query = global_query;
+    candidates = global_encoded;
+    relation_matrix = base_relations_;  // LogCL-G: static relation embedding
+  }
+  Tensor query_relations =
+      ops::IndexSelectRows(relation_matrix, relation_ids);
+
+  // --- Decoding (Eq.18) + entity-prediction loss (Eq.20). ---
+  BatchOutput out;
+  out.scores = decoder_.Score(fused_query, query_relations, candidates,
+                              training, &rng_);
+  out.loss = ops::CrossEntropyWithLogits(out.scores, targets);
+
+  // --- Local-global query contrast (Eq.15-17, Eq.21). ---
+  if (training && config_.use_contrast && config_.use_local &&
+      config_.use_global) {
+    Tensor local_features = ops::ConcatCols({local_query, query_relations});
+    Tensor global_features = ops::ConcatCols(
+        {global_query, ops::IndexSelectRows(base_relations_, relation_ids)});
+    Tensor z_local = contrast_.Project(local_features);
+    Tensor z_global = contrast_.Project(global_features);
+    out.loss = ops::Add(out.loss, contrast_.Loss(z_local, z_global, targets));
+  }
+  return out;
+}
+
+std::vector<std::vector<float>> LogClModel::ScoreQueries(
+    const std::vector<Quadruple>& queries) {
+  NoGradGuard no_grad;
+  BatchOutput out = ForwardBatch(queries, /*training=*/false);
+  std::vector<std::vector<float>> scores;
+  scores.reserve(queries.size());
+  int64_t num_entities = dataset().num_entities();
+  const std::vector<float>& data = out.scores.data();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto begin = data.begin() + static_cast<int64_t>(i) * num_entities;
+    scores.emplace_back(begin, begin + num_entities);
+  }
+  return scores;
+}
+
+double LogClModel::TrainEpoch(AdamOptimizer* optimizer) {
+  double total_loss = 0.0;
+  int64_t steps = 0;
+  for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
+    if (t == 0) continue;  // no history yet
+    total_loss += TrainOnTimestamp(t, optimizer);
+    ++steps;
+  }
+  return steps > 0 ? total_loss / static_cast<double>(steps) : 0.0;
+}
+
+double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+  const std::vector<Quadruple>& facts = dataset().FactsAt(t);
+  if (facts.empty()) return 0.0;
+  optimizer->ZeroGrad();
+
+  // Two-phase propagation (Section III.F): the original query set and the
+  // inverse query set are scored in separate forward phases, so the
+  // entity-aware attention of one phase never observes the answer side of
+  // the other. The query-independent snapshot evolution is shared between
+  // the phases; both phase losses feed one optimization step.
+  Tensor h0 = BaseEntities();
+  LocalEncoderOutput local;
+  if (config_.use_local) {
+    local = local_encoder_.Encode(dataset(), t, h0, base_relations_,
+                                  /*training=*/true, &rng_);
+  }
+  Tensor loss;
+  int phases = 0;
+  if (config_.propagation != QueryDirection::kInverseOnly) {
+    BatchOutput out = ForwardPhase(facts, h0, local, /*training=*/true);
+    loss = out.loss;
+    ++phases;
+  }
+  if (config_.propagation != QueryDirection::kForwardOnly) {
+    std::vector<Quadruple> inverse;
+    inverse.reserve(facts.size());
+    for (const Quadruple& q : facts) {
+      inverse.push_back(InverseOf(q, dataset().num_base_relations()));
+    }
+    BatchOutput out = ForwardPhase(inverse, h0, local, /*training=*/true);
+    loss = loss.defined() ? ops::Add(loss, out.loss) : out.loss;
+    ++phases;
+  }
+  if (phases == 0) return 0.0;
+  double value = loss.at(0) / phases;
+  Backward(loss);
+  optimizer->ClipGradNorm(config_.grad_clip_norm);
+  optimizer->Step();
+  return value;
+}
+
+std::vector<std::pair<int64_t, float>> LogClModel::PredictTopK(
+    const Quadruple& query, int64_t k) {
+  std::vector<std::vector<float>> scores = ScoreQueries({query});
+  // Softmax to probabilities for the case-study rendering.
+  std::vector<float>& row = scores[0];
+  float max_logit = *std::max_element(row.begin(), row.end());
+  double sum = 0.0;
+  for (float& v : row) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  for (float& v : row) v = static_cast<float>(v / sum);
+  std::vector<std::pair<int64_t, float>> result;
+  for (int64_t id : TopK(row, k)) {
+    result.emplace_back(id, row[static_cast<size_t>(id)]);
+  }
+  return result;
+}
+
+}  // namespace logcl

@@ -1,0 +1,63 @@
+#include "core/tkg_model.h"
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+
+namespace logcl {
+
+TkgModel::TkgModel(const TkgDataset* dataset) : dataset_(dataset) {
+  LOGCL_CHECK(dataset != nullptr);
+}
+
+EvalResult TkgModel::Evaluate(Split split, const TimeAwareFilter* filter,
+                              QueryDirection direction) {
+  MetricsAccumulator metrics;
+  for (int64_t t : dataset_->SplitTimestamps(split)) {
+    std::vector<Quadruple> facts = dataset_->SplitFactsAt(split, t);
+    if (facts.empty()) continue;
+
+    auto score_batch = [&](const std::vector<Quadruple>& queries) {
+      std::vector<std::vector<float>> scores = ScoreQueries(queries);
+      LOGCL_CHECK_EQ(scores.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const Quadruple& q = queries[i];
+        if (filter != nullptr) {
+          metrics.AddRank(RankOfTarget(
+              scores[i], q.object, filter->Answers(q.subject, q.relation, t)));
+        } else {
+          metrics.AddRank(RankOfTarget(scores[i], q.object));
+        }
+      }
+    };
+
+    if (direction != QueryDirection::kInverseOnly) {
+      score_batch(facts);
+    }
+    if (direction != QueryDirection::kForwardOnly) {
+      std::vector<Quadruple> inverse;
+      inverse.reserve(facts.size());
+      for (const Quadruple& q : facts) {
+        inverse.push_back(InverseOf(q, dataset_->num_base_relations()));
+      }
+      score_batch(inverse);
+    }
+  }
+  return metrics.Result();
+}
+
+void FitModel(TkgModel* model, int64_t epochs, float learning_rate,
+              bool verbose) {
+  LOGCL_CHECK(model != nullptr);
+  AdamOptions options;
+  options.learning_rate = learning_rate;
+  AdamOptimizer optimizer(model->Parameters(), options);
+  for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+    double loss = model->TrainEpoch(&optimizer);
+    if (verbose) {
+      LOGCL_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
+                      << epochs << " loss=" << loss;
+    }
+  }
+}
+
+}  // namespace logcl

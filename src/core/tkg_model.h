@@ -1,0 +1,71 @@
+// TkgModel: the interface every model in the zoo (LogCL + 14 baselines)
+// implements, plus the shared evaluation protocol (per-timestamp batches,
+// object prediction over original and inverse query sets, time-aware
+// filtered ranking).
+
+#ifndef LOGCL_CORE_TKG_MODEL_H_
+#define LOGCL_CORE_TKG_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "nn/module.h"
+#include "tensor/optimizer.h"
+#include "tkg/dataset.h"
+#include "tkg/filters.h"
+
+namespace logcl {
+
+/// Which query sets the evaluation (and two-phase training) covers.
+enum class QueryDirection {
+  kBoth,         // original + inverse query sets (standard protocol)
+  kForwardOnly,  // Table VII "LogCL-FP"
+  kInverseOnly,  // Table VII "LogCL-SP"
+};
+
+class TkgModel : public Module {
+ public:
+  explicit TkgModel(const TkgDataset* dataset);
+  ~TkgModel() override = default;
+
+  /// Short display name used in result tables.
+  virtual std::string name() const = 0;
+
+  /// Scores one batch of queries (all sharing one timestamp) against every
+  /// entity. Rows align with `queries`; runs in eval mode (no grad).
+  virtual std::vector<std::vector<float>> ScoreQueries(
+      const std::vector<Quadruple>& queries) = 0;
+
+  /// One pass over the training split; returns the mean loss.
+  virtual double TrainEpoch(AdamOptimizer* optimizer) = 0;
+
+  /// Online-learning hook (Section IV.H): one gradient update on the facts
+  /// of timestamp `t` after it has been evaluated. Models that do not
+  /// support online updates keep the default no-op.
+  virtual double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+    (void)t;
+    (void)optimizer;
+    return 0.0;
+  }
+
+  /// Standard evaluation: per timestamp of `split`, rank the object of each
+  /// fact and (for kBoth) of each inverse fact. `filter` enables the
+  /// time-aware filtered setting (nullptr = raw).
+  EvalResult Evaluate(Split split, const TimeAwareFilter* filter,
+                      QueryDirection direction = QueryDirection::kBoth);
+
+  const TkgDataset& dataset() const { return *dataset_; }
+
+ protected:
+  const TkgDataset* dataset_;
+};
+
+/// Trains `model` for `epochs` epochs with Adam(learning_rate) and gradient
+/// clipping, logging per-epoch loss when `verbose`.
+void FitModel(TkgModel* model, int64_t epochs, float learning_rate,
+              bool verbose = false);
+
+}  // namespace logcl
+
+#endif  // LOGCL_CORE_TKG_MODEL_H_

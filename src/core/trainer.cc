@@ -1,0 +1,63 @@
+#include "core/trainer.h"
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+
+namespace logcl {
+
+EvalResult TrainAndEvaluate(TkgModel* model, const TimeAwareFilter* filter,
+                            OfflineOptions options, QueryDirection direction) {
+  LOGCL_CHECK(model != nullptr);
+  FitModel(model, options.epochs, options.learning_rate, options.verbose);
+  return model->Evaluate(Split::kTest, filter, direction);
+}
+
+EvalResult TrainAndEvaluateOnline(TkgModel* model,
+                                  const TimeAwareFilter* filter,
+                                  OnlineOptions options) {
+  LOGCL_CHECK(model != nullptr);
+  FitModel(model, options.offline_epochs, options.learning_rate,
+           options.verbose);
+
+  AdamOptions adam;
+  adam.learning_rate = options.online_learning_rate > 0.0f
+                           ? options.online_learning_rate
+                           : options.learning_rate;
+  AdamOptimizer optimizer(model->Parameters(), adam);
+
+  const TkgDataset& dataset = model->dataset();
+  MetricsAccumulator metrics;
+  for (int64_t t : dataset.SplitTimestamps(Split::kTest)) {
+    std::vector<Quadruple> facts = dataset.SplitFactsAt(Split::kTest, t);
+    if (facts.empty()) continue;
+
+    // Score first (the timestamp is still "future" at this point)...
+    auto score_batch = [&](const std::vector<Quadruple>& queries) {
+      std::vector<std::vector<float>> scores = model->ScoreQueries(queries);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const Quadruple& q = queries[i];
+        if (filter != nullptr) {
+          metrics.AddRank(RankOfTarget(
+              scores[i], q.object, filter->Answers(q.subject, q.relation, t)));
+        } else {
+          metrics.AddRank(RankOfTarget(scores[i], q.object));
+        }
+      }
+    };
+    score_batch(facts);
+    std::vector<Quadruple> inverse;
+    inverse.reserve(facts.size());
+    for (const Quadruple& q : facts) {
+      inverse.push_back(InverseOf(q, dataset.num_base_relations()));
+    }
+    score_batch(inverse);
+
+    // ... then absorb the emerging facts.
+    for (int64_t u = 0; u < options.updates_per_timestamp; ++u) {
+      model->TrainOnTimestamp(t, &optimizer);
+    }
+  }
+  return metrics.Result();
+}
+
+}  // namespace logcl

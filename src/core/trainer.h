@@ -1,0 +1,42 @@
+// Offline / online training-evaluation drivers shared by the experiment
+// binaries.
+
+#ifndef LOGCL_CORE_TRAINER_H_
+#define LOGCL_CORE_TRAINER_H_
+
+#include "core/tkg_model.h"
+
+namespace logcl {
+
+/// Offline protocol: train on the train split, report test metrics.
+struct OfflineOptions {
+  int64_t epochs = 8;
+  float learning_rate = 1e-3f;
+  bool verbose = false;
+};
+
+EvalResult TrainAndEvaluate(TkgModel* model, const TimeAwareFilter* filter,
+                            OfflineOptions options = {},
+                            QueryDirection direction = QueryDirection::kBoth);
+
+/// Online protocol (Section IV.H, Fig.10): after the offline phase, each
+/// test timestamp is scored first and then used to fine-tune the model, so
+/// later timestamps benefit from emerging facts.
+struct OnlineOptions {
+  int64_t offline_epochs = 8;
+  float learning_rate = 1e-3f;
+  /// Learning rate for the per-timestamp online updates; fine-tuning on a
+  /// single emerging snapshot wants a gentler step than offline training.
+  /// 0 = reuse `learning_rate`.
+  float online_learning_rate = 0.0f;
+  int64_t updates_per_timestamp = 1;
+  bool verbose = false;
+};
+
+EvalResult TrainAndEvaluateOnline(TkgModel* model,
+                                  const TimeAwareFilter* filter,
+                                  OnlineOptions options = {});
+
+}  // namespace logcl
+
+#endif  // LOGCL_CORE_TRAINER_H_

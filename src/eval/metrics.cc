@@ -1,0 +1,42 @@
+#include "eval/metrics.h"
+
+#include "common/logging.h"
+#include "common/stringpiece.h"
+
+namespace logcl {
+
+std::string EvalResult::ToString() const {
+  return StrFormat("MRR=%.2f H@1=%.2f H@3=%.2f H@10=%.2f (n=%lld)", mrr, hits1,
+                   hits3, hits10, static_cast<long long>(count));
+}
+
+void MetricsAccumulator::AddRank(int64_t rank) {
+  LOGCL_CHECK_GE(rank, 1);
+  reciprocal_sum_ += 1.0 / static_cast<double>(rank);
+  if (rank <= 1) ++hits1_;
+  if (rank <= 3) ++hits3_;
+  if (rank <= 10) ++hits10_;
+  ++count_;
+}
+
+void MetricsAccumulator::Merge(const MetricsAccumulator& other) {
+  reciprocal_sum_ += other.reciprocal_sum_;
+  hits1_ += other.hits1_;
+  hits3_ += other.hits3_;
+  hits10_ += other.hits10_;
+  count_ += other.count_;
+}
+
+EvalResult MetricsAccumulator::Result() const {
+  EvalResult result;
+  result.count = count_;
+  if (count_ == 0) return result;
+  double inv = 100.0 / static_cast<double>(count_);
+  result.mrr = reciprocal_sum_ * inv;
+  result.hits1 = static_cast<double>(hits1_) * inv;
+  result.hits3 = static_cast<double>(hits3_) * inv;
+  result.hits10 = static_cast<double>(hits10_) * inv;
+  return result;
+}
+
+}  // namespace logcl

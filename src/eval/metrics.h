@@ -1,0 +1,47 @@
+// Rank-based evaluation metrics: MRR and Hits@k.
+
+#ifndef LOGCL_EVAL_METRICS_H_
+#define LOGCL_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace logcl {
+
+/// Final metric values (percentages, as reported in the paper's tables).
+struct EvalResult {
+  double mrr = 0.0;
+  double hits1 = 0.0;
+  double hits3 = 0.0;
+  double hits10 = 0.0;
+  int64_t count = 0;
+
+  /// "MRR=48.87 H@1=37.76 H@3=54.71 H@10=70.26 (n=7371)"
+  std::string ToString() const;
+};
+
+/// Streaming accumulator over 1-based ranks.
+class MetricsAccumulator {
+ public:
+  /// Records one query's rank (1 = best).
+  void AddRank(int64_t rank);
+
+  /// Merges another accumulator (e.g. the two propagation phases).
+  void Merge(const MetricsAccumulator& other);
+
+  int64_t count() const { return count_; }
+
+  /// Metric values in percent.
+  EvalResult Result() const;
+
+ private:
+  double reciprocal_sum_ = 0.0;
+  int64_t hits1_ = 0;
+  int64_t hits3_ = 0;
+  int64_t hits10_ = 0;
+  int64_t count_ = 0;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_EVAL_METRICS_H_

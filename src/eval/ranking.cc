@@ -1,0 +1,61 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target,
+                     const std::vector<int64_t>& filter_out) {
+  LOGCL_CHECK_GE(target, 0);
+  LOGCL_CHECK_LT(target, static_cast<int64_t>(scores.size()));
+  std::unordered_set<int64_t> removed(filter_out.begin(), filter_out.end());
+  removed.erase(target);
+  float target_score = scores[static_cast<size_t>(target)];
+  int64_t rank = 1;
+  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
+    if (i == target) continue;
+    if (removed.contains(i)) continue;
+    if (scores[static_cast<size_t>(i)] > target_score) ++rank;
+  }
+  return rank;
+}
+
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target) {
+  return RankOfTarget(scores, target, {});
+}
+
+std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k) {
+  std::vector<int64_t> indices(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) indices[i] = static_cast<int64_t>(i);
+  k = std::min<int64_t>(k, static_cast<int64_t>(scores.size()));
+  std::partial_sort(indices.begin(), indices.begin() + k, indices.end(),
+                    [&scores](int64_t a, int64_t b) {
+                      float sa = scores[static_cast<size_t>(a)];
+                      float sb = scores[static_cast<size_t>(b)];
+                      return sa != sb ? sa > sb : a < b;
+                    });
+  indices.resize(static_cast<size_t>(k));
+  return indices;
+}
+
+void AccumulateRanks(const std::vector<std::vector<float>>& scores,
+                     const std::vector<ScoredQuery>& queries,
+                     const TimeAwareFilter* filter,
+                     MetricsAccumulator* metrics) {
+  LOGCL_CHECK_EQ(scores.size(), queries.size());
+  LOGCL_CHECK(metrics != nullptr);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const ScoredQuery& q = queries[i];
+    if (filter != nullptr) {
+      metrics->AddRank(RankOfTarget(
+          scores[i], q.target, filter->Answers(q.subject, q.relation, q.time)));
+    } else {
+      metrics->AddRank(RankOfTarget(scores[i], q.target));
+    }
+  }
+}
+
+}  // namespace logcl

@@ -1,0 +1,45 @@
+// Rank computation with the time-aware filtered protocol.
+
+#ifndef LOGCL_EVAL_RANKING_H_
+#define LOGCL_EVAL_RANKING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "tkg/filters.h"
+
+namespace logcl {
+
+/// 1-based rank of `target` in `scores` (higher score = better). Entities in
+/// `filter_out` other than the target are ignored (treated as removed from
+/// the candidate list). Ties with the target's score rank optimistically
+/// (only strictly greater scores count), matching the reference
+/// implementations' sort-based ranking.
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target,
+                     const std::vector<int64_t>& filter_out);
+
+/// Convenience: rank without any filtering (raw protocol).
+int64_t RankOfTarget(const std::vector<float>& scores, int64_t target);
+
+/// Indices of the top-k scores, descending (for the case study output).
+std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k);
+
+/// Scores one batch of queries: for query i, the row `scores[i]` ranks all
+/// entities; applies the time-aware filter and accumulates into `metrics`.
+/// `queries` supplies (subject, relation, time, target-object).
+struct ScoredQuery {
+  int64_t subject = 0;
+  int64_t relation = 0;
+  int64_t time = 0;
+  int64_t target = 0;
+};
+
+void AccumulateRanks(const std::vector<std::vector<float>>& scores,
+                     const std::vector<ScoredQuery>& queries,
+                     const TimeAwareFilter* filter,
+                     MetricsAccumulator* metrics);
+
+}  // namespace logcl
+
+#endif  // LOGCL_EVAL_RANKING_H_

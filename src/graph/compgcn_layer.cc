@@ -1,0 +1,34 @@
+#include "graph/compgcn_layer.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+CompGcnLayer::CompGcnLayer(int64_t dim, CompGcnComposition composition,
+                           Rng* rng)
+    : composition_(composition) {
+  w_message_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+  w_self_loop_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+}
+
+Tensor CompGcnLayer::Forward(const SnapshotGraph& graph, const Tensor& nodes,
+                             const Tensor& relations, bool training,
+                             Rng* rng) const {
+  LOGCL_CHECK_EQ(nodes.shape().rows(), graph.num_nodes);
+  Tensor self = ops::MatMul(nodes, w_self_loop_);
+  if (graph.empty()) {
+    return ops::RRelu(self, training, rng);
+  }
+  Tensor subjects = ops::IndexSelectRows(nodes, graph.src);
+  Tensor rels = ops::IndexSelectRows(relations, graph.rel);
+  Tensor composed = composition_ == CompGcnComposition::kSubtract
+                        ? ops::Sub(subjects, rels)
+                        : ops::Mul(subjects, rels);
+  Tensor messages = ops::MatMul(composed, w_message_);
+  Tensor aggregated =
+      ops::ScatterMeanRows(messages, graph.dst, graph.num_nodes);
+  return ops::RRelu(ops::Add(aggregated, self), training, rng);
+}
+
+}  // namespace logcl

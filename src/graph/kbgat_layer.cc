@@ -1,0 +1,41 @@
+#include "graph/kbgat_layer.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+namespace {
+constexpr float kAttentionLeak = 0.2f;
+}  // namespace
+
+KbgatLayer::KbgatLayer(int64_t dim, Rng* rng) {
+  w_message_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+  w_self_loop_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+  attention_ = AddParameter(Tensor::XavierUniform(Shape{2 * dim, 1}, rng));
+}
+
+Tensor KbgatLayer::Forward(const SnapshotGraph& graph, const Tensor& nodes,
+                           const Tensor& relations, bool training,
+                           Rng* rng) const {
+  LOGCL_CHECK_EQ(nodes.shape().rows(), graph.num_nodes);
+  Tensor self = ops::MatMul(nodes, w_self_loop_);
+  if (graph.empty()) {
+    return ops::RRelu(self, training, rng);
+  }
+  Tensor messages = ops::MatMul(
+      ops::Add(ops::IndexSelectRows(nodes, graph.src),
+               ops::IndexSelectRows(relations, graph.rel)),
+      w_message_);
+  Tensor receivers = ops::IndexSelectRows(self, graph.dst);
+  Tensor logits = ops::LeakyRelu(
+      ops::MatMul(ops::ConcatCols({messages, receivers}), attention_),
+      kAttentionLeak);
+  Tensor alpha = ops::SegmentSoftmax(logits, graph.dst, graph.num_nodes);
+  Tensor weighted = ops::MulColBroadcast(messages, alpha);
+  Tensor aggregated = ops::ScatterAddRows(weighted, graph.dst,
+                                          graph.num_nodes);
+  return ops::RRelu(ops::Add(aggregated, self), training, rng);
+}
+
+}  // namespace logcl

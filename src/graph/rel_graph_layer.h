@@ -1,0 +1,28 @@
+// Abstract relation-aware message-passing layer (pluggable aggregator of
+// Eq.4 / Table V: R-GCN, CompGCN-sub, CompGCN-mult, KBGAT).
+
+#ifndef LOGCL_GRAPH_REL_GRAPH_LAYER_H_
+#define LOGCL_GRAPH_REL_GRAPH_LAYER_H_
+
+#include "common/rng.h"
+#include "graph/snapshot_graph.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+/// One message-passing step: nodes [N, d] x relations [R, d] -> nodes [N, d].
+class RelGraphLayer : public Module {
+ public:
+  ~RelGraphLayer() override = default;
+
+  /// `training` toggles stochastic pieces (RReLU slopes, dropout); `rng`
+  /// must be non-null when training.
+  virtual Tensor Forward(const SnapshotGraph& graph, const Tensor& nodes,
+                         const Tensor& relations, bool training,
+                         Rng* rng) const = 0;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_GRAPH_REL_GRAPH_LAYER_H_

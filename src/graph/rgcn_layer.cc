@@ -1,0 +1,30 @@
+#include "graph/rgcn_layer.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+RgcnLayer::RgcnLayer(int64_t dim, Rng* rng) {
+  w_message_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+  w_self_loop_ = AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+}
+
+Tensor RgcnLayer::Forward(const SnapshotGraph& graph, const Tensor& nodes,
+                          const Tensor& relations, bool training,
+                          Rng* rng) const {
+  LOGCL_CHECK_EQ(nodes.shape().rows(), graph.num_nodes);
+  Tensor self = ops::MatMul(nodes, w_self_loop_);
+  if (graph.empty()) {
+    return ops::RRelu(self, training, rng);
+  }
+  Tensor messages = ops::MatMul(
+      ops::Add(ops::IndexSelectRows(nodes, graph.src),
+               ops::IndexSelectRows(relations, graph.rel)),
+      w_message_);
+  Tensor aggregated = ops::ScatterMeanRows(messages, graph.dst,
+                                           graph.num_nodes);
+  return ops::RRelu(ops::Add(aggregated, self), training, rng);
+}
+
+}  // namespace logcl

@@ -1,0 +1,23 @@
+#include "graph/snapshot_graph.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+SnapshotGraph SnapshotGraph::FromFacts(const std::vector<Quadruple>& facts,
+                                       int64_t num_nodes) {
+  LOGCL_CHECK_GT(num_nodes, 0);
+  SnapshotGraph graph;
+  graph.num_nodes = num_nodes;
+  graph.src.reserve(facts.size());
+  graph.rel.reserve(facts.size());
+  graph.dst.reserve(facts.size());
+  for (const Quadruple& q : facts) {
+    LOGCL_CHECK_LT(q.subject, num_nodes);
+    LOGCL_CHECK_LT(q.object, num_nodes);
+    graph.AddEdge(q.subject, q.relation, q.object);
+  }
+  return graph;
+}
+
+}  // namespace logcl

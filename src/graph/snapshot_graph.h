@@ -1,0 +1,40 @@
+// SnapshotGraph: edge-list view of one multi-relational graph over a fixed
+// node set (a KG snapshot, or LogCL's historical query subgraph).
+
+#ifndef LOGCL_GRAPH_SNAPSHOT_GRAPH_H_
+#define LOGCL_GRAPH_SNAPSHOT_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tkg/quadruple.h"
+
+namespace logcl {
+
+/// Parallel-array edge list. Node ids address rows of the entity embedding
+/// matrix; relation ids address the (inverse-augmented) relation matrix.
+struct SnapshotGraph {
+  int64_t num_nodes = 0;
+  std::vector<int64_t> src;
+  std::vector<int64_t> rel;
+  std::vector<int64_t> dst;
+
+  int64_t num_edges() const { return static_cast<int64_t>(src.size()); }
+  bool empty() const { return src.empty(); }
+
+  void AddEdge(int64_t s, int64_t r, int64_t d) {
+    src.push_back(s);
+    rel.push_back(r);
+    dst.push_back(d);
+  }
+
+  /// Builds a graph from facts' (s, r, o); timestamps are ignored (one
+  /// snapshot = concurrent facts). Pass inverse-augmented facts for
+  /// bidirectional message passing.
+  static SnapshotGraph FromFacts(const std::vector<Quadruple>& facts,
+                                 int64_t num_nodes);
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_GRAPH_SNAPSHOT_GRAPH_H_

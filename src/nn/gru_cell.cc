@@ -1,0 +1,29 @@
+#include "nn/gru_cell.h"
+
+#include "tensor/ops.h"
+
+namespace logcl {
+
+GruCell::GruCell(int64_t dim, Rng* rng) {
+  auto weight = [&] {
+    return AddParameter(Tensor::XavierUniform(Shape{dim, dim}, rng));
+  };
+  auto bias = [&] {
+    return AddParameter(Tensor::Zeros(Shape{1, dim}, /*requires_grad=*/true));
+  };
+  wz_ = weight(); uz_ = weight(); bz_ = bias();
+  wr_ = weight(); ur_ = weight(); br_ = bias();
+  wn_ = weight(); un_ = weight(); bn_ = bias();
+}
+
+Tensor GruCell::Forward(const Tensor& h, const Tensor& x) const {
+  using namespace ops;  // NOLINT: dense formula readability
+  Tensor z = Sigmoid(Add(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
+  Tensor r = Sigmoid(Add(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
+  Tensor n = Tanh(Add(Add(MatMul(x, wn_), MatMul(Mul(r, h), un_)), bn_));
+  // h' = z*h + (1-z)*n
+  Tensor one_minus_z = AddScalar(Neg(z), 1.0f);
+  return Add(Mul(z, h), Mul(one_minus_z, n));
+}
+
+}  // namespace logcl

@@ -1,0 +1,23 @@
+#include "nn/linear.h"
+
+#include "tensor/ops.h"
+
+namespace logcl {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias) {
+  weight_ = AddParameter(
+      Tensor::XavierUniform(Shape{in_features, out_features}, rng));
+  if (use_bias) {
+    bias_ = AddParameter(Tensor::Zeros(Shape{1, out_features},
+                                       /*requires_grad=*/true));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  Tensor y = ops::MatMul(x, weight_);
+  if (bias_.defined()) y = ops::Add(y, bias_);
+  return y;
+}
+
+}  // namespace logcl

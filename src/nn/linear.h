@@ -1,0 +1,30 @@
+// Affine layer: y = x W + b.
+
+#ifndef LOGCL_NN_LINEAR_H_
+#define LOGCL_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+class Linear : public Module {
+ public:
+  /// Xavier-initialised [in_features, out_features] weight; bias optional.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  /// x is [n, in_features]; returns [n, out_features].
+  Tensor Forward(const Tensor& x) const;
+
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;  // undefined when bias is disabled
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_NN_LINEAR_H_

@@ -1,0 +1,21 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace logcl {
+
+Mlp::Mlp(int64_t in_features, int64_t hidden_features, int64_t out_features,
+         Rng* rng)
+    : first_(in_features, hidden_features, rng),
+      second_(hidden_features, out_features, rng) {
+  AddChild(&first_);
+  AddChild(&second_);
+}
+
+Tensor Mlp::Forward(const Tensor& x, bool normalize) const {
+  Tensor h = ops::Relu(first_.Forward(x));
+  Tensor y = second_.Forward(h);
+  return normalize ? ops::RowL2Normalize(y) : y;
+}
+
+}  // namespace logcl

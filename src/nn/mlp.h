@@ -1,0 +1,30 @@
+// Two-layer projection head used by the contrast module (Eq.15-16): maps a
+// query representation onto the unit sphere for InfoNCE.
+
+#ifndef LOGCL_NN_MLP_H_
+#define LOGCL_NN_MLP_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+class Mlp : public Module {
+ public:
+  Mlp(int64_t in_features, int64_t hidden_features, int64_t out_features,
+      Rng* rng);
+
+  /// Linear -> ReLU -> Linear; rows L2-normalised when `normalize` is true
+  /// (the contrast module projects onto the unit sphere).
+  Tensor Forward(const Tensor& x, bool normalize = true) const;
+
+ private:
+  Linear first_;
+  Linear second_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_NN_MLP_H_

@@ -1,0 +1,35 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> all = own_parameters_;
+  for (const Module* child : children_) {
+    std::vector<Tensor> sub = child->Parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+int64_t Module::NumParameterElements() const {
+  int64_t total = 0;
+  for (const Tensor& p : Parameters()) total += p.num_elements();
+  return total;
+}
+
+Tensor Module::AddParameter(Tensor parameter) {
+  LOGCL_CHECK(parameter.defined());
+  LOGCL_CHECK(parameter.requires_grad())
+      << "parameters must be created with requires_grad=true";
+  own_parameters_.push_back(parameter);
+  return parameter;
+}
+
+void Module::AddChild(Module* child) {
+  LOGCL_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace logcl

@@ -1,0 +1,46 @@
+// Module: base class for neural components with parameter registration.
+//
+// Parameters are leaf Tensors with requires_grad=true. A module registers
+// its own parameters via AddParameter and its sub-modules via AddChild;
+// Parameters() walks the tree so optimizers see every trainable leaf once.
+
+#ifndef LOGCL_NN_MODULE_H_
+#define LOGCL_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules own parameter state; copying would silently duplicate it.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters of this module and its registered children.
+  std::vector<Tensor> Parameters() const;
+
+  /// Total number of scalar parameters (for model-size reporting).
+  int64_t NumParameterElements() const;
+
+ protected:
+  /// Registers (and returns) a parameter tensor.
+  Tensor AddParameter(Tensor parameter);
+
+  /// Registers a sub-module. The child must outlive this module (normal for
+  /// by-value members registered in the constructor).
+  void AddChild(Module* child);
+
+ private:
+  std::vector<Tensor> own_parameters_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_NN_MODULE_H_

@@ -1,0 +1,27 @@
+#include "nn/time_encoding.h"
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+
+TimeEncoding::TimeEncoding(int64_t dim, int64_t time_dim, Rng* rng)
+    : projection_(dim + time_dim, dim, rng) {
+  w_t_ = AddParameter(Tensor::XavierUniform(Shape{1, time_dim}, rng));
+  b_t_ = AddParameter(Tensor::Zeros(Shape{1, time_dim}, /*requires_grad=*/true));
+  AddChild(&projection_);
+}
+
+Tensor TimeEncoding::Forward(const Tensor& entities, int64_t delta) const {
+  LOGCL_CHECK_EQ(entities.shape().rank(), 2);
+  int64_t n = entities.shape().rows();
+  // phi(d) = cos(d * w_t + b_t), a [1, time_dim] row.
+  Tensor phi =
+      ops::Cos(ops::Add(ops::Scale(w_t_, static_cast<float>(delta)), b_t_));
+  // Tile to n rows through a ones-column matmul so gradients flow to w_t/b_t.
+  Tensor ones = Tensor::Full(Shape{n, 1}, 1.0f);
+  Tensor tiled = ops::MatMul(ones, phi);
+  return projection_.Forward(ops::ConcatCols({entities, tiled}));
+}
+
+}  // namespace logcl

@@ -1,0 +1,32 @@
+// Periodic time encoding (Eq.2-3): phi(d) = cos(d * w_t + b_t), fused into
+// the entity embedding with a linear projection of the concatenation.
+
+#ifndef LOGCL_NN_TIME_ENCODING_H_
+#define LOGCL_NN_TIME_ENCODING_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+class TimeEncoding : public Module {
+ public:
+  /// `dim` is the entity embedding size; `time_dim` the size of phi(d).
+  TimeEncoding(int64_t dim, int64_t time_dim, Rng* rng);
+
+  /// Applies Eq.2-3: returns W0 [H || cos(delta * w_t + b_t)] with the time
+  /// feature broadcast to every row of H ([n, dim] -> [n, dim]).
+  /// `delta` is the integer time interval t_q - t_i.
+  Tensor Forward(const Tensor& entities, int64_t delta) const;
+
+ private:
+  Tensor w_t_;  // [1, time_dim] learnable frequency
+  Tensor b_t_;  // [1, time_dim] learnable phase
+  Linear projection_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_NN_TIME_ENCODING_H_

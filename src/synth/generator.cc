@@ -1,0 +1,231 @@
+#include "synth/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tkg/quadruple.h"
+
+namespace logcl {
+
+namespace {
+
+struct Triple {
+  int64_t subject;
+  int64_t relation;
+  int64_t object;
+};
+
+Triple RandomTriple(const SynthConfig& config, Rng* rng) {
+  Triple t;
+  t.subject = static_cast<int64_t>(rng->UniformInt(
+      static_cast<uint64_t>(config.num_entities)));
+  t.relation = static_cast<int64_t>(rng->UniformInt(
+      static_cast<uint64_t>(config.num_relations)));
+  do {
+    t.object = static_cast<int64_t>(rng->UniformInt(
+        static_cast<uint64_t>(config.num_entities)));
+  } while (t.object == t.subject && config.num_entities > 1);
+  return t;
+}
+
+/// Draws a Poisson count via inversion (rates here are tiny).
+int64_t Poisson(double rate, Rng* rng) {
+  if (rate <= 0.0) return 0;
+  double l = std::exp(-rate);
+  double p = 1.0;
+  int64_t k = 0;
+  do {
+    ++k;
+    p *= rng->Uniform();
+  } while (p > l);
+  return k - 1;
+}
+
+}  // namespace
+
+
+namespace {
+
+// Active window [begin, end) for one pattern instance under drift.
+struct Lifetime {
+  int64_t begin;
+  int64_t end;
+};
+
+Lifetime DrawLifetime(const SynthConfig& config, Rng* rng) {
+  if (config.pattern_lifetime <= 0) {
+    return {0, config.num_timestamps};
+  }
+  int64_t life = config.pattern_lifetime;
+  // Start in [-life/2, T) so instances straddle the horizon edges too.
+  int64_t span = config.num_timestamps + life / 2;
+  int64_t start = static_cast<int64_t>(rng->UniformInt(
+                      static_cast<uint64_t>(span))) -
+                  life / 2;
+  return {std::max<int64_t>(0, start),
+          std::min(config.num_timestamps, start + life)};
+}
+
+}  // namespace
+
+TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
+  LOGCL_CHECK_GT(config.num_entities, 1);
+  LOGCL_CHECK_GT(config.num_relations, 0);
+  LOGCL_CHECK_GT(config.num_timestamps, 2);
+  LOGCL_CHECK_GE(config.chain_length, 1);
+  LOGCL_CHECK_LE(config.chain_length, config.num_relations);
+  LOGCL_CHECK_GE(config.cycle_min, 1);
+  LOGCL_CHECK_GE(config.cycle_max, config.cycle_min);
+  Rng rng(config.seed);
+
+  std::vector<Quadruple> facts;
+  std::unordered_set<Quadruple, QuadrupleHash> dedupe;
+  auto emit = [&facts, &dedupe](int64_t s, int64_t r, int64_t o, int64_t t) {
+    Quadruple q{s, r, o, t};
+    if (dedupe.insert(q).second) facts.push_back(q);
+  };
+
+  // 1. Recurring facts: stable triples that re-fire independently per step.
+  {
+    Rng stream = rng.Split();
+    for (int64_t i = 0; i < config.recurring_pool; ++i) {
+      Triple triple = RandomTriple(config, &stream);
+      Lifetime window = DrawLifetime(config, &stream);
+      for (int64_t t = window.begin; t < window.end; ++t) {
+        if (stream.Bernoulli(config.recurring_prob)) {
+          emit(triple.subject, triple.relation, triple.object, t);
+        }
+      }
+    }
+  }
+
+  // 1b. Alternating recurrences: (s, r) fires every `gap` steps, rotating
+  // through its object list in order.
+  {
+    Rng stream = rng.Split();
+    for (int64_t i = 0; i < config.alternating_pool; ++i) {
+      int64_t subject = static_cast<int64_t>(
+          stream.UniformInt(static_cast<uint64_t>(config.num_entities)));
+      int64_t relation = static_cast<int64_t>(
+          stream.UniformInt(static_cast<uint64_t>(config.num_relations)));
+      int64_t k = config.alternating_objects_min +
+                  static_cast<int64_t>(stream.UniformInt(static_cast<uint64_t>(
+                      config.alternating_objects_max -
+                      config.alternating_objects_min + 1)));
+      std::vector<int64_t> objects;
+      while (static_cast<int64_t>(objects.size()) < k) {
+        int64_t candidate = static_cast<int64_t>(
+            stream.UniformInt(static_cast<uint64_t>(config.num_entities)));
+        if (candidate != subject &&
+            std::find(objects.begin(), objects.end(), candidate) ==
+                objects.end()) {
+          objects.push_back(candidate);
+        }
+      }
+      int64_t gap =
+          config.alternating_gap_min +
+          static_cast<int64_t>(stream.UniformInt(static_cast<uint64_t>(
+              config.alternating_gap_max - config.alternating_gap_min + 1)));
+      Lifetime window = DrawLifetime(config, &stream);
+      int64_t phase =
+          static_cast<int64_t>(stream.UniformInt(static_cast<uint64_t>(gap)));
+      int64_t current = static_cast<int64_t>(
+          stream.UniformInt(static_cast<uint64_t>(k)));
+      for (int64_t t = window.begin + phase; t < window.end; t += gap) {
+        emit(subject, relation, objects[static_cast<size_t>(current)], t);
+        if (!stream.Bernoulli(config.alternating_stay_prob) && k > 1) {
+          // Rotate to the next pool member. Deterministic rotation keeps the
+          // long-run frequency of each object equal, so static/frequency
+          // models cannot shortcut the pattern — only the recency signal
+          // identifies the current object.
+          current = (current + 1) % k;
+        }
+      }
+    }
+  }
+
+  // 2. Cyclic facts: fixed period + phase.
+  {
+    Rng stream = rng.Split();
+    for (int64_t i = 0; i < config.num_cyclic; ++i) {
+      Triple triple = RandomTriple(config, &stream);
+      int64_t period = config.cycle_min +
+                       static_cast<int64_t>(stream.UniformInt(
+                           static_cast<uint64_t>(config.cycle_max -
+                                                 config.cycle_min + 1)));
+      int64_t phase =
+          static_cast<int64_t>(stream.UniformInt(static_cast<uint64_t>(period)));
+      Lifetime window = DrawLifetime(config, &stream);
+      for (int64_t t = window.begin + phase; t < window.end; t += period) {
+        emit(triple.subject, triple.relation, triple.object, t);
+      }
+    }
+  }
+
+  // 3. Evolving chains: scripted relation sequences over consecutive steps.
+  {
+    Rng stream = rng.Split();
+    // Script library: each script is a distinct relation sequence.
+    std::vector<std::vector<int64_t>> scripts(
+        static_cast<size_t>(config.num_scripts));
+    for (auto& script : scripts) {
+      std::vector<int64_t> pool(static_cast<size_t>(config.num_relations));
+      for (size_t i = 0; i < pool.size(); ++i) pool[i] = static_cast<int64_t>(i);
+      stream.Shuffle(&pool);
+      script.assign(pool.begin(), pool.begin() + config.chain_length);
+    }
+    for (int64_t t = 0; t + config.chain_length <= config.num_timestamps; ++t) {
+      int64_t n = Poisson(config.chains_per_timestamp, &stream);
+      for (int64_t c = 0; c < n; ++c) {
+        const std::vector<int64_t>& script = scripts[static_cast<size_t>(
+            stream.UniformInt(static_cast<uint64_t>(config.num_scripts)))];
+        Triple bind = RandomTriple(config, &stream);
+        for (int64_t i = 0; i < config.chain_length; ++i) {
+          emit(bind.subject, script[static_cast<size_t>(i)], bind.object,
+               t + i);
+        }
+      }
+    }
+  }
+
+  // 4. Noise facts.
+  {
+    Rng stream = rng.Split();
+    for (int64_t t = 0; t < config.num_timestamps; ++t) {
+      int64_t n = Poisson(config.noise_per_timestamp, &stream);
+      for (int64_t i = 0; i < n; ++i) {
+        Triple triple = RandomTriple(config, &stream);
+        emit(triple.subject, triple.relation, triple.object, t);
+      }
+    }
+  }
+
+  // Chronological split.
+  int64_t train_end = static_cast<int64_t>(
+      static_cast<double>(config.num_timestamps) * config.train_fraction);
+  int64_t valid_end = static_cast<int64_t>(
+      static_cast<double>(config.num_timestamps) *
+      (config.train_fraction + config.valid_fraction));
+  train_end = std::max<int64_t>(train_end, 1);
+  valid_end = std::max(valid_end, train_end + 1);
+  LOGCL_CHECK_LT(valid_end, config.num_timestamps);
+  std::vector<Quadruple> train, valid, test;
+  for (const Quadruple& q : facts) {
+    if (q.time < train_end) {
+      train.push_back(q);
+    } else if (q.time < valid_end) {
+      valid.push_back(q);
+    } else {
+      test.push_back(q);
+    }
+  }
+  return TkgDataset::FromQuadruples(config.name, config.num_entities,
+                                    config.num_relations, std::move(train),
+                                    std::move(valid), std::move(test));
+}
+
+}  // namespace logcl

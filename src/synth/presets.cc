@@ -1,0 +1,91 @@
+#include "synth/presets.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+std::string PaperDatasetName(PaperDataset dataset) {
+  switch (dataset) {
+    case PaperDataset::kIcews14Like:
+      return "ICEWS14-like";
+    case PaperDataset::kIcews18Like:
+      return "ICEWS18-like";
+    case PaperDataset::kIcews0515Like:
+      return "ICEWS05-15-like";
+    case PaperDataset::kGdeltLike:
+      return "GDELT-like";
+  }
+  LOGCL_CHECK(false) << "bad dataset";
+  return "";
+}
+
+SynthConfig PresetConfig(PaperDataset dataset) {
+  SynthConfig config;
+  config.name = PaperDatasetName(dataset);
+  switch (dataset) {
+    case PaperDataset::kIcews14Like:
+      config.seed = 1401;
+      config.num_entities = 120;
+      config.num_relations = 12;
+      config.num_timestamps = 96;
+      config.recurring_pool = 90;
+      config.recurring_prob = 0.22;
+      config.alternating_pool = 170;
+      config.num_cyclic = 90;
+      config.chains_per_timestamp = 5.0;
+      config.noise_per_timestamp = 4.0;
+      config.pattern_lifetime = 32;
+      break;
+    case PaperDataset::kIcews18Like:
+      config.seed = 1801;
+      config.num_entities = 160;
+      config.num_relations = 14;
+      config.num_timestamps = 96;
+      config.recurring_pool = 130;
+      config.recurring_prob = 0.22;
+      config.alternating_pool = 230;
+      config.num_cyclic = 110;
+      config.chains_per_timestamp = 7.0;
+      config.noise_per_timestamp = 10.0;
+      config.pattern_lifetime = 32;
+      break;
+    case PaperDataset::kIcews0515Like:
+      config.seed = 51501;
+      config.num_entities = 180;
+      config.num_relations = 12;
+      config.num_timestamps = 120;
+      config.recurring_pool = 140;
+      config.recurring_prob = 0.20;
+      config.alternating_pool = 250;
+      config.num_cyclic = 130;
+      config.chains_per_timestamp = 4.0;
+      config.noise_per_timestamp = 4.0;
+      config.pattern_lifetime = 50;
+      break;
+    case PaperDataset::kGdeltLike:
+      config.seed = 2013;
+      config.num_entities = 110;
+      config.num_relations = 10;
+      config.num_timestamps = 110;
+      config.recurring_pool = 100;
+      config.recurring_prob = 0.28;
+      config.alternating_pool = 160;
+      config.num_cyclic = 80;
+      config.chains_per_timestamp = 6.0;
+      config.noise_per_timestamp = 16.0;  // GDELT is by far the noisiest
+      config.pattern_lifetime = 36;
+      break;
+  }
+  return config;
+}
+
+TkgDataset MakePaperDataset(PaperDataset dataset) {
+  return GenerateSyntheticTkg(PresetConfig(dataset));
+}
+
+std::vector<PaperDataset> AllPaperDatasets() {
+  return {PaperDataset::kIcews14Like, PaperDataset::kIcews18Like,
+          PaperDataset::kIcews0515Like, PaperDataset::kGdeltLike};
+}
+
+}  // namespace logcl

@@ -1,0 +1,43 @@
+// Paper-dataset-like presets for the synthetic generator.
+//
+// Each preset mirrors the *relative* character of one benchmark at roughly
+// 1-2% scale so the full experiment grid runs on one CPU core:
+//   icews14-like   : moderate size, 1-year-like horizon, clean patterns
+//   icews18-like   : more entities, denser snapshots, harder
+//   icews0515-like : long horizon (many snapshots), large entity set
+//   gdelt-like     : very dense, noisy (lowest absolute scores in the paper)
+
+#ifndef LOGCL_SYNTH_PRESETS_H_
+#define LOGCL_SYNTH_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/generator.h"
+#include "tkg/dataset.h"
+
+namespace logcl {
+
+/// The four benchmark stand-ins used by every experiment binary.
+enum class PaperDataset {
+  kIcews14Like,
+  kIcews18Like,
+  kIcews0515Like,
+  kGdeltLike,
+};
+
+/// Display name as used in result tables ("ICEWS14-like", ...).
+std::string PaperDatasetName(PaperDataset dataset);
+
+/// Generator preset for a benchmark stand-in.
+SynthConfig PresetConfig(PaperDataset dataset);
+
+/// Generates the stand-in dataset (deterministic per preset).
+TkgDataset MakePaperDataset(PaperDataset dataset);
+
+/// All four presets in the paper's column order.
+std::vector<PaperDataset> AllPaperDatasets();
+
+}  // namespace logcl
+
+#endif  // LOGCL_SYNTH_PRESETS_H_

@@ -1,0 +1,53 @@
+// Reverse-mode tape replay: topological sort over the dynamic graph followed
+// by backward-closure execution in reverse creation order.
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+void Backward(const Tensor& loss) {
+  LOGCL_CHECK(loss.defined());
+  LOGCL_CHECK(loss.requires_grad())
+      << "Backward() on a tensor that does not require grad";
+
+  using Node = internal_tensor::TensorNode;
+
+  // Collect the reachable graph (iterative DFS; graphs can be deep for long
+  // snapshot histories, so no recursion).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<Node*> stack = {loss.node().get()};
+  visited.insert(loss.node().get());
+  while (!stack.empty()) {
+    Node* node = stack.back();
+    stack.pop_back();
+    order.push_back(node);
+    for (const auto& parent : node->parents) {
+      if (parent->requires_grad && visited.insert(parent.get()).second) {
+        stack.push_back(parent.get());
+      }
+    }
+  }
+
+  // Reverse creation order is a valid reverse-topological order for a
+  // define-by-run tape: every op output is created after all of its inputs.
+  std::sort(order.begin(), order.end(),
+            [](const Node* a, const Node* b) { return a->sequence > b->sequence; });
+
+  // Seed: d(loss)/d(loss) = 1 for every element.
+  loss.node()->EnsureGrad();
+  std::fill(loss.node()->grad.begin(), loss.node()->grad.end(), 1.0f);
+
+  for (Node* node : order) {
+    if (!node->backward_fn) continue;
+    node->EnsureGrad();
+    node->backward_fn(*node);
+  }
+}
+
+}  // namespace logcl

@@ -1,0 +1,59 @@
+#include "tensor/gradcheck.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/stringpiece.h"
+
+namespace logcl {
+
+GradCheckReport CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, const GradCheckOptions& options) {
+  GradCheckReport report;
+  for (Tensor& input : inputs) {
+    LOGCL_CHECK(input.defined());
+    LOGCL_CHECK(input.requires_grad());
+    input.ZeroGrad();
+  }
+
+  // Analytic gradients.
+  Tensor loss = fn(inputs);
+  LOGCL_CHECK_EQ(loss.num_elements(), 1) << "gradcheck needs a scalar loss";
+  Backward(loss);
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(inputs.size());
+  for (Tensor& input : inputs) analytic.push_back(input.grad());
+
+  // Numeric gradients by central differences (loss recomputed per element).
+  report.passed = true;
+  for (size_t p = 0; p < inputs.size(); ++p) {
+    std::vector<float>& data = inputs[p].mutable_data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      float saved = data[i];
+      data[i] = saved + options.epsilon;
+      float up = fn(inputs).at(0);
+      data[i] = saved - options.epsilon;
+      float down = fn(inputs).at(0);
+      data[i] = saved;
+      float numeric = (up - down) / (2.0f * options.epsilon);
+      float expected = analytic[p][i];
+      float abs_err = std::fabs(numeric - expected);
+      float denom = std::max({std::fabs(numeric), std::fabs(expected), 1.0f});
+      float rel_err = abs_err / denom;
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+      report.max_rel_error = std::max(report.max_rel_error, rel_err);
+      if (abs_err > options.abs_tolerance && rel_err > options.rel_tolerance) {
+        if (report.passed) {
+          report.detail = StrFormat(
+              "input %zu element %zu: analytic=%.6f numeric=%.6f", p, i,
+              expected, numeric);
+        }
+        report.passed = false;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace logcl

@@ -1,0 +1,40 @@
+// Numerical gradient verification (central finite differences) used by the
+// property-based tests to validate every op's backward implementation.
+
+#ifndef LOGCL_TENSOR_GRADCHECK_H_
+#define LOGCL_TENSOR_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+/// Result of one gradient check.
+struct GradCheckReport {
+  bool passed = false;
+  float max_abs_error = 0.0f;
+  float max_rel_error = 0.0f;
+  std::string detail;  // first offending element, if any
+};
+
+/// Options controlling the finite-difference comparison.
+struct GradCheckOptions {
+  float epsilon = 1e-3f;       // perturbation step
+  float abs_tolerance = 2e-2f; // float32 + central differences
+  float rel_tolerance = 5e-2f;
+};
+
+/// `fn` must map the given leaf inputs to a scalar Tensor, re-running the
+/// full forward each call (it is invoked ~2 * total_elements times). All
+/// inputs must have requires_grad = true. Compares analytic grads from
+/// Backward() against central finite differences.
+GradCheckReport CheckGradients(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, const GradCheckOptions& options = {});
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_GRADCHECK_H_

@@ -1,0 +1,1142 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace logcl {
+namespace ops {
+namespace {
+
+using Node = internal_tensor::TensorNode;
+
+// Fixed eval slope for RRelu: mean of the torch default [1/8, 1/3] range.
+constexpr float kRReluLower = 1.0f / 8.0f;
+constexpr float kRReluUpper = 1.0f / 3.0f;
+constexpr float kRReluEvalSlope = (kRReluLower + kRReluUpper) / 2.0f;
+
+// Broadcast modes supported by the elementwise binary ops.
+enum class BroadcastMode { kSame, kScalarB, kRowB };
+
+BroadcastMode ResolveBroadcast(const Shape& a, const Shape& b) {
+  if (a == b) return BroadcastMode::kSame;
+  if (b.rank() == 0) return BroadcastMode::kScalarB;
+  if (a.rank() == 2) {
+    if (b.rank() == 1 && b.dim(0) == a.cols()) return BroadcastMode::kRowB;
+    if (b.rank() == 2 && b.rows() == 1 && b.cols() == a.cols()) {
+      return BroadcastMode::kRowB;
+    }
+  }
+  LOGCL_CHECK(false) << "incompatible broadcast: " << a.ToString() << " vs "
+                     << b.ToString();
+  return BroadcastMode::kSame;
+}
+
+// Index of the b element feeding a's flat index i.
+inline int64_t BroadcastIndex(BroadcastMode mode, int64_t i, int64_t cols) {
+  switch (mode) {
+    case BroadcastMode::kSame:
+      return i;
+    case BroadcastMode::kScalarB:
+      return 0;
+    case BroadcastMode::kRowB:
+      return i % cols;
+  }
+  return 0;
+}
+
+// Raw accumulate-matmul kernels (C += op(A) * op(B)).
+void MatMulAccumNN(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      float av = a[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = b + l * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// C(m x k) += A(m x n) * B(k x n)^T
+void MatMulAccumNT(const float* a, const float* b, float* c, int64_t m,
+                   int64_t n, int64_t k) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * n;
+    for (int64_t j = 0; j < k; ++j) {
+      const float* brow = b + j * n;
+      float sum = 0.0f;
+      for (int64_t l = 0; l < n; ++l) sum += arow[l] * brow[l];
+      c[i * k + j] += sum;
+    }
+  }
+}
+
+// C(k x n) += A(m x k)^T * B(m x n)
+void MatMulAccumTN(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n) {
+  for (int64_t l = 0; l < m; ++l) {
+    const float* arow = a + l * k;
+    const float* brow = b + l * n;
+    for (int64_t i = 0; i < k; ++i) {
+      float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// Shared implementation for Add/Sub/Mul.
+template <typename ForwardFn, typename BackwardFn>
+Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
+                         BackwardFn bwd) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK(b.defined());
+  BroadcastMode mode = ResolveBroadcast(a.shape(), b.shape());
+  int64_t n = a.num_elements();
+  int64_t cols = a.shape().rank() == 2 ? a.shape().cols() : n;
+  const std::vector<float>& av = a.data();
+  const std::vector<float>& bv = b.data();
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] =
+        fwd(av[static_cast<size_t>(i)],
+            bv[static_cast<size_t>(BroadcastIndex(mode, i, cols))]);
+  }
+  return Tensor::MakeOpOutput(
+      a.shape(), std::move(out), {a, b},
+      [mode, n, cols, bwd](Node& node) {
+        const auto& pa = node.parents[0];
+        const auto& pb = node.parents[1];
+        const float* g = node.grad.data();
+        const float* ad = pa->data.data();
+        const float* bd = pb->data.data();
+        float* ga = nullptr;
+        float* gb = nullptr;
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          ga = pa->grad.data();
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          gb = pb->grad.data();
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t bi = BroadcastIndex(mode, i, cols);
+          float da = 0.0f, db = 0.0f;
+          bwd(g[i], ad[i], bd[bi], &da, &db);
+          if (ga != nullptr) ga[i] += da;
+          if (gb != nullptr) gb[bi] += db;
+        }
+      });
+}
+
+// Shared implementation for elementwise unary ops. `fwd` maps x -> y;
+// `dydx` maps (x, y) -> local derivative.
+template <typename ForwardFn, typename DerivFn>
+Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
+  LOGCL_CHECK(x.defined());
+  int64_t n = x.num_elements();
+  const std::vector<float>& xv = x.data();
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    out[static_cast<size_t>(i)] = fwd(xv[static_cast<size_t>(i)]);
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [n, dydx](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* xd = px->data.data();
+        const float* yd = node.data.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * dydx(xd[i], yd[i]);
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x + y; },
+      [](float g, float, float, float* da, float* db) {
+        *da = g;
+        *db = g;
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x - y; },
+      [](float g, float, float, float* da, float* db) {
+        *da = g;
+        *db = -g;
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return ElementwiseBinary(
+      a, b, [](float x, float y) { return x * y; },
+      [](float g, float x, float y, float* da, float* db) {
+        *da = g * y;
+        *db = g * x;
+      });
+}
+
+Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK(col.defined());
+  LOGCL_CHECK_EQ(x.shape().rank(), 2);
+  int64_t rows = x.shape().rows();
+  int64_t cols = x.shape().cols();
+  LOGCL_CHECK_EQ(col.num_elements(), rows);
+  const float* xd = x.data().data();
+  const float* cd = col.data().data();
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    float c = cd[i];
+    for (int64_t j = 0; j < cols; ++j) {
+      out[static_cast<size_t>(i * cols + j)] = xd[i * cols + j] * c;
+    }
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x, col}, [rows, cols](Node& node) {
+        const auto& px = node.parents[0];
+        const auto& pc = node.parents[1];
+        const float* g = node.grad.data();
+        const float* xd = px->data.data();
+        const float* cd = pc->data.data();
+        if (px->requires_grad) {
+          px->EnsureGrad();
+          float* gx = px->grad.data();
+          for (int64_t i = 0; i < rows; ++i) {
+            float c = cd[i];
+            for (int64_t j = 0; j < cols; ++j) {
+              gx[i * cols + j] += g[i * cols + j] * c;
+            }
+          }
+        }
+        if (pc->requires_grad) {
+          pc->EnsureGrad();
+          float* gc = pc->grad.data();
+          for (int64_t i = 0; i < rows; ++i) {
+            float sum = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) {
+              sum += g[i * cols + j] * xd[i * cols + j];
+            }
+            gc[i] += sum;
+          }
+        }
+      });
+}
+
+Tensor Neg(const Tensor& a) {
+  return ElementwiseUnary(
+      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, [s](float x) { return s * x; }, [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return ElementwiseUnary(
+      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK(b.defined());
+  LOGCL_CHECK_EQ(a.shape().rank(), 2);
+  LOGCL_CHECK_EQ(b.shape().rank(), 2);
+  int64_t m = a.shape().rows();
+  int64_t k = a.shape().cols();
+  int64_t n = b.shape().cols();
+  LOGCL_CHECK_EQ(k, b.shape().rows())
+      << "MatMul shape mismatch: " << a.shape().ToString() << " x "
+      << b.shape().ToString();
+  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  MatMulAccumNN(a.data().data(), b.data().data(), out.data(), m, k, n);
+  return Tensor::MakeOpOutput(
+      Shape{m, n}, std::move(out), {a, b}, [m, k, n](Node& node) {
+        const auto& pa = node.parents[0];
+        const auto& pb = node.parents[1];
+        const float* g = node.grad.data();
+        if (pa->requires_grad) {
+          pa->EnsureGrad();
+          // gA(m x k) += G(m x n) * B(k x n)^T
+          MatMulAccumNT(g, pb->data.data(), pa->grad.data(), m, n, k);
+        }
+        if (pb->requires_grad) {
+          pb->EnsureGrad();
+          // gB(k x n) += A(m x k)^T * G(m x n)
+          MatMulAccumTN(pa->data.data(), g, pb->grad.data(), m, k, n);
+        }
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK_EQ(a.shape().rank(), 2);
+  int64_t rows = a.shape().rows();
+  int64_t cols = a.shape().cols();
+  const float* ad = a.data().data();
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) {
+      out[static_cast<size_t>(j * rows + i)] = ad[i * cols + j];
+    }
+  }
+  return Tensor::MakeOpOutput(
+      Shape{cols, rows}, std::move(out), {a}, [rows, cols](Node& node) {
+        const auto& pa = node.parents[0];
+        if (!pa->requires_grad) return;
+        pa->EnsureGrad();
+        const float* g = node.grad.data();
+        float* ga = pa->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < cols; ++j) {
+            ga[i * cols + j] += g[j * rows + i];
+          }
+        }
+      });
+}
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK_EQ(a.num_elements(), shape.num_elements());
+  std::vector<float> out = a.data();
+  int64_t n = a.num_elements();
+  return Tensor::MakeOpOutput(shape, std::move(out), {a}, [n](Node& node) {
+    const auto& pa = node.parents[0];
+    if (!pa->requires_grad) return;
+    pa->EnsureGrad();
+    const float* g = node.grad.data();
+    float* ga = pa->grad.data();
+    for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+  });
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  LOGCL_CHECK(!parts.empty());
+  int64_t rows = parts[0].shape().rows();
+  int64_t total_cols = 0;
+  for (const Tensor& p : parts) {
+    LOGCL_CHECK_EQ(p.shape().rank(), 2);
+    LOGCL_CHECK_EQ(p.shape().rows(), rows);
+    total_cols += p.shape().cols();
+  }
+  std::vector<float> out(static_cast<size_t>(rows * total_cols));
+  std::vector<int64_t> offsets;
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    offsets.push_back(offset);
+    int64_t pc = p.shape().cols();
+    const float* pd = p.data().data();
+    for (int64_t i = 0; i < rows; ++i) {
+      std::copy(pd + i * pc, pd + (i + 1) * pc,
+                out.data() + i * total_cols + offset);
+    }
+    offset += pc;
+  }
+  return Tensor::MakeOpOutput(
+      Shape{rows, total_cols}, std::move(out), parts,
+      [rows, total_cols, offsets](Node& node) {
+        const float* g = node.grad.data();
+        for (size_t p = 0; p < node.parents.size(); ++p) {
+          const auto& parent = node.parents[p];
+          if (!parent->requires_grad) continue;
+          parent->EnsureGrad();
+          int64_t pc = parent->shape.cols();
+          int64_t off = offsets[p];
+          float* gp = parent->grad.data();
+          for (int64_t i = 0; i < rows; ++i) {
+            const float* grow = g + i * total_cols + off;
+            float* prow = gp + i * pc;
+            for (int64_t j = 0; j < pc; ++j) prow[j] += grow[j];
+          }
+        }
+      });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  LOGCL_CHECK(!parts.empty());
+  int64_t cols = parts[0].shape().cols();
+  int64_t total_rows = 0;
+  for (const Tensor& p : parts) {
+    LOGCL_CHECK_EQ(p.shape().rank(), 2);
+    LOGCL_CHECK_EQ(p.shape().cols(), cols);
+    total_rows += p.shape().rows();
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(total_rows * cols));
+  std::vector<int64_t> row_offsets;
+  int64_t offset = 0;
+  for (const Tensor& p : parts) {
+    row_offsets.push_back(offset);
+    out.insert(out.end(), p.data().begin(), p.data().end());
+    offset += p.shape().rows();
+  }
+  return Tensor::MakeOpOutput(
+      Shape{total_rows, cols}, std::move(out), parts,
+      [cols, row_offsets](Node& node) {
+        const float* g = node.grad.data();
+        for (size_t p = 0; p < node.parents.size(); ++p) {
+          const auto& parent = node.parents[p];
+          if (!parent->requires_grad) continue;
+          parent->EnsureGrad();
+          int64_t pr = parent->shape.rows();
+          const float* gstart = g + row_offsets[p] * cols;
+          float* gp = parent->grad.data();
+          for (int64_t i = 0; i < pr * cols; ++i) gp[i] += gstart[i];
+        }
+      });
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK_EQ(a.shape().rank(), 2);
+  int64_t rows = a.shape().rows();
+  int64_t cols = a.shape().cols();
+  LOGCL_CHECK_GE(start, 0);
+  LOGCL_CHECK_GE(count, 0);
+  LOGCL_CHECK_LE(start + count, cols);
+  const float* ad = a.data().data();
+  std::vector<float> out(static_cast<size_t>(rows * count));
+  for (int64_t i = 0; i < rows; ++i) {
+    std::copy(ad + i * cols + start, ad + i * cols + start + count,
+              out.data() + i * count);
+  }
+  return Tensor::MakeOpOutput(
+      Shape{rows, count}, std::move(out), {a},
+      [rows, cols, start, count](Node& node) {
+        const auto& pa = node.parents[0];
+        if (!pa->requires_grad) return;
+        pa->EnsureGrad();
+        const float* g = node.grad.data();
+        float* ga = pa->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < count; ++j) {
+            ga[i * cols + start + j] += g[i * count + j];
+          }
+        }
+      });
+}
+
+Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
+  LOGCL_CHECK(a.defined());
+  LOGCL_CHECK_EQ(a.shape().rank(), 2);
+  int64_t rows = a.shape().rows();
+  int64_t cols = a.shape().cols();
+  LOGCL_CHECK_GE(start, 0);
+  LOGCL_CHECK_GE(count, 0);
+  LOGCL_CHECK_LE(start + count, rows);
+  const float* ad = a.data().data();
+  std::vector<float> out(ad + start * cols, ad + (start + count) * cols);
+  return Tensor::MakeOpOutput(
+      Shape{count, cols}, std::move(out), {a},
+      [cols, start, count](Node& node) {
+        const auto& pa = node.parents[0];
+        if (!pa->requires_grad) return;
+        pa->EnsureGrad();
+        const float* g = node.grad.data();
+        float* ga = pa->grad.data() + start * cols;
+        for (int64_t i = 0; i < count * cols; ++i) ga[i] += g[i];
+      });
+}
+
+Tensor IndexSelectRows(const Tensor& x, const std::vector<int64_t>& indices) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK_EQ(x.shape().rank(), 2);
+  int64_t rows = x.shape().rows();
+  int64_t cols = x.shape().cols();
+  int64_t n = static_cast<int64_t>(indices.size());
+  const float* xd = x.data().data();
+  std::vector<float> out(static_cast<size_t>(n * cols));
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t src = indices[static_cast<size_t>(i)];
+    LOGCL_CHECK_GE(src, 0);
+    LOGCL_CHECK_LT(src, rows);
+    std::copy(xd + src * cols, xd + (src + 1) * cols, out.data() + i * cols);
+  }
+  return Tensor::MakeOpOutput(
+      Shape{n, cols}, std::move(out), {x}, [cols, n, indices](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t dst = indices[static_cast<size_t>(i)];
+          const float* grow = g + i * cols;
+          float* xrow = gx + dst * cols;
+          for (int64_t j = 0; j < cols; ++j) xrow[j] += grow[j];
+        }
+      });
+}
+
+Tensor ScatterAddRows(const Tensor& values, const std::vector<int64_t>& indices,
+                      int64_t num_rows) {
+  LOGCL_CHECK(values.defined());
+  LOGCL_CHECK_EQ(values.shape().rank(), 2);
+  int64_t n = values.shape().rows();
+  int64_t cols = values.shape().cols();
+  LOGCL_CHECK_EQ(n, static_cast<int64_t>(indices.size()));
+  const float* vd = values.data().data();
+  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t dst = indices[static_cast<size_t>(i)];
+    LOGCL_CHECK_GE(dst, 0);
+    LOGCL_CHECK_LT(dst, num_rows);
+    const float* vrow = vd + i * cols;
+    float* orow = out.data() + dst * cols;
+    for (int64_t j = 0; j < cols; ++j) orow[j] += vrow[j];
+  }
+  return Tensor::MakeOpOutput(
+      Shape{num_rows, cols}, std::move(out), {values},
+      [cols, n, indices](Node& node) {
+        const auto& pv = node.parents[0];
+        if (!pv->requires_grad) return;
+        pv->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gv = pv->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t src = indices[static_cast<size_t>(i)];
+          const float* grow = g + src * cols;
+          float* vrow = gv + i * cols;
+          for (int64_t j = 0; j < cols; ++j) vrow[j] += grow[j];
+        }
+      });
+}
+
+Tensor ScatterMeanRows(const Tensor& values,
+                       const std::vector<int64_t>& indices, int64_t num_rows) {
+  LOGCL_CHECK(values.defined());
+  LOGCL_CHECK_EQ(values.shape().rank(), 2);
+  int64_t n = values.shape().rows();
+  int64_t cols = values.shape().cols();
+  LOGCL_CHECK_EQ(n, static_cast<int64_t>(indices.size()));
+  std::vector<float> inv_count(static_cast<size_t>(num_rows), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t dst = indices[static_cast<size_t>(i)];
+    LOGCL_CHECK_GE(dst, 0);
+    LOGCL_CHECK_LT(dst, num_rows);
+    inv_count[static_cast<size_t>(dst)] += 1.0f;
+  }
+  for (float& c : inv_count) c = c > 0.0f ? 1.0f / c : 0.0f;
+  const float* vd = values.data().data();
+  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t dst = indices[static_cast<size_t>(i)];
+    float w = inv_count[static_cast<size_t>(dst)];
+    const float* vrow = vd + i * cols;
+    float* orow = out.data() + dst * cols;
+    for (int64_t j = 0; j < cols; ++j) orow[j] += w * vrow[j];
+  }
+  return Tensor::MakeOpOutput(
+      Shape{num_rows, cols}, std::move(out), {values},
+      [cols, n, indices, inv_count](Node& node) {
+        const auto& pv = node.parents[0];
+        if (!pv->requires_grad) return;
+        pv->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gv = pv->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          int64_t src = indices[static_cast<size_t>(i)];
+          float w = inv_count[static_cast<size_t>(src)];
+          const float* grow = g + src * cols;
+          float* vrow = gv + i * cols;
+          for (int64_t j = 0; j < cols; ++j) vrow[j] += w * grow[j];
+        }
+      });
+}
+
+Tensor SegmentSoftmax(const Tensor& logits,
+                      const std::vector<int64_t>& segment_ids,
+                      int64_t num_segments) {
+  LOGCL_CHECK(logits.defined());
+  int64_t n = logits.num_elements();
+  LOGCL_CHECK_EQ(n, static_cast<int64_t>(segment_ids.size()));
+  const float* ld = logits.data().data();
+  // Numerically stable per-segment softmax: subtract segment max.
+  std::vector<float> seg_max(static_cast<size_t>(num_segments),
+                             -std::numeric_limits<float>::infinity());
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t s = segment_ids[static_cast<size_t>(i)];
+    LOGCL_CHECK_GE(s, 0);
+    LOGCL_CHECK_LT(s, num_segments);
+    seg_max[static_cast<size_t>(s)] =
+        std::max(seg_max[static_cast<size_t>(s)], ld[i]);
+  }
+  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t s = segment_ids[static_cast<size_t>(i)];
+    float e = std::exp(ld[i] - seg_max[static_cast<size_t>(s)]);
+    out[static_cast<size_t>(i)] = e;
+    seg_sum[static_cast<size_t>(s)] += e;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t s = segment_ids[static_cast<size_t>(i)];
+    out[static_cast<size_t>(i)] /= seg_sum[static_cast<size_t>(s)];
+  }
+  return Tensor::MakeOpOutput(
+      Shape{n, 1}, std::move(out), {logits},
+      [n, segment_ids, num_segments](Node& node) {
+        const auto& pl = node.parents[0];
+        if (!pl->requires_grad) return;
+        pl->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* y = node.data.data();
+        float* gl = pl->grad.data();
+        // gx_i = y_i * (g_i - sum_{j in seg} y_j g_j)
+        std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
+        for (int64_t i = 0; i < n; ++i) {
+          seg_dot[static_cast<size_t>(segment_ids[static_cast<size_t>(i)])] +=
+              y[i] * g[i];
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          float dot =
+              seg_dot[static_cast<size_t>(segment_ids[static_cast<size_t>(i)])];
+          gl[i] += y[i] * (g[i] - dot);
+        }
+      });
+}
+
+namespace {
+Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
+  LOGCL_CHECK(x.defined());
+  int64_t rows, cols;
+  if (x.shape().rank() == 2) {
+    rows = x.shape().rows();
+    cols = x.shape().cols();
+  } else {
+    rows = 1;
+    cols = x.num_elements();
+  }
+  const float* xd = x.data().data();
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = xd + i * cols;
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
+    float lse = m + std::log(sum);
+    float* orow = out.data() + i * cols;
+    // The probability path divides by `sum` explicitly rather than using
+    // exp(x - lse): when the row max has huge magnitude (e.g. -1e9 masks),
+    // lse = m + log(sum) absorbs the log(sum) term in float32 and exp(x-lse)
+    // collapses to 1 instead of 1/cols.
+    float inv_sum = 1.0f / sum;
+    for (int64_t j = 0; j < cols; ++j) {
+      orow[j] = log_space ? row[j] - lse : std::exp(row[j] - m) * inv_sum;
+    }
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [rows, cols, log_space](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* y = node.data.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* grow = g + i * cols;
+          const float* yrow = y + i * cols;
+          float* gxrow = gx + i * cols;
+          if (log_space) {
+            // y = x - lse; gx = g - softmax * sum(g)
+            float gsum = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) gsum += grow[j];
+            for (int64_t j = 0; j < cols; ++j) {
+              gxrow[j] += grow[j] - std::exp(yrow[j]) * gsum;
+            }
+          } else {
+            float dot = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
+            for (int64_t j = 0; j < cols; ++j) {
+              gxrow[j] += yrow[j] * (grow[j] - dot);
+            }
+          }
+        }
+      });
+}
+}  // namespace
+
+Tensor Softmax(const Tensor& x) { return RowwiseSoftmaxImpl(x, false); }
+Tensor LogSoftmax(const Tensor& x) { return RowwiseSoftmaxImpl(x, true); }
+
+Tensor Sigmoid(const Tensor& x) {
+  return ElementwiseUnary(
+      x,
+      [](float v) {
+        // Stable logistic.
+        if (v >= 0.0f) {
+          float e = std::exp(-v);
+          return 1.0f / (1.0f + e);
+        }
+        float e = std::exp(v);
+        return e / (1.0f + e);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Relu(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& x, float slope) {
+  return ElementwiseUnary(
+      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
+      [slope](float v, float) { return v > 0.0f ? 1.0f : slope; });
+}
+
+Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
+  if (!training) return LeakyRelu(x, kRReluEvalSlope);
+  LOGCL_CHECK(rng != nullptr);
+  int64_t n = x.num_elements();
+  const float* xd = x.data().data();
+  std::vector<float> slopes(static_cast<size_t>(n));
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float s = static_cast<float>(rng->Uniform(kRReluLower, kRReluUpper));
+    slopes[static_cast<size_t>(i)] = s;
+    out[static_cast<size_t>(i)] = xd[i] > 0.0f ? xd[i] : s * xd[i];
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [n, slopes](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* xd = px->data.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          gx[i] += g[i] * (xd[i] > 0.0f ? 1.0f : slopes[static_cast<size_t>(i)]);
+        }
+      });
+}
+
+Tensor Cos(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::cos(v); },
+      [](float v, float) { return -std::sin(v); });
+}
+
+Tensor Exp(const Tensor& x) {
+  return ElementwiseUnary(
+      x, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& x, float eps) {
+  return ElementwiseUnary(
+      x, [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](float v, float) { return 1.0f / std::max(v, eps); });
+}
+
+Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK_GE(p, 0.0f);
+  LOGCL_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return x;
+  LOGCL_CHECK(rng != nullptr);
+  int64_t n = x.num_elements();
+  float scale = 1.0f / (1.0f - p);
+  const float* xd = x.data().data();
+  std::vector<float> mask(static_cast<size_t>(n));
+  std::vector<float> out(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float m = rng->Bernoulli(p) ? 0.0f : scale;
+    mask[static_cast<size_t>(i)] = m;
+    out[static_cast<size_t>(i)] = xd[i] * m;
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [n, mask](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) {
+          gx[i] += g[i] * mask[static_cast<size_t>(i)];
+        }
+      });
+}
+
+Tensor RowL2Normalize(const Tensor& x, float eps) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK_EQ(x.shape().rank(), 2);
+  int64_t rows = x.shape().rows();
+  int64_t cols = x.shape().cols();
+  const float* xd = x.data().data();
+  std::vector<float> norms(static_cast<size_t>(rows));
+  std::vector<float> out(static_cast<size_t>(rows * cols));
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = xd + i * cols;
+    float sq = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sq += row[j] * row[j];
+    float norm = std::max(std::sqrt(sq), eps);
+    norms[static_cast<size_t>(i)] = norm;
+    float inv = 1.0f / norm;
+    for (int64_t j = 0; j < cols; ++j) out[static_cast<size_t>(i * cols + j)] = row[j] * inv;
+  }
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [rows, cols, norms, eps](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* xd = px->data.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          float norm = norms[static_cast<size_t>(i)];
+          const float* grow = g + i * cols;
+          const float* xrow = xd + i * cols;
+          float* gxrow = gx + i * cols;
+          if (norm <= eps) {
+            // Clamped: y = x / eps, constant scale.
+            for (int64_t j = 0; j < cols; ++j) gxrow[j] += grow[j] / eps;
+            continue;
+          }
+          float dot = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) dot += grow[j] * xrow[j];
+          float inv = 1.0f / norm;
+          float inv3 = inv * inv * inv;
+          for (int64_t j = 0; j < cols; ++j) {
+            gxrow[j] += grow[j] * inv - xrow[j] * dot * inv3;
+          }
+        }
+      });
+}
+
+Tensor SumAll(const Tensor& x) {
+  LOGCL_CHECK(x.defined());
+  int64_t n = x.num_elements();
+  const float* xd = x.data().data();
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += xd[i];
+  return Tensor::MakeOpOutput(
+      Shape{}, {static_cast<float>(sum)}, {x}, [n](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        float g = node.grad[0];
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) gx[i] += g;
+      });
+}
+
+Tensor MeanAll(const Tensor& x) {
+  LOGCL_CHECK(x.defined());
+  int64_t n = x.num_elements();
+  LOGCL_CHECK_GT(n, 0);
+  const float* xd = x.data().data();
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) sum += xd[i];
+  float inv = 1.0f / static_cast<float>(n);
+  return Tensor::MakeOpOutput(
+      Shape{}, {static_cast<float>(sum) * inv}, {x}, [n, inv](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        float g = node.grad[0] * inv;
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < n; ++i) gx[i] += g;
+      });
+}
+
+Tensor MeanRows(const Tensor& x) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK_EQ(x.shape().rank(), 2);
+  int64_t rows = x.shape().rows();
+  int64_t cols = x.shape().cols();
+  std::vector<float> out(static_cast<size_t>(cols), 0.0f);
+  if (rows == 0) {
+    return Tensor::FromVector(Shape{1, cols}, std::move(out));
+  }
+  const float* xd = x.data().data();
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) out[static_cast<size_t>(j)] += xd[i * cols + j];
+  }
+  float inv = 1.0f / static_cast<float>(rows);
+  for (float& v : out) v *= inv;
+  return Tensor::MakeOpOutput(
+      Shape{1, cols}, std::move(out), {x}, [rows, cols, inv](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[j] * inv;
+        }
+      });
+}
+
+Tensor RowSum(const Tensor& x) {
+  LOGCL_CHECK(x.defined());
+  LOGCL_CHECK_EQ(x.shape().rank(), 2);
+  int64_t rows = x.shape().rows();
+  int64_t cols = x.shape().cols();
+  const float* xd = x.data().data();
+  std::vector<float> out(static_cast<size_t>(rows), 0.0f);
+  for (int64_t i = 0; i < rows; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += xd[i * cols + j];
+    out[static_cast<size_t>(i)] = sum;
+  }
+  return Tensor::MakeOpOutput(
+      Shape{rows, 1}, std::move(out), {x}, [rows, cols](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[i];
+        }
+      });
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int64_t>& targets) {
+  LOGCL_CHECK(logits.defined());
+  LOGCL_CHECK_EQ(logits.shape().rank(), 2);
+  int64_t rows = logits.shape().rows();
+  int64_t cols = logits.shape().cols();
+  LOGCL_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
+  LOGCL_CHECK_GT(rows, 0);
+  const float* xd = logits.data().data();
+  // Cache softmax probabilities for the fused backward.
+  std::vector<float> probs(static_cast<size_t>(rows * cols));
+  double loss = 0.0;
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* row = xd + i * cols;
+    int64_t target = targets[static_cast<size_t>(i)];
+    LOGCL_CHECK_GE(target, 0);
+    LOGCL_CHECK_LT(target, cols);
+    float m = -std::numeric_limits<float>::infinity();
+    for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
+    float lse = m + std::log(sum);
+    loss += lse - row[target];
+    float* prow = probs.data() + i * cols;
+    for (int64_t j = 0; j < cols; ++j) prow[j] = std::exp(row[j] - lse);
+  }
+  float mean_loss = static_cast<float>(loss / static_cast<double>(rows));
+  return Tensor::MakeOpOutput(
+      Shape{}, {mean_loss}, {logits},
+      [rows, cols, targets, probs = std::move(probs)](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        float g = node.grad[0] / static_cast<float>(rows);
+        float* gx = px->grad.data();
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* prow = probs.data() + i * cols;
+          float* gxrow = gx + i * cols;
+          int64_t target = targets[static_cast<size_t>(i)];
+          for (int64_t j = 0; j < cols; ++j) gxrow[j] += g * prow[j];
+          gxrow[target] -= g;
+        }
+      });
+}
+
+Tensor Conv2x3(const Tensor& h, const Tensor& r, const Tensor& kernels,
+               const Tensor& bias) {
+  LOGCL_CHECK(h.defined());
+  LOGCL_CHECK(r.defined());
+  LOGCL_CHECK(kernels.defined());
+  LOGCL_CHECK(bias.defined());
+  LOGCL_CHECK_EQ(h.shape().rank(), 2);
+  LOGCL_CHECK(h.shape() == r.shape());
+  int64_t batch = h.shape().rows();
+  int64_t d = h.shape().cols();
+  LOGCL_CHECK_EQ(kernels.shape().rank(), 2);
+  int64_t num_kernels = kernels.shape().rows();
+  LOGCL_CHECK_EQ(kernels.shape().cols(), 6);
+  LOGCL_CHECK_EQ(bias.num_elements(), num_kernels);
+
+  const float* hd = h.data().data();
+  const float* rd = r.data().data();
+  const float* kd = kernels.data().data();
+  const float* bd = bias.data().data();
+  std::vector<float> out(static_cast<size_t>(batch * num_kernels * d));
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* hrow = hd + b * d;
+    const float* rrow = rd + b * d;
+    for (int64_t k = 0; k < num_kernels; ++k) {
+      const float* kr = kd + k * 6;
+      float* orow = out.data() + (b * num_kernels + k) * d;
+      for (int64_t j = 0; j < d; ++j) {
+        float acc = bd[k];
+        for (int64_t w = 0; w < 3; ++w) {
+          int64_t src = j + w - 1;
+          if (src < 0 || src >= d) continue;
+          acc += kr[w] * hrow[src] + kr[3 + w] * rrow[src];
+        }
+        orow[j] = acc;
+      }
+    }
+  }
+  return Tensor::MakeOpOutput(
+      Shape{batch, num_kernels * d}, std::move(out), {h, r, kernels, bias},
+      [batch, d, num_kernels](Node& node) {
+        const auto& ph = node.parents[0];
+        const auto& pr = node.parents[1];
+        const auto& pk = node.parents[2];
+        const auto& pb = node.parents[3];
+        const float* g = node.grad.data();
+        const float* hd = ph->data.data();
+        const float* rd = pr->data.data();
+        const float* kd = pk->data.data();
+        float* gh = nullptr;
+        float* gr = nullptr;
+        float* gk = nullptr;
+        float* gb = nullptr;
+        if (ph->requires_grad) { ph->EnsureGrad(); gh = ph->grad.data(); }
+        if (pr->requires_grad) { pr->EnsureGrad(); gr = pr->grad.data(); }
+        if (pk->requires_grad) { pk->EnsureGrad(); gk = pk->grad.data(); }
+        if (pb->requires_grad) { pb->EnsureGrad(); gb = pb->grad.data(); }
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* hrow = hd + b * d;
+          const float* rrow = rd + b * d;
+          for (int64_t k = 0; k < num_kernels; ++k) {
+            const float* kr = kd + k * 6;
+            const float* grow = g + (b * num_kernels + k) * d;
+            for (int64_t j = 0; j < d; ++j) {
+              float gv = grow[j];
+              if (gv == 0.0f) continue;
+              if (gb != nullptr) gb[k] += gv;
+              for (int64_t w = 0; w < 3; ++w) {
+                int64_t src = j + w - 1;
+                if (src < 0 || src >= d) continue;
+                if (gh != nullptr) gh[b * d + src] += gv * kr[w];
+                if (gr != nullptr) gr[b * d + src] += gv * kr[3 + w];
+                if (gk != nullptr) {
+                  gk[k * 6 + w] += gv * hrow[src];
+                  gk[k * 6 + 3 + w] += gv * rrow[src];
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor Conv2d(const Tensor& input, int64_t channels, int64_t height,
+              int64_t width, const Tensor& kernels, int64_t kernel_h,
+              int64_t kernel_w, int64_t pad, const Tensor& bias) {
+  LOGCL_CHECK(input.defined());
+  LOGCL_CHECK(kernels.defined());
+  LOGCL_CHECK(bias.defined());
+  LOGCL_CHECK_EQ(input.shape().rank(), 2);
+  int64_t batch = input.shape().rows();
+  LOGCL_CHECK_EQ(input.shape().cols(), channels * height * width);
+  LOGCL_CHECK_EQ(kernels.shape().rank(), 2);
+  int64_t num_kernels = kernels.shape().rows();
+  LOGCL_CHECK_EQ(kernels.shape().cols(), channels * kernel_h * kernel_w);
+  LOGCL_CHECK_EQ(bias.num_elements(), num_kernels);
+
+  const float* in = input.data().data();
+  const float* kd = kernels.data().data();
+  const float* bd = bias.data().data();
+  int64_t plane = height * width;
+  std::vector<float> out(static_cast<size_t>(batch * num_kernels * plane));
+  for (int64_t b = 0; b < batch; ++b) {
+    const float* img = in + b * channels * plane;
+    for (int64_t k = 0; k < num_kernels; ++k) {
+      const float* kern = kd + k * channels * kernel_h * kernel_w;
+      float* oplane = out.data() + (b * num_kernels + k) * plane;
+      for (int64_t y = 0; y < height; ++y) {
+        for (int64_t x = 0; x < width; ++x) {
+          float acc = bd[k];
+          for (int64_t c = 0; c < channels; ++c) {
+            for (int64_t i = 0; i < kernel_h; ++i) {
+              int64_t sy = y + i - pad;
+              if (sy < 0 || sy >= height) continue;
+              for (int64_t j = 0; j < kernel_w; ++j) {
+                int64_t sx = x + j - pad;
+                if (sx < 0 || sx >= width) continue;
+                acc += kern[(c * kernel_h + i) * kernel_w + j] *
+                       img[c * plane + sy * width + sx];
+              }
+            }
+          }
+          oplane[y * width + x] = acc;
+        }
+      }
+    }
+  }
+  return Tensor::MakeOpOutput(
+      Shape{batch, num_kernels * plane}, std::move(out), {input, kernels, bias},
+      [batch, channels, height, width, num_kernels, kernel_h, kernel_w,
+       pad](Node& node) {
+        const auto& pin = node.parents[0];
+        const auto& pk = node.parents[1];
+        const auto& pb = node.parents[2];
+        const float* g = node.grad.data();
+        const float* in = pin->data.data();
+        const float* kd = pk->data.data();
+        float* gin = nullptr;
+        float* gk = nullptr;
+        float* gb = nullptr;
+        if (pin->requires_grad) { pin->EnsureGrad(); gin = pin->grad.data(); }
+        if (pk->requires_grad) { pk->EnsureGrad(); gk = pk->grad.data(); }
+        if (pb->requires_grad) { pb->EnsureGrad(); gb = pb->grad.data(); }
+        int64_t plane = height * width;
+        for (int64_t b = 0; b < batch; ++b) {
+          const float* img = in + b * channels * plane;
+          for (int64_t k = 0; k < num_kernels; ++k) {
+            const float* kern = kd + k * channels * kernel_h * kernel_w;
+            const float* gplane = g + (b * num_kernels + k) * plane;
+            for (int64_t y = 0; y < height; ++y) {
+              for (int64_t x = 0; x < width; ++x) {
+                float gv = gplane[y * width + x];
+                if (gv == 0.0f) continue;
+                if (gb != nullptr) gb[k] += gv;
+                for (int64_t c = 0; c < channels; ++c) {
+                  for (int64_t i = 0; i < kernel_h; ++i) {
+                    int64_t sy = y + i - pad;
+                    if (sy < 0 || sy >= height) continue;
+                    for (int64_t j = 0; j < kernel_w; ++j) {
+                      int64_t sx = x + j - pad;
+                      if (sx < 0 || sx >= width) continue;
+                      int64_t kidx = (c * kernel_h + i) * kernel_w + j;
+                      int64_t iidx = c * plane + sy * width + sx;
+                      if (gin != nullptr) {
+                        gin[b * channels * plane + iidx] += gv * kern[kidx];
+                      }
+                      if (gk != nullptr) {
+                        gk[k * channels * kernel_h * kernel_w + kidx] +=
+                            gv * img[iidx];
+                      }
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace ops
+}  // namespace logcl

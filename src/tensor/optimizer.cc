@@ -1,0 +1,67 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+AdamOptimizer::AdamOptimizer(std::vector<Tensor> parameters, AdamOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  moment1_.reserve(parameters_.size());
+  moment2_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    LOGCL_CHECK(p.defined());
+    LOGCL_CHECK(p.requires_grad()) << "optimizer parameter without grad";
+    size_t n = p.data().size();
+    moment1_.emplace_back(n, 0.0f);
+    moment2_.emplace_back(n, 0.0f);
+  }
+}
+
+void AdamOptimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+float AdamOptimizer::ClipGradNorm(float max_norm) {
+  LOGCL_CHECK_GT(max_norm, 0.0f);
+  double total_sq = 0.0;
+  for (Tensor& p : parameters_) {
+    for (float g : p.grad()) total_sq += static_cast<double>(g) * g;
+  }
+  float norm = static_cast<float>(std::sqrt(total_sq));
+  if (norm > max_norm) {
+    float scale = max_norm / (norm + 1e-6f);
+    for (Tensor& p : parameters_) {
+      for (float& g : p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+void AdamOptimizer::Step() {
+  ++step_;
+  float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    Tensor& p = parameters_[i];
+    std::vector<float>& data = p.mutable_data();
+    const std::vector<float>& grad = p.grad();
+    std::vector<float>& m = moment1_[i];
+    std::vector<float>& v = moment2_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j];
+      if (options_.weight_decay > 0.0f) {
+        data[j] -= options_.learning_rate * options_.weight_decay * data[j];
+      }
+      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
+      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
+      float m_hat = m[j] / bias1;
+      float v_hat = v[j] / bias2;
+      data[j] -= options_.learning_rate * m_hat /
+                 (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+}  // namespace logcl

@@ -1,0 +1,51 @@
+// Adam optimizer and gradient-norm clipping over a set of leaf parameters.
+
+#ifndef LOGCL_TENSOR_OPTIMIZER_H_
+#define LOGCL_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+/// Hyperparameters for Adam (paper: lr=0.001, defaults otherwise).
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 0.0f;  // decoupled (AdamW-style) when > 0
+};
+
+/// Adam over a fixed parameter list. Parameters must be leaf tensors with
+/// requires_grad set; their grads are produced by Backward().
+class AdamOptimizer {
+ public:
+  AdamOptimizer(std::vector<Tensor> parameters, AdamOptions options = {});
+
+  /// Zeroes all parameter gradients (call before each forward/backward).
+  void ZeroGrad();
+
+  /// Applies one Adam update using accumulated gradients.
+  void Step();
+
+  /// Rescales all gradients so their global L2 norm is at most `max_norm`.
+  /// Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  int64_t num_steps() const { return step_; }
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  AdamOptions options_;
+  int64_t step_ = 0;
+  // First/second moment estimates, one vector per parameter.
+  std::vector<std::vector<float>> moment1_;
+  std::vector<std::vector<float>> moment2_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,36 @@
+// Parameter checkpointing: saves/loads a model's parameter list to a simple
+// versioned binary format, so trained models survive process restarts (used
+// by the CLI tool and the online-deployment story).
+//
+// Format (little-endian):
+//   magic  "LGCLCKPT"        8 bytes
+//   version                  u32 (currently 1)
+//   tensor count             u64
+//   per tensor: rank u32, dims u64[rank], float32 data[prod(dims)]
+//
+// Loading is strict: the checkpoint must contain exactly the same number of
+// tensors with exactly the same shapes as the destination parameters
+// (checkpoints are tied to a model configuration, as in other frameworks).
+
+#ifndef LOGCL_TENSOR_SERIALIZATION_H_
+#define LOGCL_TENSOR_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+
+/// Writes `parameters` to `path` (overwrites).
+Status SaveParameters(const std::vector<Tensor>& parameters,
+                      const std::string& path);
+
+/// Loads a checkpoint into `parameters` (in place; shapes must match).
+Status LoadParameters(const std::string& path,
+                      std::vector<Tensor>* parameters);
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_SERIALIZATION_H_

@@ -1,0 +1,37 @@
+#include "tensor/shape.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) LOGCL_CHECK_GE(d, 0);
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) LOGCL_CHECK_GE(d, 0);
+}
+
+int64_t Shape::dim(int i) const {
+  LOGCL_CHECK_GE(i, 0);
+  LOGCL_CHECK_LT(i, rank());
+  return dims_[i];
+}
+
+int64_t Shape::num_elements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) n *= d;
+  return n;
+}
+
+std::string Shape::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace logcl

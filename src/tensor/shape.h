@@ -1,0 +1,47 @@
+// Tensor shapes (row-major dense layout).
+
+#ifndef LOGCL_TENSOR_SHAPE_H_
+#define LOGCL_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace logcl {
+
+/// Dimension sizes of a dense row-major tensor. Rank 0 denotes a scalar.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  /// Number of dimensions (0 for scalars).
+  int rank() const { return static_cast<int>(dims_.size()); }
+
+  /// Size of dimension `i` (0 <= i < rank()).
+  int64_t dim(int i) const;
+
+  /// Total number of elements (1 for scalars).
+  int64_t num_elements() const;
+
+  /// Convenience accessors for the common 2-D case.
+  int64_t rows() const { return dim(0); }
+  int64_t cols() const { return dim(1); }
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// e.g. "[3, 4]".
+  std::string ToString() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_SHAPE_H_

@@ -1,0 +1,139 @@
+// Tensor: a shared handle to a dense float32 array participating in a
+// define-by-run reverse-mode autograd tape.
+//
+// Design notes:
+//  - Value semantics on the handle, shared ownership of the underlying node.
+//    Copying a Tensor aliases the same storage (as in PyTorch).
+//  - Ops (tensor/ops.h) record a backward closure on the output node; calling
+//    Backward(loss) runs the tape in reverse topological order.
+//  - A global grad-mode flag (NoGradGuard) disables tape recording during
+//    evaluation so inference never retains graph memory.
+
+#ifndef LOGCL_TENSOR_TENSOR_H_
+#define LOGCL_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/shape.h"
+
+namespace logcl {
+
+class Tensor;
+
+namespace internal_tensor {
+
+/// Heap node holding storage, gradient and tape linkage for one tensor.
+struct TensorNode {
+  Shape shape;
+  std::vector<float> data;
+  std::vector<float> grad;  // allocated lazily, same size as data
+  bool requires_grad = false;
+  // Inputs of the op that produced this node (kept alive for backward).
+  std::vector<std::shared_ptr<TensorNode>> parents;
+  // Accumulates this node's grad into its parents' grads.
+  std::function<void(TensorNode&)> backward_fn;
+  // Monotonic creation index; used for reverse-topological replay.
+  uint64_t sequence = 0;
+
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal_tensor
+
+/// True while gradients are being recorded (default). See NoGradGuard.
+bool GradModeEnabled();
+
+/// RAII scope that disables autograd recording (e.g. during evaluation).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Shared handle to a dense float tensor (see file comment).
+class Tensor {
+ public:
+  /// An empty (null) handle; most APIs require a non-null tensor.
+  Tensor() = default;
+
+  /// Factories. `requires_grad` marks the tensor as a trainable leaf.
+  static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
+  static Tensor FromVector(const Shape& shape, std::vector<float> values,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value, bool requires_grad = false);
+  /// Xavier/Glorot uniform init for a [fan_in, fan_out]-ish weight.
+  static Tensor XavierUniform(const Shape& shape, Rng* rng,
+                              bool requires_grad = true);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor RandomNormal(const Shape& shape, float stddev, Rng* rng,
+                             bool requires_grad = false);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Shape& shape() const;
+  int64_t num_elements() const { return shape().num_elements(); }
+
+  const std::vector<float>& data() const;
+  /// Mutable access to raw storage. Mutating data of a non-leaf tensor that
+  /// is still on a live tape invalidates gradients; only do so for leaves or
+  /// under NoGradGuard-produced tensors.
+  std::vector<float>& mutable_data();
+
+  bool requires_grad() const;
+  void set_requires_grad(bool value);
+
+  /// Gradient storage (allocated on demand). Only meaningful on leaves after
+  /// Backward() unless retained explicitly.
+  const std::vector<float>& grad() const;
+  std::vector<float>& mutable_grad();
+  void ZeroGrad();
+
+  /// Flat element access (row-major).
+  float at(int64_t index) const;
+  /// 2-D element access.
+  float at(int64_t row, int64_t col) const;
+
+  /// Detached deep copy (no tape linkage, requires_grad=false).
+  Tensor Clone() const;
+
+  /// True if both handles alias the same storage.
+  bool IsSameObject(const Tensor& other) const { return node_ == other.node_; }
+
+  /// Debug rendering (shape + up to `max_values` entries).
+  std::string ToString(int max_values = 16) const;
+
+  // --- internal (used by ops.cc / backward.cc) -------------------------
+  using NodePtr = std::shared_ptr<internal_tensor::TensorNode>;
+  explicit Tensor(NodePtr node) : node_(std::move(node)) {}
+  const NodePtr& node() const { return node_; }
+
+  /// Creates a fresh node for an op output; wires parents/backward only when
+  /// grad mode is on and some parent requires grad.
+  static Tensor MakeOpOutput(
+      const Shape& shape, std::vector<float> data,
+      std::vector<Tensor> parents,
+      std::function<void(internal_tensor::TensorNode&)> backward_fn);
+
+ private:
+  NodePtr node_;
+};
+
+/// Runs reverse-mode accumulation from `loss` (any shape; seed grad = 1).
+void Backward(const Tensor& loss);
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_TENSOR_H_

@@ -1,0 +1,75 @@
+#include "tkg/filters.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+uint64_t TimeAwareFilter::Key(int64_t subject, int64_t relation,
+                              int64_t time) {
+  // Bit-packed exact key: 24 bits subject, 20 bits relation, 20 bits time.
+  LOGCL_CHECK_LT(subject, int64_t{1} << 24);
+  LOGCL_CHECK_LT(relation, int64_t{1} << 20);
+  LOGCL_CHECK_LT(time, int64_t{1} << 20);
+  return (static_cast<uint64_t>(subject) << 40) |
+         (static_cast<uint64_t>(relation) << 20) |
+         static_cast<uint64_t>(time);
+}
+
+TimeAwareFilter::TimeAwareFilter(const TkgDataset& dataset) {
+  auto add = [this](const Quadruple& q) {
+    index_[Key(q.subject, q.relation, q.time)].push_back(q.object);
+  };
+  for (Split split : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : dataset.split(split)) {
+      add(q);
+      add(InverseOf(q, dataset.num_base_relations()));
+    }
+  }
+  // Dedupe answer lists.
+  for (auto& [key, answers] : index_) {
+    std::sort(answers.begin(), answers.end());
+    answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  }
+}
+
+const std::vector<int64_t>& TimeAwareFilter::Answers(int64_t subject,
+                                                     int64_t relation,
+                                                     int64_t time) const {
+  static const std::vector<int64_t> kEmpty;
+  auto it = index_.find(Key(subject, relation, time));
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+uint64_t StaticFilter::Key(int64_t subject, int64_t relation) {
+  LOGCL_CHECK_LT(subject, int64_t{1} << 32);
+  LOGCL_CHECK_LT(relation, int64_t{1} << 31);
+  return (static_cast<uint64_t>(subject) << 31) |
+         static_cast<uint64_t>(relation);
+}
+
+StaticFilter::StaticFilter(const TkgDataset& dataset) {
+  auto add = [this](const Quadruple& q) {
+    index_[Key(q.subject, q.relation)].push_back(q.object);
+  };
+  for (Split split : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : dataset.split(split)) {
+      add(q);
+      add(InverseOf(q, dataset.num_base_relations()));
+    }
+  }
+  for (auto& [key, answers] : index_) {
+    std::sort(answers.begin(), answers.end());
+    answers.erase(std::unique(answers.begin(), answers.end()), answers.end());
+  }
+}
+
+const std::vector<int64_t>& StaticFilter::Answers(int64_t subject,
+                                                  int64_t relation) const {
+  static const std::vector<int64_t> kEmpty;
+  auto it = index_.find(Key(subject, relation));
+  return it == index_.end() ? kEmpty : it->second;
+}
+
+}  // namespace logcl

@@ -1,0 +1,60 @@
+// Time-aware filtered evaluation support.
+//
+// The paper evaluates with the *time-aware filtered* protocol: when ranking
+// the answer of (s, r, ?, t), only other true objects of (s, r, ·, t) at the
+// SAME timestamp are removed from the candidate list (unlike the static
+// filter, which removes true objects at any time).
+
+#ifndef LOGCL_TKG_FILTERS_H_
+#define LOGCL_TKG_FILTERS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tkg/dataset.h"
+
+namespace logcl {
+
+/// Index over all facts (train+valid+test, plus inverses) answering
+/// "which objects are known true for (s, r) at time t".
+class TimeAwareFilter {
+ public:
+  /// Builds the index from every split of `dataset`, including inverse
+  /// quadruples so subject-queries are covered.
+  explicit TimeAwareFilter(const TkgDataset& dataset);
+
+  /// Object ids o with (s, r, o, t) true; empty vector if none.
+  const std::vector<int64_t>& Answers(int64_t subject, int64_t relation,
+                                      int64_t time) const;
+
+  int64_t num_keys() const { return static_cast<int64_t>(index_.size()); }
+
+ private:
+  static uint64_t Key(int64_t subject, int64_t relation, int64_t time);
+  std::unordered_map<uint64_t, std::vector<int64_t>> index_;
+};
+
+/// Index for the traditional *static* filtered setting: known objects of
+/// (s, r) at ANY timestamp are removed from the candidate list. The paper
+/// argues (following TANGO/HisMatch) that this over-filters on TKGs — a
+/// fact true in 2014 is not a valid answer in 2018 — and reports
+/// time-aware numbers instead; this class exists so both protocols can be
+/// compared (see the eval tests and EXPERIMENTS.md).
+class StaticFilter {
+ public:
+  explicit StaticFilter(const TkgDataset& dataset);
+
+  /// Objects o with (s, r, o, t') true for ANY t'.
+  const std::vector<int64_t>& Answers(int64_t subject, int64_t relation) const;
+
+  int64_t num_keys() const { return static_cast<int64_t>(index_.size()); }
+
+ private:
+  static uint64_t Key(int64_t subject, int64_t relation);
+  std::unordered_map<uint64_t, std::vector<int64_t>> index_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TKG_FILTERS_H_

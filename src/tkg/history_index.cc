@@ -1,0 +1,104 @@
+#include "tkg/history_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+uint64_t HistoryIndex::PairKey(int64_t subject, int64_t relation) {
+  LOGCL_CHECK_LT(subject, int64_t{1} << 32);
+  LOGCL_CHECK_LT(relation, int64_t{1} << 31);
+  return (static_cast<uint64_t>(subject) << 31) |
+         static_cast<uint64_t>(relation);
+}
+
+HistoryIndex::HistoryIndex(const TkgDataset& dataset)
+    : num_base_relations_(dataset.num_base_relations()) {
+  by_entity_.resize(static_cast<size_t>(dataset.num_entities()));
+  auto add = [this](const Quadruple& q) {
+    by_subject_relation_[PairKey(q.subject, q.relation)].push_back(
+        Posting{q.time, q.object});
+    by_entity_[static_cast<size_t>(q.subject)].push_back(
+        HistoryEdge{q.relation, q.object, q.time});
+  };
+  for (Split split : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : dataset.split(split)) {
+      add(q);
+      add(InverseOf(q, num_base_relations_));
+    }
+  }
+  auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
+  for (auto& [key, postings] : by_subject_relation_) {
+    std::stable_sort(postings.begin(), postings.end(), by_time);
+  }
+  for (auto& edges : by_entity_) {
+    std::stable_sort(edges.begin(), edges.end(), by_time);
+  }
+}
+
+std::vector<int64_t> HistoryIndex::ObjectsBefore(int64_t subject,
+                                                 int64_t relation,
+                                                 int64_t time) const {
+  auto it = by_subject_relation_.find(PairKey(subject, relation));
+  if (it == by_subject_relation_.end()) return {};
+  std::vector<int64_t> objects;
+  std::unordered_set<int64_t> seen;
+  for (const Posting& p : it->second) {
+    if (p.time >= time) break;
+    if (seen.insert(p.object).second) objects.push_back(p.object);
+  }
+  return objects;
+}
+
+bool HistoryIndex::SeenBefore(int64_t subject, int64_t relation,
+                              int64_t object, int64_t time) const {
+  return CountBefore(subject, relation, object, time) > 0;
+}
+
+int64_t HistoryIndex::CountBefore(int64_t subject, int64_t relation,
+                                  int64_t object, int64_t time) const {
+  auto it = by_subject_relation_.find(PairKey(subject, relation));
+  if (it == by_subject_relation_.end()) return 0;
+  int64_t count = 0;
+  for (const Posting& p : it->second) {
+    if (p.time >= time) break;
+    if (p.object == object) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<int64_t, int64_t>> HistoryIndex::ObjectCountsBefore(
+    int64_t subject, int64_t relation, int64_t time) const {
+  auto it = by_subject_relation_.find(PairKey(subject, relation));
+  if (it == by_subject_relation_.end()) return {};
+  std::unordered_map<int64_t, int64_t> counts;
+  for (const Posting& p : it->second) {
+    if (p.time >= time) break;
+    ++counts[p.object];
+  }
+  return std::vector<std::pair<int64_t, int64_t>>(counts.begin(),
+                                                  counts.end());
+}
+
+std::vector<HistoryEdge> HistoryIndex::FactsTouchingBefore(
+    int64_t entity, int64_t time, int64_t max_edges) const {
+  LOGCL_CHECK_GE(entity, 0);
+  LOGCL_CHECK_LT(entity, static_cast<int64_t>(by_entity_.size()));
+  const std::vector<HistoryEdge>& edges =
+      by_entity_[static_cast<size_t>(entity)];
+  // Binary search for the first edge at or after `time`.
+  auto end = std::lower_bound(
+      edges.begin(), edges.end(), time,
+      [](const HistoryEdge& e, int64_t t) { return e.time < t; });
+  auto begin = edges.begin();
+  if (max_edges > 0 && end - begin > max_edges) {
+    begin = end - max_edges;  // keep the most recent edges
+  }
+  return std::vector<HistoryEdge>(begin, end);
+}
+
+}  // namespace logcl

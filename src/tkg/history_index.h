@@ -1,0 +1,81 @@
+// Global-history indexes used by the global encoders:
+//  - HistoryIndex::ObjectsBefore(s, r, t): the repetition candidates of
+//    CyGNet / CENET / TiRGN's global mode and LogCL's historical answer set.
+//  - HistoryIndex::FactsTouchingBefore(e, t): one-hop historical facts
+//    containing entity e, used to sample LogCL's historical query subgraph.
+//
+// Built once per dataset; queries are answered by binary search on
+// time-sorted postings so "before t" scans never touch the future.
+
+#ifndef LOGCL_TKG_HISTORY_INDEX_H_
+#define LOGCL_TKG_HISTORY_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "tkg/dataset.h"
+
+namespace logcl {
+
+/// A historical fact reference: relation/object/time seen from an anchor
+/// subject (postings of the per-(s,r) and per-entity indexes).
+struct HistoryEdge {
+  int64_t relation = 0;
+  int64_t neighbor = 0;  // object of (anchor, relation, neighbor, time)
+  int64_t time = 0;
+};
+
+/// Immutable index over all facts (with inverses) of a dataset.
+class HistoryIndex {
+ public:
+  /// `include_splits` controls which splits feed the index; the offline
+  /// evaluation protocol indexes every split (history before the query time
+  /// is always observable).
+  explicit HistoryIndex(const TkgDataset& dataset);
+
+  /// Distinct objects o with (s, r, o, t') for some t' < t, in first-seen
+  /// order. (The repetition candidate set.)
+  std::vector<int64_t> ObjectsBefore(int64_t subject, int64_t relation,
+                                     int64_t time) const;
+
+  /// True if (s, r, o) occurred strictly before `time`.
+  bool SeenBefore(int64_t subject, int64_t relation, int64_t object,
+                  int64_t time) const;
+
+  /// One-hop facts anchored at entity e (as subject, inverse-augmented, so
+  /// object-side occurrences appear under the inverse relation) strictly
+  /// before `time`. At most `max_edges` most-recent edges are returned
+  /// (0 = no cap).
+  std::vector<HistoryEdge> FactsTouchingBefore(int64_t entity, int64_t time,
+                                               int64_t max_edges = 0) const;
+
+  /// Number of (s, r, o) triples seen at least once before `time` whose
+  /// subject is s — used by frequency-based copy modes. Returns the count of
+  /// occurrences of the exact triple before `time`.
+  int64_t CountBefore(int64_t subject, int64_t relation, int64_t object,
+                      int64_t time) const;
+
+  /// Occurrence count per object of (s, r, ., t' < t), for frequency-based
+  /// scoring (CENET). Objects not listed have count 0.
+  std::vector<std::pair<int64_t, int64_t>> ObjectCountsBefore(
+      int64_t subject, int64_t relation, int64_t time) const;
+
+ private:
+  struct Posting {
+    int64_t time;
+    int64_t object;
+  };
+  static uint64_t PairKey(int64_t subject, int64_t relation);
+
+  int64_t num_base_relations_;
+  // (s, r) -> postings sorted by time.
+  std::unordered_map<uint64_t, std::vector<Posting>> by_subject_relation_;
+  // e -> edges sorted by time.
+  std::vector<std::vector<HistoryEdge>> by_entity_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TKG_HISTORY_INDEX_H_

@@ -1,0 +1,29 @@
+#include "tkg/quadruple.h"
+
+#include "common/logging.h"
+#include "common/stringpiece.h"
+
+namespace logcl {
+
+std::string Quadruple::ToString() const {
+  return StrFormat("(%lld, %lld, %lld, %lld)",
+                   static_cast<long long>(subject),
+                   static_cast<long long>(relation),
+                   static_cast<long long>(object),
+                   static_cast<long long>(time));
+}
+
+int64_t InverseRelation(int64_t relation, int64_t num_base_relations) {
+  LOGCL_CHECK_GE(relation, 0);
+  LOGCL_CHECK_LT(relation, 2 * num_base_relations);
+  return relation < num_base_relations ? relation + num_base_relations
+                                       : relation - num_base_relations;
+}
+
+Quadruple InverseOf(const Quadruple& fact, int64_t num_base_relations) {
+  return Quadruple{fact.object,
+                   InverseRelation(fact.relation, num_base_relations),
+                   fact.subject, fact.time};
+}
+
+}  // namespace logcl

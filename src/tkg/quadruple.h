@@ -1,0 +1,50 @@
+// The basic TKG fact: (subject, relation, object, time).
+
+#ifndef LOGCL_TKG_QUADRUPLE_H_
+#define LOGCL_TKG_QUADRUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace logcl {
+
+/// One temporal fact. All fields are dense ids; `time` indexes the snapshot
+/// sequence (0-based, unit-stride).
+struct Quadruple {
+  int64_t subject = 0;
+  int64_t relation = 0;
+  int64_t object = 0;
+  int64_t time = 0;
+
+  bool operator==(const Quadruple& other) const = default;
+
+  /// "(s, r, o, t)" rendering for logs and the case-study output.
+  std::string ToString() const;
+};
+
+/// Returns the inverse-relation id for `relation` given the number of base
+/// (non-inverse) relations: r -> r + num_base, r + num_base -> r.
+int64_t InverseRelation(int64_t relation, int64_t num_base_relations);
+
+/// Returns the quadruple with subject/object swapped and relation inverted.
+Quadruple InverseOf(const Quadruple& fact, int64_t num_base_relations);
+
+struct QuadrupleHash {
+  size_t operator()(const Quadruple& q) const {
+    // 64-bit mix of the four fields.
+    uint64_t h = 0x9E3779B97F4A7C15ULL;
+    auto mix = [&h](uint64_t v) {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    };
+    mix(static_cast<uint64_t>(q.subject));
+    mix(static_cast<uint64_t>(q.relation));
+    mix(static_cast<uint64_t>(q.object));
+    mix(static_cast<uint64_t>(q.time));
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TKG_QUADRUPLE_H_

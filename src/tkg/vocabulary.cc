@@ -1,0 +1,31 @@
+#include "tkg/vocabulary.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+int64_t Vocabulary::GetOrAdd(const std::string& name) {
+  auto [it, inserted] = ids_.try_emplace(name, size());
+  if (inserted) names_.push_back(name);
+  return it->second;
+}
+
+Result<int64_t> Vocabulary::Get(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) {
+    return Status::NotFound("symbol not in vocabulary: '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Vocabulary::Contains(const std::string& name) const {
+  return ids_.contains(name);
+}
+
+const std::string& Vocabulary::Name(int64_t id) const {
+  LOGCL_CHECK_GE(id, 0);
+  LOGCL_CHECK_LT(id, size());
+  return names_[static_cast<size_t>(id)];
+}
+
+}  // namespace logcl

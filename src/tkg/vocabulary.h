@@ -1,0 +1,43 @@
+// Bidirectional string <-> dense-id mapping for entities and relations.
+
+#ifndef LOGCL_TKG_VOCABULARY_H_
+#define LOGCL_TKG_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace logcl {
+
+/// Append-only symbol table; ids are assigned densely in insertion order.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `name`, inserting it if new.
+  int64_t GetOrAdd(const std::string& name);
+
+  /// Returns the id of `name` or NotFound.
+  Result<int64_t> Get(const std::string& name) const;
+
+  /// True if `name` is present.
+  bool Contains(const std::string& name) const;
+
+  /// Name of an existing id (CHECK on out-of-range).
+  const std::string& Name(int64_t id) const;
+
+  int64_t size() const { return static_cast<int64_t>(names_.size()); }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::unordered_map<std::string, int64_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TKG_VOCABULARY_H_

@@ -1,0 +1,216 @@
+// Mechanism-level tests for individual baselines: each model's defining
+// computation is checked directly (not just smoke-trained).
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cenet.h"
+#include "baselines/complex.h"
+#include "baselines/conve.h"
+#include "baselines/de_simple.h"
+#include "baselines/distmult.h"
+#include "baselines/rotate.h"
+#include "baselines/ta_distmult.h"
+#include "baselines/tntcomplex.h"
+#include "baselines/ttranse.h"
+#include "synth/generator.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+namespace {
+
+TkgDataset TinyData() {
+  SynthConfig config;
+  config.seed = 606;
+  config.num_entities = 12;
+  config.num_relations = 3;
+  config.num_timestamps = 12;
+  config.recurring_pool = 10;
+  config.alternating_pool = 5;
+  config.num_cyclic = 3;
+  config.chains_per_timestamp = 1.0;
+  config.noise_per_timestamp = 1.0;
+  return GenerateSyntheticTkg(config);
+}
+
+TEST(DistMultMechanism, ScoreIsBilinearDiagonal) {
+  TkgDataset d = TinyData();
+  DistMult model(&d, 8);
+  // score(s, r, o) must equal sum_k E[s,k] R[r,k] E[o,k].
+  std::vector<Tensor> params = model.Parameters();
+  const Tensor& entities = params[0];   // [E, 8]
+  const Tensor& relations = params[1];  // [2R, 8]
+  auto scores = model.ScoreQueries({{2, 1, 0, 5}});
+  for (int64_t o = 0; o < d.num_entities(); ++o) {
+    float expected = 0.0f;
+    for (int64_t k = 0; k < 8; ++k) {
+      expected += entities.at(2, k) * relations.at(1, k) * entities.at(o, k);
+    }
+    EXPECT_NEAR(scores[0][static_cast<size_t>(o)], expected, 1e-4f);
+  }
+}
+
+TEST(DistMultMechanism, TimeInvariant) {
+  // A static model must give identical scores at different query times.
+  TkgDataset d = TinyData();
+  DistMult model(&d, 8);
+  EXPECT_EQ(model.ScoreQueries({{2, 1, 0, 3}}),
+            model.ScoreQueries({{2, 1, 0, 9}}));
+}
+
+TEST(TTransEMechanism, TimeSensitive) {
+  TkgDataset d = TinyData();
+  TTransE model(&d, 8);
+  EXPECT_NE(model.ScoreQueries({{2, 1, 0, 3}}),
+            model.ScoreQueries({{2, 1, 0, 9}}));
+}
+
+TEST(TTransEMechanism, ClosestTranslationScoresHighest) {
+  // Force entity 0 + relation 0 + time 0 == entity 1 exactly; entity 1 must
+  // then be the argmax (distance zero).
+  TkgDataset d = TinyData();
+  TTransE model(&d, 4);
+  std::vector<Tensor> params = model.Parameters();
+  // params: entities [E,4], relations [2R,4], time [T,4].
+  Tensor entities = params[0];
+  Tensor relations = params[1];
+  Tensor times = params[2];
+  for (int64_t k = 0; k < 4; ++k) {
+    entities.mutable_data()[static_cast<size_t>(0 * 4 + k)] = 0.1f * k;
+    relations.mutable_data()[static_cast<size_t>(k)] = 0.2f;
+    times.mutable_data()[static_cast<size_t>(k)] = 0.05f;
+    entities.mutable_data()[static_cast<size_t>(1 * 4 + k)] =
+        0.1f * k + 0.2f + 0.05f;
+  }
+  auto scores = model.ScoreQueries({{0, 0, 1, 0}});
+  int64_t best = 0;
+  for (int64_t o = 1; o < d.num_entities(); ++o) {
+    if (scores[0][static_cast<size_t>(o)] > scores[0][static_cast<size_t>(best)]) {
+      best = o;
+    }
+  }
+  EXPECT_EQ(best, 1);
+}
+
+TEST(TaDistMultMechanism, TimeModulatesRelation) {
+  TkgDataset d = TinyData();
+  TaDistMult model(&d, 8);
+  EXPECT_NE(model.ScoreQueries({{2, 1, 0, 3}}),
+            model.ScoreQueries({{2, 1, 0, 9}}));
+}
+
+TEST(DeSimplEMechanism, DiachronicPartMakesEntitiesTimeDependent) {
+  TkgDataset d = TinyData();
+  DeSimplE model(&d, 8, 0.5f);
+  EXPECT_NE(model.ScoreQueries({{2, 1, 0, 3}}),
+            model.ScoreQueries({{2, 1, 0, 9}}));
+}
+
+TEST(TntComplExMechanism, HasTemporalAndStaticRelationParts) {
+  TkgDataset d = TinyData();
+  TntComplEx model(&d, 8);
+  // Entities, static relations, temporal relations, time table.
+  EXPECT_EQ(model.Parameters().size(), 4u);
+  EXPECT_NE(model.ScoreQueries({{2, 1, 0, 3}}),
+            model.ScoreQueries({{2, 1, 0, 9}}));
+}
+
+TEST(RotatEMechanism, RotationPreservesComplexNorm) {
+  // |h o r| == |h| for a pure rotation: the rotated query's squared norm
+  // equals the subject's. We verify via the score identity
+  // score = 2 q.h_o - ||h_o||^2, probing with a one-hot candidate basis is
+  // overkill; instead check rotation invariance indirectly: scores against
+  // the subject itself must equal 2||h||^2(cos component...) — simplest
+  // robust check: rotating by a zero-phase relation is the identity.
+  TkgDataset d = TinyData();
+  RotatE model(&d, 8);
+  std::vector<Tensor> params = model.Parameters();
+  Tensor relations = params[1];
+  // Zero the phase of relation 0 -> rotation by angle 0 everywhere.
+  for (int64_t k = 0; k < 4; ++k) {
+    relations.mutable_data()[static_cast<size_t>(k)] = 0.0f;
+  }
+  // With identity rotation, the best-scoring candidate of (s, r0) is s
+  // itself (distance 0 to its own embedding).
+  auto scores = model.ScoreQueries({{3, 0, 0, 5}});
+  int64_t best = 0;
+  for (int64_t o = 1; o < d.num_entities(); ++o) {
+    if (scores[0][static_cast<size_t>(o)] > scores[0][static_cast<size_t>(best)]) {
+      best = o;
+    }
+  }
+  EXPECT_EQ(best, 3);
+}
+
+TEST(ConvEMechanism, RequiresFactorableDim) {
+  TkgDataset d = TinyData();
+  EXPECT_DEATH(ConvE(&d, /*dim=*/10, /*num_kernels=*/4, /*reshape_h=*/4),
+               "factor");
+}
+
+TEST(CenetMechanism, FrequencyFeaturesBoostHistoricalAnswers) {
+  TkgDataset d = TinyData();
+  HistoryIndex history(d);
+  Cenet model(&d, 8);
+  // Find a test query with a historical answer.
+  for (const Quadruple& q : d.test()) {
+    auto counts = history.ObjectCountsBefore(q.subject, q.relation, q.time);
+    if (counts.empty()) continue;
+    // Crank the frequency gain: the most frequent historical object must
+    // dominate the untrained similarity term.
+    for (Tensor& p : model.Parameters()) {
+      if (p.shape().rank() == 0) p.mutable_data()[0] = 100.0f;
+    }
+    int64_t most_frequent = counts.front().first;
+    int64_t best_count = counts.front().second;
+    for (const auto& [object, count] : counts) {
+      if (count > best_count) {
+        most_frequent = object;
+        best_count = count;
+      }
+    }
+    auto scores = model.ScoreQueries({q});
+    int64_t argmax = 0;
+    for (int64_t o = 1; o < d.num_entities(); ++o) {
+      if (scores[0][static_cast<size_t>(o)] >
+          scores[0][static_cast<size_t>(argmax)]) {
+        argmax = o;
+      }
+    }
+    EXPECT_EQ(argmax, most_frequent);
+    return;
+  }
+  GTEST_SKIP() << "no historical query in tiny dataset";
+}
+
+TEST(ComplExMechanism, ReducesToDistMultWithZeroImaginary) {
+  TkgDataset d = TinyData();
+  ComplEx model(&d, 8);
+  std::vector<Tensor> params = model.Parameters();
+  // Zero the imaginary halves of entities and relations: ComplEx then
+  // equals DistMult on the real halves.
+  for (size_t table_index : {size_t{0}, size_t{1}}) {
+    Tensor table = params[table_index];  // handle aliases the storage
+    int64_t rows = table.shape().rows();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t k = 4; k < 8; ++k) {
+        table.mutable_data()[static_cast<size_t>(i * 8 + k)] = 0.0f;
+      }
+    }
+  }
+  auto scores = model.ScoreQueries({{2, 1, 0, 5}});
+  const Tensor& entities = params[0];
+  const Tensor& relations = params[1];
+  for (int64_t o = 0; o < d.num_entities(); ++o) {
+    float expected = 0.0f;
+    for (int64_t k = 0; k < 4; ++k) {
+      expected += entities.at(2, k) * relations.at(1, k) * entities.at(o, k);
+    }
+    EXPECT_NEAR(scores[0][static_cast<size_t>(o)], expected, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace logcl

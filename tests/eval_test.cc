@@ -1,0 +1,109 @@
+// Tests for ranking and metric accumulation, including the time-aware
+// filtered protocol semantics.
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/ranking.h"
+#include "tkg/dataset.h"
+#include "tkg/filters.h"
+
+namespace logcl {
+namespace {
+
+TEST(RankingTest, RankOfBestIsOne) {
+  EXPECT_EQ(RankOfTarget({0.1f, 0.9f, 0.3f}, 1), 1);
+}
+
+TEST(RankingTest, RankCountsStrictlyGreater) {
+  EXPECT_EQ(RankOfTarget({0.9f, 0.5f, 0.7f}, 1), 3);
+  EXPECT_EQ(RankOfTarget({0.9f, 0.5f, 0.7f}, 2), 2);
+}
+
+TEST(RankingTest, TiesRankOptimistically) {
+  EXPECT_EQ(RankOfTarget({0.5f, 0.5f, 0.5f}, 1), 1);
+}
+
+TEST(RankingTest, FilterRemovesOtherAnswers) {
+  // Entity 0 outranks the target 2, but is a known answer -> filtered out.
+  EXPECT_EQ(RankOfTarget({0.9f, 0.1f, 0.5f}, 2, {0}), 1);
+  // The target itself is never filtered.
+  EXPECT_EQ(RankOfTarget({0.9f, 0.1f, 0.5f}, 2, {0, 2}), 1);
+}
+
+TEST(RankingTest, FilterKeepsNonAnswerCompetitors) {
+  EXPECT_EQ(RankOfTarget({0.9f, 0.8f, 0.5f}, 2, {0}), 2);
+}
+
+TEST(RankingTest, TopKOrdersDescending) {
+  std::vector<int64_t> top = TopK({0.2f, 0.9f, 0.5f, 0.7f}, 3);
+  EXPECT_EQ(top, (std::vector<int64_t>{1, 3, 2}));
+}
+
+TEST(RankingTest, TopKClampsToSize) {
+  EXPECT_EQ(TopK({1.0f, 2.0f}, 10).size(), 2u);
+}
+
+TEST(MetricsTest, SingleRankValues) {
+  MetricsAccumulator acc;
+  acc.AddRank(1);
+  EvalResult r = acc.Result();
+  EXPECT_DOUBLE_EQ(r.mrr, 100.0);
+  EXPECT_DOUBLE_EQ(r.hits1, 100.0);
+  EXPECT_DOUBLE_EQ(r.hits10, 100.0);
+}
+
+TEST(MetricsTest, MixedRanks) {
+  MetricsAccumulator acc;
+  acc.AddRank(1);   // rr = 1
+  acc.AddRank(2);   // rr = 0.5
+  acc.AddRank(4);   // rr = 0.25
+  acc.AddRank(20);  // rr = 0.05
+  EvalResult r = acc.Result();
+  EXPECT_NEAR(r.mrr, 100.0 * (1.0 + 0.5 + 0.25 + 0.05) / 4.0, 1e-9);
+  EXPECT_NEAR(r.hits1, 25.0, 1e-9);
+  EXPECT_NEAR(r.hits3, 50.0, 1e-9);
+  EXPECT_NEAR(r.hits10, 75.0, 1e-9);
+  EXPECT_EQ(r.count, 4);
+}
+
+TEST(MetricsTest, MergeIsAdditive) {
+  MetricsAccumulator a, b;
+  a.AddRank(1);
+  b.AddRank(4);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2);
+  EXPECT_NEAR(a.Result().mrr, 100.0 * (1.0 + 0.25) / 2.0, 1e-9);
+}
+
+TEST(MetricsTest, EmptyResultIsZero) {
+  EvalResult r = MetricsAccumulator().Result();
+  EXPECT_EQ(r.mrr, 0.0);
+  EXPECT_EQ(r.count, 0);
+}
+
+TEST(MetricsTest, ToStringRendersPercentages) {
+  MetricsAccumulator acc;
+  acc.AddRank(2);
+  EXPECT_NE(acc.Result().ToString().find("MRR=50.00"), std::string::npos);
+}
+
+TEST(AccumulateRanksTest, AppliesFilterPerQuery) {
+  TkgDataset d = TkgDataset::FromQuadruples(
+      "t", 3, 1, {{0, 0, 1, 0}, {0, 0, 2, 0}}, {{0, 0, 1, 1}}, {{0, 0, 2, 2}});
+  TimeAwareFilter filter(d);
+  // Query (0, 0, ?, 0) with target 2: entity 1 is a same-time answer, so a
+  // higher score on 1 must not hurt the rank.
+  std::vector<std::vector<float>> scores = {{0.1f, 0.9f, 0.5f}};
+  std::vector<ScoredQuery> queries = {{0, 0, 0, 2}};
+  MetricsAccumulator metrics;
+  AccumulateRanks(scores, queries, &filter, &metrics);
+  EXPECT_DOUBLE_EQ(metrics.Result().hits1, 100.0);
+  // Without the filter the rank drops to 2.
+  MetricsAccumulator raw;
+  AccumulateRanks(scores, queries, nullptr, &raw);
+  EXPECT_DOUBLE_EQ(raw.Result().hits1, 0.0);
+}
+
+}  // namespace
+}  // namespace logcl

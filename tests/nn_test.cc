@@ -1,0 +1,217 @@
+// Tests for the NN building blocks: Linear, MLP, GRU, time encoding,
+// ConvTransE, and the module parameter registry.
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "nn/convtranse.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/module.h"
+#include "nn/time_encoding.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+
+namespace logcl {
+namespace {
+
+TEST(ModuleTest, ParametersCollectChildren) {
+  Rng rng(1);
+  Mlp mlp(4, 8, 3, &rng);
+  // Two Linear children, each with weight + bias.
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+  EXPECT_EQ(mlp.NumParameterElements(), 4 * 8 + 8 + 8 * 3 + 3);
+}
+
+TEST(LinearTest, KnownAffineMap) {
+  Rng rng(2);
+  Linear linear(2, 2, &rng);
+  std::vector<Tensor> params = linear.Parameters();
+  params[0].mutable_data() = {1, 2, 3, 4};  // W
+  params[1].mutable_data() = {10, 20};      // b
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {1, 1});
+  Tensor y = linear.Forward(x);
+  EXPECT_NEAR(y.at(0, 0), 1 + 3 + 10, 1e-5f);
+  EXPECT_NEAR(y.at(0, 1), 2 + 4 + 20, 1e-5f);
+}
+
+TEST(LinearTest, NoBiasOption) {
+  Rng rng(3);
+  Linear linear(3, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(linear.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros(Shape{1, 3});
+  Tensor y = linear.Forward(zero);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+}
+
+TEST(MlpTest, OutputIsUnitNormalised) {
+  Rng rng(4);
+  Mlp mlp(4, 6, 5, &rng);
+  Rng data_rng(5);
+  Tensor x = Tensor::RandomNormal(Shape{3, 4}, 1.0f, &data_rng);
+  Tensor y = mlp.Forward(x, /*normalize=*/true);
+  for (int64_t i = 0; i < 3; ++i) {
+    double sq = 0;
+    for (int64_t j = 0; j < 5; ++j) sq += y.at(i, j) * y.at(i, j);
+    EXPECT_NEAR(std::sqrt(sq), 1.0, 1e-4);
+  }
+}
+
+TEST(GruCellTest, GateInterpolatesBetweenStateAndCandidate) {
+  // With all weights zero, z = sigmoid(0) = 0.5 and n = tanh(0) = 0, so the
+  // next state is exactly h/2.
+  Rng rng(6);
+  GruCell gru(3, &rng);
+  for (Tensor& p : gru.Parameters()) {
+    std::fill(p.mutable_data().begin(), p.mutable_data().end(), 0.0f);
+  }
+  Tensor h = Tensor::FromVector(Shape{2, 3}, {2, 4, 6, -2, 0, 8});
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 1, 1, 1, 1, 1});
+  Tensor next = gru.Forward(h, x);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_NEAR(next.at(i), h.at(i) / 2, 1e-5f);
+}
+
+TEST(GruCellTest, GradientsFlowToAllParameters) {
+  Rng rng(7);
+  GruCell gru(2, &rng);
+  Rng data_rng(8);
+  Tensor h = Tensor::RandomNormal(Shape{3, 2}, 1.0f, &data_rng);
+  Tensor x = Tensor::RandomNormal(Shape{3, 2}, 1.0f, &data_rng);
+  Backward(ops::SumAll(gru.Forward(h, x)));
+  for (Tensor& p : gru.Parameters()) {
+    bool any_nonzero = false;
+    for (float g : p.grad()) {
+      if (g != 0.0f) any_nonzero = true;
+    }
+    EXPECT_TRUE(any_nonzero);
+  }
+}
+
+TEST(GruCellTest, CanMemorizeSequenceTarget) {
+  // Train the GRU (plus a readout) to map a 2-step input sequence to a
+  // target state.
+  Rng rng(9);
+  GruCell gru(4, &rng);
+  Tensor x1 = Tensor::FromVector(Shape{1, 4}, {1, 0, 0, 0});
+  Tensor x2 = Tensor::FromVector(Shape{1, 4}, {0, 1, 0, 0});
+  Tensor target = Tensor::FromVector(Shape{1, 4}, {0.5f, -0.5f, 0.25f, 0.0f});
+  AdamOptions opts;
+  opts.learning_rate = 0.02f;
+  AdamOptimizer optimizer(gru.Parameters(), opts);
+  auto loss_fn = [&]() {
+    Tensor h = Tensor::Zeros(Shape{1, 4});
+    h = gru.Forward(h, x1);
+    h = gru.Forward(h, x2);
+    Tensor diff = ops::Sub(h, target);
+    return ops::SumAll(ops::Mul(diff, diff));
+  };
+  float initial = loss_fn().at(0);
+  for (int step = 0; step < 150; ++step) {
+    optimizer.ZeroGrad();
+    Backward(loss_fn());
+    optimizer.Step();
+  }
+  EXPECT_LT(loss_fn().at(0), initial * 0.1f);
+}
+
+TEST(TimeEncodingTest, OutputShapeAndDeltaSensitivity) {
+  Rng rng(10);
+  TimeEncoding enc(4, 3, &rng);
+  Rng data_rng(11);
+  Tensor h = Tensor::RandomNormal(Shape{5, 4}, 1.0f, &data_rng);
+  Tensor y1 = enc.Forward(h, 1);
+  Tensor y2 = enc.Forward(h, 2);
+  EXPECT_EQ(y1.shape(), Shape({5, 4}));
+  bool differs = false;
+  for (int64_t i = 0; i < y1.num_elements(); ++i) {
+    if (std::abs(y1.at(i) - y2.at(i)) > 1e-6f) differs = true;
+  }
+  EXPECT_TRUE(differs) << "time encoding ignores the interval";
+}
+
+TEST(TimeEncodingTest, GradientsReachFrequencyAndPhase) {
+  Rng rng(12);
+  TimeEncoding enc(3, 2, &rng);
+  Rng data_rng(13);
+  Tensor h = Tensor::RandomNormal(Shape{2, 3}, 1.0f, &data_rng);
+  Backward(ops::SumAll(enc.Forward(h, 3)));
+  // Parameters: w_t, b_t, then the projection's weight/bias.
+  std::vector<Tensor> params = enc.Parameters();
+  ASSERT_GE(params.size(), 2u);
+  bool w_grad = false;
+  for (float g : params[0].grad()) {
+    if (g != 0.0f) w_grad = true;
+  }
+  EXPECT_TRUE(w_grad);
+}
+
+TEST(ConvTransETest, ScoreShape) {
+  Rng rng(14);
+  ConvTransEOptions options;
+  options.num_kernels = 8;
+  options.dropout = 0.0f;
+  ConvTransE decoder(6, options, &rng);
+  Rng data_rng(15);
+  Tensor h = Tensor::RandomNormal(Shape{3, 6}, 1.0f, &data_rng);
+  Tensor r = Tensor::RandomNormal(Shape{3, 6}, 1.0f, &data_rng);
+  Tensor entities = Tensor::RandomNormal(Shape{10, 6}, 1.0f, &data_rng);
+  Tensor scores = decoder.Score(h, r, entities, /*training=*/false, nullptr);
+  EXPECT_EQ(scores.shape(), Shape({3, 10}));
+}
+
+TEST(ConvTransETest, CanFitLinkPrediction) {
+  // Teach the decoder that (e0, r0) -> e1 and (e2, r0) -> e3 on fixed
+  // embeddings.
+  Rng rng(16);
+  ConvTransEOptions options;
+  options.num_kernels = 8;
+  options.dropout = 0.0f;
+  ConvTransE decoder(8, options, &rng);
+  Rng data_rng(17);
+  Tensor entities = Tensor::RandomNormal(Shape{6, 8}, 1.0f, &data_rng, true);
+  Tensor relations = Tensor::RandomNormal(Shape{2, 8}, 1.0f, &data_rng, true);
+  std::vector<Tensor> params = decoder.Parameters();
+  params.push_back(entities);
+  params.push_back(relations);
+  AdamOptions opts;
+  opts.learning_rate = 0.01f;
+  AdamOptimizer optimizer(params, opts);
+  auto loss_fn = [&]() {
+    Tensor h = ops::IndexSelectRows(entities, {0, 2});
+    Tensor r = ops::IndexSelectRows(relations, {0, 0});
+    Tensor logits = decoder.Score(h, r, entities, false, nullptr);
+    return ops::CrossEntropyWithLogits(logits, {1, 3});
+  };
+  float initial = loss_fn().at(0);
+  for (int step = 0; step < 120; ++step) {
+    optimizer.ZeroGrad();
+    Backward(loss_fn());
+    optimizer.Step();
+  }
+  EXPECT_LT(loss_fn().at(0), initial * 0.2f);
+}
+
+TEST(ConvTransETest, GradCheckThroughDecoder) {
+  Rng rng(18);
+  ConvTransEOptions options;
+  options.num_kernels = 3;
+  options.dropout = 0.0f;
+  ConvTransE decoder(4, options, &rng);
+  Rng data_rng(19);
+  auto report = CheckGradients(
+      [&](const std::vector<Tensor>& in) {
+        Tensor scores = decoder.Score(in[0], in[1], in[2], false, nullptr);
+        return ops::CrossEntropyWithLogits(scores, {1, 0});
+      },
+      {Tensor::RandomNormal(Shape{2, 4}, 1.0f, &data_rng, true),
+       Tensor::RandomNormal(Shape{2, 4}, 1.0f, &data_rng, true),
+       Tensor::RandomNormal(Shape{5, 4}, 1.0f, &data_rng, true)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+}  // namespace
+}  // namespace logcl

@@ -1,0 +1,184 @@
+// Property-based sweeps over the op library: algebraic identities and
+// finite-difference gradient checks across randomized shapes and seeds.
+// These complement the hand-checked cases in tensor_test.cc.
+
+#include <cmath>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+
+namespace logcl {
+namespace {
+
+Tensor RandomTensor(const Shape& shape, uint64_t seed, bool grad = false) {
+  Rng rng(seed);
+  return Tensor::RandomNormal(shape, 1.0f, &rng, grad);
+}
+
+void ExpectAllNear(const Tensor& a, const Tensor& b, float tol = 1e-5f) {
+  ASSERT_EQ(a.shape(), b.shape());
+  for (int64_t i = 0; i < a.num_elements(); ++i) {
+    EXPECT_NEAR(a.at(i), b.at(i), tol) << "element " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic identities over randomized shapes.
+// ---------------------------------------------------------------------------
+
+class ShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {
+ protected:
+  int64_t rows() const { return GetParam().first; }
+  int64_t cols() const { return GetParam().second; }
+};
+
+TEST_P(ShapeSweep, AddCommutes) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 10);
+  Tensor b = RandomTensor(Shape{rows(), cols()}, 11);
+  ExpectAllNear(ops::Add(a, b), ops::Add(b, a));
+}
+
+TEST_P(ShapeSweep, SubIsAddOfNeg) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 12);
+  Tensor b = RandomTensor(Shape{rows(), cols()}, 13);
+  ExpectAllNear(ops::Sub(a, b), ops::Add(a, ops::Neg(b)));
+}
+
+TEST_P(ShapeSweep, DoubleTransposeIsIdentity) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 14);
+  ExpectAllNear(ops::Transpose(ops::Transpose(a)), a);
+}
+
+TEST_P(ShapeSweep, ConcatThenSliceRecovers) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 15);
+  Tensor b = RandomTensor(Shape{rows(), cols()}, 16);
+  Tensor c = ops::ConcatCols({a, b});
+  ExpectAllNear(ops::SliceCols(c, 0, cols()), a);
+  ExpectAllNear(ops::SliceCols(c, cols(), cols()), b);
+}
+
+TEST_P(ShapeSweep, SoftmaxIsShiftInvariant) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 17);
+  Tensor shifted = ops::AddScalar(a, 7.5f);
+  ExpectAllNear(ops::Softmax(a), ops::Softmax(shifted), 1e-4f);
+}
+
+TEST_P(ShapeSweep, SumAllMatchesMeanTimesCount) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 18);
+  float sum = ops::SumAll(a).at(0);
+  float mean = ops::MeanAll(a).at(0);
+  EXPECT_NEAR(sum, mean * static_cast<float>(a.num_elements()), 1e-3f);
+}
+
+TEST_P(ShapeSweep, MatMulIdentity) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 19);
+  std::vector<float> eye(static_cast<size_t>(cols() * cols()), 0.0f);
+  for (int64_t i = 0; i < cols(); ++i) eye[static_cast<size_t>(i * cols() + i)] = 1.0f;
+  Tensor identity = Tensor::FromVector(Shape{cols(), cols()}, std::move(eye));
+  ExpectAllNear(ops::MatMul(a, identity), a, 1e-4f);
+}
+
+TEST_P(ShapeSweep, IndexSelectAllRowsIsIdentity) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 20);
+  std::vector<int64_t> all(static_cast<size_t>(rows()));
+  for (int64_t i = 0; i < rows(); ++i) all[static_cast<size_t>(i)] = i;
+  ExpectAllNear(ops::IndexSelectRows(a, all), a);
+}
+
+TEST_P(ShapeSweep, ScatterAddInvertsIndexSelectCounts) {
+  // scatter_add(select(x, idx), idx) multiplies each row by its multiplicity.
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 21);
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < rows(); ++i) {
+    idx.push_back(i);
+    idx.push_back(i);  // every row twice
+  }
+  Tensor twice = ops::ScatterAddRows(ops::IndexSelectRows(a, idx), idx, rows());
+  ExpectAllNear(twice, ops::Scale(a, 2.0f), 1e-4f);
+}
+
+TEST_P(ShapeSweep, ScatterMeanOfDuplicatesIsIdentity) {
+  Tensor a = RandomTensor(Shape{rows(), cols()}, 22);
+  std::vector<int64_t> idx;
+  for (int64_t i = 0; i < rows(); ++i) {
+    idx.push_back(i);
+    idx.push_back(i);
+  }
+  Tensor mean = ops::ScatterMeanRows(ops::IndexSelectRows(a, idx), idx, rows());
+  ExpectAllNear(mean, a, 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ShapeSweep,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{1, 7},
+                                           std::pair<int, int>{5, 1},
+                                           std::pair<int, int>{3, 4},
+                                           std::pair<int, int>{8, 8},
+                                           std::pair<int, int>{13, 5}));
+
+// ---------------------------------------------------------------------------
+// Gradient checks across random seeds for composite expressions.
+// ---------------------------------------------------------------------------
+
+class SeedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SeedSweep, CompositeAttentionExpression) {
+  // The shape of the entity-aware attention computation (Eq.9-11).
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Tensor states = RandomTensor(Shape{4, 3}, seed, true);
+  Tensor keys = RandomTensor(Shape{4, 3}, seed + 1, true);
+  Tensor w = RandomTensor(Shape{3, 1}, seed + 2, true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor logits_a = ops::MatMul(ops::Add(in[1], in[0]), in[2]);
+        Tensor logits_b = ops::MatMul(ops::Sub(in[1], in[0]), in[2]);
+        Tensor alpha = ops::Softmax(ops::ConcatCols({logits_a, logits_b}));
+        Tensor weighted =
+            ops::MulColBroadcast(in[0], ops::SliceCols(alpha, 0, 1));
+        return ops::SumAll(ops::Tanh(ops::Add(in[1], weighted)));
+      },
+      {states, keys, w});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST_P(SeedSweep, CompositeInfoNceExpression) {
+  // The shape of the contrast loss: normalized projections + log-softmax.
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Tensor a = RandomTensor(Shape{4, 5}, seed + 10, true);
+  Tensor b = RandomTensor(Shape{4, 5}, seed + 11, true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor za = ops::RowL2Normalize(in[0]);
+        Tensor zb = ops::RowL2Normalize(in[1]);
+        Tensor logits = ops::Scale(ops::MatMul(za, ops::Transpose(zb)), 5.0f);
+        return ops::CrossEntropyWithLogits(logits, {0, 1, 2, 3});
+      },
+      {a, b});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST_P(SeedSweep, CompositeGruExpression) {
+  uint64_t seed = static_cast<uint64_t>(GetParam());
+  Tensor h = RandomTensor(Shape{3, 4}, seed + 20, true);
+  Tensor x = RandomTensor(Shape{3, 4}, seed + 21, true);
+  Tensor wz = RandomTensor(Shape{4, 4}, seed + 22, true);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor z = ops::Sigmoid(ops::MatMul(in[1], in[2]));
+        Tensor keep = ops::AddScalar(ops::Neg(z), 1.0f);
+        Tensor next = ops::Add(ops::Mul(z, in[0]),
+                               ops::Mul(keep, ops::Tanh(in[1])));
+        return ops::MeanAll(ops::Mul(next, next));
+      },
+      {h, x, wz});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep, ::testing::Range(100, 108));
+
+}  // namespace
+}  // namespace logcl

@@ -1,0 +1,151 @@
+// Tests for checkpoint save/load and the static filter protocol.
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/logcl_model.h"
+#include "synth/generator.h"
+#include "tensor/serialization.h"
+#include "tkg/filters.h"
+
+namespace logcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(SerializationTest, RoundTripPreservesValues) {
+  Rng rng(1);
+  std::vector<Tensor> params = {
+      Tensor::RandomNormal(Shape{3, 4}, 1.0f, &rng, true),
+      Tensor::RandomNormal(Shape{7}, 1.0f, &rng, true),
+      Tensor::Scalar(2.5f, true),
+  };
+  std::string path = TempPath("logcl_ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+
+  Rng rng2(99);
+  std::vector<Tensor> restored = {
+      Tensor::RandomNormal(Shape{3, 4}, 1.0f, &rng2, true),
+      Tensor::RandomNormal(Shape{7}, 1.0f, &rng2, true),
+      Tensor::Scalar(0.0f, true),
+  };
+  ASSERT_TRUE(LoadParameters(path, &restored).ok());
+  for (size_t i = 0; i < params.size(); ++i) {
+    EXPECT_EQ(restored[i].data(), params[i].data()) << "tensor " << i;
+  }
+  fs::remove(path);
+}
+
+TEST(SerializationTest, ShapeMismatchIsRejected) {
+  Rng rng(2);
+  std::vector<Tensor> params = {Tensor::RandomNormal(Shape{2, 2}, 1.0f, &rng,
+                                                     true)};
+  std::string path = TempPath("logcl_ckpt_shape.bin");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<Tensor> wrong = {Tensor::Zeros(Shape{2, 3}, true)};
+  Status status = LoadParameters(path, &wrong);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  fs::remove(path);
+}
+
+TEST(SerializationTest, CountMismatchIsRejected) {
+  Rng rng(3);
+  std::vector<Tensor> params = {Tensor::RandomNormal(Shape{2}, 1.0f, &rng,
+                                                     true)};
+  std::string path = TempPath("logcl_ckpt_count.bin");
+  ASSERT_TRUE(SaveParameters(params, path).ok());
+  std::vector<Tensor> wrong = {Tensor::Zeros(Shape{2}, true),
+                               Tensor::Zeros(Shape{2}, true)};
+  EXPECT_FALSE(LoadParameters(path, &wrong).ok());
+  fs::remove(path);
+}
+
+TEST(SerializationTest, GarbageFileIsRejected) {
+  std::string path = TempPath("logcl_ckpt_garbage.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("this is not a checkpoint", f);
+    std::fclose(f);
+  }
+  std::vector<Tensor> params = {Tensor::Zeros(Shape{1}, true)};
+  Status status = LoadParameters(path, &params);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  fs::remove(path);
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  std::vector<Tensor> params = {Tensor::Zeros(Shape{1}, true)};
+  EXPECT_EQ(LoadParameters("/nonexistent/ckpt.bin", &params).code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerializationTest, TrainedModelSurvivesRestart) {
+  // Train a model, checkpoint it, restore into a fresh instance, and check
+  // the two produce identical scores.
+  SynthConfig config;
+  config.seed = 61;
+  config.num_entities = 20;
+  config.num_relations = 4;
+  config.num_timestamps = 20;
+  TkgDataset data = GenerateSyntheticTkg(config);
+  LogClConfig model_config;
+  model_config.embedding_dim = 8;
+  model_config.local.history_length = 2;
+  model_config.local.num_layers = 1;
+  model_config.global.num_layers = 1;
+  model_config.decoder.num_kernels = 4;
+
+  LogClModel trained(&data, model_config);
+  AdamOptimizer optimizer(trained.Parameters(), {});
+  trained.TrainEpoch(&optimizer);
+  std::string path = TempPath("logcl_ckpt_model.bin");
+  ASSERT_TRUE(SaveParameters(trained.Parameters(), path).ok());
+
+  LogClModel restored(&data, model_config);
+  std::vector<Tensor> params = restored.Parameters();
+  ASSERT_TRUE(LoadParameters(path, &params).ok());
+
+  std::vector<Quadruple> queries = {{0, 0, 1, 17}, {3, 2, 5, 17}};
+  EXPECT_EQ(trained.ScoreQueries(queries), restored.ScoreQueries(queries));
+  fs::remove(path);
+}
+
+TEST(StaticFilterTest, AnswersSpanAllTimes) {
+  TkgDataset d = TkgDataset::FromQuadruples(
+      "t", 4, 1, {{0, 0, 1, 0}, {0, 0, 2, 1}}, {{0, 0, 3, 2}}, {{0, 0, 1, 3}});
+  StaticFilter filter(d);
+  EXPECT_EQ(filter.Answers(0, 0), (std::vector<int64_t>{1, 2, 3}));
+  // Inverse side is indexed too.
+  EXPECT_EQ(filter.Answers(1, 1), (std::vector<int64_t>{0}));
+  EXPECT_TRUE(filter.Answers(3, 0).empty());
+}
+
+TEST(StaticFilterTest, StaticFiltersAtLeastAsMuchAsTimeAware) {
+  SynthConfig config;
+  config.seed = 62;
+  config.num_entities = 30;
+  config.num_relations = 5;
+  config.num_timestamps = 30;
+  TkgDataset d = GenerateSyntheticTkg(config);
+  StaticFilter static_filter(d);
+  TimeAwareFilter time_filter(d);
+  for (const Quadruple& q : d.test()) {
+    const auto& static_answers = static_filter.Answers(q.subject, q.relation);
+    for (int64_t o : time_filter.Answers(q.subject, q.relation, q.time)) {
+      EXPECT_TRUE(std::find(static_answers.begin(), static_answers.end(), o) !=
+                  static_answers.end())
+          << "time-aware answer missing from static index";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logcl

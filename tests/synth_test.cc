@@ -1,0 +1,186 @@
+// Tests for the synthetic TKG generator: determinism, split structure, and
+// that the planted pattern families actually materialise.
+
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "synth/generator.h"
+#include "synth/presets.h"
+#include "tkg/history_index.h"
+
+namespace logcl {
+namespace {
+
+SynthConfig SmallConfig() {
+  SynthConfig config;
+  config.name = "small";
+  config.seed = 99;
+  config.num_entities = 30;
+  config.num_relations = 6;
+  config.num_timestamps = 40;
+  config.recurring_pool = 20;
+  config.recurring_prob = 0.3;
+  config.num_cyclic = 10;
+  config.chains_per_timestamp = 2.0;
+  config.noise_per_timestamp = 1.0;
+  return config;
+}
+
+TEST(SynthTest, DeterministicUnderSeed) {
+  TkgDataset a = GenerateSyntheticTkg(SmallConfig());
+  TkgDataset b = GenerateSyntheticTkg(SmallConfig());
+  EXPECT_EQ(a.train(), b.train());
+  EXPECT_EQ(a.valid(), b.valid());
+  EXPECT_EQ(a.test(), b.test());
+}
+
+TEST(SynthTest, DifferentSeedsDiffer) {
+  SynthConfig c1 = SmallConfig();
+  SynthConfig c2 = SmallConfig();
+  c2.seed = 100;
+  EXPECT_NE(GenerateSyntheticTkg(c1).train(), GenerateSyntheticTkg(c2).train());
+}
+
+TEST(SynthTest, SplitIsChronological) {
+  TkgDataset d = GenerateSyntheticTkg(SmallConfig());
+  int64_t max_train = -1, min_valid = 1 << 20, max_valid = -1, min_test = 1 << 20;
+  for (const Quadruple& q : d.train()) max_train = std::max(max_train, q.time);
+  for (const Quadruple& q : d.valid()) {
+    min_valid = std::min(min_valid, q.time);
+    max_valid = std::max(max_valid, q.time);
+  }
+  for (const Quadruple& q : d.test()) min_test = std::min(min_test, q.time);
+  EXPECT_LT(max_train, min_valid);
+  EXPECT_LT(max_valid, min_test);
+}
+
+TEST(SynthTest, SplitProportionsRoughly801010) {
+  TkgDataset d = GenerateSyntheticTkg(SmallConfig());
+  double total = static_cast<double>(d.train().size() + d.valid().size() +
+                                     d.test().size());
+  EXPECT_GT(d.train().size() / total, 0.65);
+  EXPECT_GT(d.valid().size(), 0u);
+  EXPECT_GT(d.test().size(), 0u);
+}
+
+TEST(SynthTest, NoDuplicateFacts) {
+  TkgDataset d = GenerateSyntheticTkg(SmallConfig());
+  std::unordered_set<Quadruple, QuadrupleHash> seen;
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : d.split(s)) {
+      EXPECT_TRUE(seen.insert(q).second) << "duplicate " << q.ToString();
+    }
+  }
+}
+
+TEST(SynthTest, IdsInRange) {
+  SynthConfig config = SmallConfig();
+  TkgDataset d = GenerateSyntheticTkg(config);
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : d.split(s)) {
+      EXPECT_LT(q.subject, config.num_entities);
+      EXPECT_LT(q.object, config.num_entities);
+      EXPECT_LT(q.relation, config.num_relations);
+      EXPECT_LT(q.time, config.num_timestamps);
+    }
+  }
+}
+
+TEST(SynthTest, RepetitionActuallyMaterialises) {
+  // A healthy fraction of test facts must have occurred before (the global
+  // repetition signal the paper's global encoder exploits).
+  TkgDataset d = GenerateSyntheticTkg(SmallConfig());
+  HistoryIndex history(d);
+  int64_t repeated = 0;
+  for (const Quadruple& q : d.test()) {
+    if (history.SeenBefore(q.subject, q.relation, q.object, q.time)) {
+      ++repeated;
+    }
+  }
+  double fraction =
+      static_cast<double>(repeated) / static_cast<double>(d.test().size());
+  EXPECT_GT(fraction, 0.3) << "repetition signal too weak";
+}
+
+TEST(SynthTest, ChainsCreateLocalSignal) {
+  // With chains of length 3, many facts at t have a same-(s, o) companion
+  // fact at t-1 (the local evolution signal).
+  SynthConfig config = SmallConfig();
+  config.chains_per_timestamp = 5.0;
+  config.recurring_pool = 0;
+  config.alternating_pool = 0;
+  config.num_cyclic = 0;
+  config.noise_per_timestamp = 0.0;
+  TkgDataset d = GenerateSyntheticTkg(config);
+  HistoryIndex history(d);
+  int64_t with_recent_companion = 0;
+  int64_t total = 0;
+  for (const Quadruple& q : d.train()) {
+    if (q.time == 0) continue;
+    ++total;
+    for (const HistoryEdge& e : history.FactsTouchingBefore(q.subject, q.time)) {
+      if (e.time == q.time - 1 && e.neighbor == q.object) {
+        ++with_recent_companion;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(with_recent_companion) /
+                static_cast<double>(total),
+            0.5);
+}
+
+TEST(SynthTest, CyclicFactsHaveFixedPeriod) {
+  SynthConfig config = SmallConfig();
+  config.recurring_pool = 0;
+  config.alternating_pool = 0;
+  config.chains_per_timestamp = 0.0;
+  config.noise_per_timestamp = 0.0;
+  config.num_cyclic = 5;
+  config.cycle_min = 4;
+  config.cycle_max = 4;
+  TkgDataset d = GenerateSyntheticTkg(config);
+  // Each distinct triple must appear at times phase, phase+4, phase+8, ...
+  std::unordered_map<uint64_t, std::vector<int64_t>> occurrences;
+  for (Split s : {Split::kTrain, Split::kValid, Split::kTest}) {
+    for (const Quadruple& q : d.split(s)) {
+      uint64_t key = static_cast<uint64_t>(q.subject) << 32 ^
+                     static_cast<uint64_t>(q.relation) << 16 ^
+                     static_cast<uint64_t>(q.object);
+      occurrences[key].push_back(q.time);
+    }
+  }
+  for (auto& [key, times] : occurrences) {
+    std::sort(times.begin(), times.end());
+    for (size_t i = 1; i < times.size(); ++i) {
+      EXPECT_EQ((times[i] - times[0]) % 4, 0);
+    }
+  }
+}
+
+TEST(PresetTest, AllPresetsGenerate) {
+  for (PaperDataset p : AllPaperDatasets()) {
+    TkgDataset d = MakePaperDataset(p);
+    EXPECT_GT(d.train().size(), 100u) << PaperDatasetName(p);
+    EXPECT_GT(d.test().size(), 20u) << PaperDatasetName(p);
+    EXPECT_EQ(d.name(), PaperDatasetName(p));
+  }
+}
+
+TEST(PresetTest, Icews0515LikeHasLongestHorizon) {
+  EXPECT_GT(MakePaperDataset(PaperDataset::kIcews0515Like).num_timestamps(),
+            MakePaperDataset(PaperDataset::kIcews14Like).num_timestamps());
+}
+
+TEST(PresetTest, GdeltLikeIsNoisiest) {
+  EXPECT_GT(PresetConfig(PaperDataset::kGdeltLike).noise_per_timestamp,
+            PresetConfig(PaperDataset::kIcews14Like).noise_per_timestamp);
+}
+
+}  // namespace
+}  // namespace logcl

@@ -1,0 +1,779 @@
+// Unit and property tests for the tensor/autograd substrate. Every op's
+// backward is checked against central finite differences.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/gradcheck.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace {
+
+using ::testing::Test;
+
+TEST(ShapeTest, BasicProperties) {
+  Shape s{3, 4};
+  EXPECT_EQ(s.rank(), 2);
+  EXPECT_EQ(s.dim(0), 3);
+  EXPECT_EQ(s.dim(1), 4);
+  EXPECT_EQ(s.num_elements(), 12);
+  EXPECT_EQ(s.ToString(), "[3, 4]");
+}
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.num_elements(), 1);
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, ZeroDimension) {
+  Shape s{0, 4};
+  EXPECT_EQ(s.num_elements(), 0);
+}
+
+TEST(TensorTest, ZerosAndFull) {
+  Tensor z = Tensor::Zeros(Shape{2, 2});
+  for (float v : z.data()) EXPECT_EQ(v, 0.0f);
+  Tensor f = Tensor::Full(Shape{3}, 2.5f);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(TensorTest, FromVectorAndAt) {
+  Tensor t = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  EXPECT_EQ(t.at(4), 5.0f);
+}
+
+TEST(TensorTest, CloneIsDetached) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, /*requires_grad=*/true);
+  Tensor b = a.Clone();
+  EXPECT_FALSE(b.requires_grad());
+  b.mutable_data()[0] = 99.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(TensorTest, HandleAliasesStorage) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor b = a;
+  b.mutable_data()[0] = 7.0f;
+  EXPECT_EQ(a.at(0), 7.0f);
+  EXPECT_TRUE(a.IsSameObject(b));
+}
+
+TEST(TensorTest, XavierUniformRespectsBound) {
+  Rng rng(7);
+  Tensor w = Tensor::XavierUniform(Shape{16, 16}, &rng);
+  float bound = std::sqrt(6.0 / 32.0);
+  for (float v : w.data()) {
+    EXPECT_GE(v, -bound);
+    EXPECT_LE(v, bound);
+  }
+}
+
+TEST(TensorTest, RandomNormalStatistics) {
+  Rng rng(11);
+  Tensor x = Tensor::RandomNormal(Shape{4000}, 2.0f, &rng);
+  double mean = 0.0, var = 0.0;
+  for (float v : x.data()) mean += v;
+  mean /= x.num_elements();
+  for (float v : x.data()) var += (v - mean) * (v - mean);
+  var /= x.num_elements();
+  EXPECT_NEAR(mean, 0.0, 0.15);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.15);
+}
+
+TEST(NoGradTest, GuardDisablesTape) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  {
+    NoGradGuard guard;
+    Tensor y = ops::Scale(a, 3.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  Tensor y = ops::Scale(a, 3.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+// ---------------------------------------------------------------------------
+// Forward correctness.
+// ---------------------------------------------------------------------------
+
+TEST(OpsForwardTest, AddSameShape) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {10, 20, 30, 40});
+  Tensor c = ops::Add(a, b);
+  EXPECT_EQ(c.at(0), 11.0f);
+  EXPECT_EQ(c.at(3), 44.0f);
+}
+
+TEST(OpsForwardTest, AddRowBroadcast) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3}, {10, 20, 30});
+  Tensor c = ops::Add(a, b);
+  EXPECT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_EQ(c.at(1, 2), 36.0f);
+}
+
+TEST(OpsForwardTest, AddScalarBroadcast) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2});
+  Tensor s = Tensor::Scalar(5.0f);
+  Tensor c = ops::Add(a, s);
+  EXPECT_EQ(c.at(0), 6.0f);
+  EXPECT_EQ(c.at(1), 7.0f);
+}
+
+TEST(OpsForwardTest, SubAndMul) {
+  Tensor a = Tensor::FromVector(Shape{2}, {5, 8});
+  Tensor b = Tensor::FromVector(Shape{2}, {2, 4});
+  EXPECT_EQ(ops::Sub(a, b).at(0), 3.0f);
+  EXPECT_EQ(ops::Mul(a, b).at(1), 32.0f);
+}
+
+TEST(OpsForwardTest, MatMulKnownResult) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_EQ(c.at(1, 1), 154.0f);
+}
+
+TEST(OpsForwardTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor t = ops::Transpose(a);
+  EXPECT_EQ(t.shape(), Shape({3, 2}));
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+  Tensor tt = ops::Transpose(t);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(tt.at(i), a.at(i));
+}
+
+TEST(OpsForwardTest, ConcatColsAndSlice) {
+  Tensor a = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(Shape{2, 1}, {9, 8});
+  Tensor c = ops::ConcatCols({a, b});
+  EXPECT_EQ(c.shape(), Shape({2, 3}));
+  EXPECT_EQ(c.at(0, 2), 9.0f);
+  EXPECT_EQ(c.at(1, 0), 3.0f);
+  Tensor s = ops::SliceCols(c, 2, 1);
+  EXPECT_EQ(s.at(0, 0), 9.0f);
+  EXPECT_EQ(s.at(1, 0), 8.0f);
+}
+
+TEST(OpsForwardTest, ConcatRowsAndSlice) {
+  Tensor a = Tensor::FromVector(Shape{1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector(Shape{2, 2}, {3, 4, 5, 6});
+  Tensor c = ops::ConcatRows({a, b});
+  EXPECT_EQ(c.shape(), Shape({3, 2}));
+  EXPECT_EQ(c.at(2, 1), 6.0f);
+  Tensor s = ops::SliceRows(c, 1, 2);
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+}
+
+TEST(OpsForwardTest, IndexSelectRows) {
+  Tensor x = Tensor::FromVector(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = ops::IndexSelectRows(x, {2, 0, 2});
+  EXPECT_EQ(y.shape(), Shape({3, 2}));
+  EXPECT_EQ(y.at(0, 0), 5.0f);
+  EXPECT_EQ(y.at(1, 1), 2.0f);
+  EXPECT_EQ(y.at(2, 0), 5.0f);
+}
+
+TEST(OpsForwardTest, ScatterAddRows) {
+  Tensor v = Tensor::FromVector(Shape{3, 2}, {1, 1, 2, 2, 3, 3});
+  Tensor out = ops::ScatterAddRows(v, {0, 0, 2}, 4);
+  EXPECT_EQ(out.shape(), Shape({4, 2}));
+  EXPECT_EQ(out.at(0, 0), 3.0f);  // 1 + 2
+  EXPECT_EQ(out.at(1, 0), 0.0f);
+  EXPECT_EQ(out.at(2, 1), 3.0f);
+}
+
+TEST(OpsForwardTest, ScatterMeanRows) {
+  Tensor v = Tensor::FromVector(Shape{3, 1}, {2, 4, 6});
+  Tensor out = ops::ScatterMeanRows(v, {1, 1, 0}, 3);
+  EXPECT_EQ(out.at(0, 0), 6.0f);
+  EXPECT_EQ(out.at(1, 0), 3.0f);  // mean(2, 4)
+  EXPECT_EQ(out.at(2, 0), 0.0f);  // no receivers
+}
+
+TEST(OpsForwardTest, SoftmaxRowsSumToOne) {
+  Tensor x = Tensor::FromVector(Shape{2, 3}, {1, 2, 3, -1, 0, 1});
+  Tensor y = ops::Softmax(x);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) sum += y.at(i, j);
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(y.at(0, 2), y.at(0, 0));
+}
+
+TEST(OpsForwardTest, SoftmaxNumericalStability) {
+  Tensor x = Tensor::FromVector(Shape{1, 2}, {1000.0f, 1001.0f});
+  Tensor y = ops::Softmax(x);
+  EXPECT_FALSE(std::isnan(y.at(0)));
+  // float32 ULP at logit magnitude 1000 dominates the error here.
+  EXPECT_NEAR(y.at(0) + y.at(1), 1.0f, 1e-4f);
+}
+
+TEST(OpsForwardTest, SoftmaxFullyMaskedRowIsUniform) {
+  // Regression: a row of -1e9 "mask" logits must give the uniform
+  // distribution, not all-ones (float lse absorption).
+  Tensor x = Tensor::Full(Shape{1, 8}, -1e9f);
+  Tensor y = ops::Softmax(x);
+  for (int64_t j = 0; j < 8; ++j) EXPECT_NEAR(y.at(0, j), 0.125f, 1e-5f);
+}
+
+TEST(OpsForwardTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Tensor x = Tensor::FromVector(Shape{1, 3}, {0.5f, -0.2f, 1.5f});
+  Tensor a = ops::LogSoftmax(x);
+  Tensor b = ops::Softmax(x);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(a.at(0, j), std::log(b.at(0, j)), 1e-5f);
+  }
+}
+
+TEST(OpsForwardTest, SegmentSoftmax) {
+  Tensor logits = Tensor::FromVector(Shape{4, 1}, {0, 0, 1, 3});
+  Tensor y = ops::SegmentSoftmax(logits, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(y.at(0), 0.5f, 1e-5f);
+  EXPECT_NEAR(y.at(1), 0.5f, 1e-5f);
+  EXPECT_NEAR(y.at(2) + y.at(3), 1.0f, 1e-5f);
+  EXPECT_GT(y.at(3), y.at(2));
+}
+
+TEST(OpsForwardTest, SigmoidTanhReluValues) {
+  Tensor x = Tensor::FromVector(Shape{3}, {-2, 0, 2});
+  Tensor s = ops::Sigmoid(x);
+  EXPECT_NEAR(s.at(1), 0.5f, 1e-6f);
+  EXPECT_NEAR(s.at(0) + s.at(2), 1.0f, 1e-5f);  // symmetry
+  Tensor t = ops::Tanh(x);
+  EXPECT_NEAR(t.at(1), 0.0f, 1e-6f);
+  Tensor r = ops::Relu(x);
+  EXPECT_EQ(r.at(0), 0.0f);
+  EXPECT_EQ(r.at(2), 2.0f);
+}
+
+TEST(OpsForwardTest, RReluEvalUsesFixedSlope) {
+  Tensor x = Tensor::FromVector(Shape{2}, {-1.0f, 1.0f});
+  Tensor y = ops::RRelu(x, /*training=*/false, nullptr);
+  EXPECT_NEAR(y.at(0), -(1.0f / 8.0f + 1.0f / 3.0f) / 2.0f, 1e-5f);
+  EXPECT_EQ(y.at(1), 1.0f);
+}
+
+TEST(OpsForwardTest, RReluTrainingSlopeInRange) {
+  Rng rng(3);
+  Tensor x = Tensor::Full(Shape{100}, -1.0f);
+  Tensor y = ops::RRelu(x, /*training=*/true, &rng);
+  for (float v : y.data()) {
+    EXPECT_LE(v, -1.0f / 8.0f + 1e-6f);
+    EXPECT_GE(v, -1.0f / 3.0f - 1e-6f);
+  }
+}
+
+TEST(OpsForwardTest, DropoutEvalIsIdentity) {
+  Rng rng(5);
+  Tensor x = Tensor::FromVector(Shape{3}, {1, 2, 3});
+  Tensor y = ops::Dropout(x, 0.5f, /*training=*/false, &rng);
+  EXPECT_TRUE(y.IsSameObject(x));
+}
+
+TEST(OpsForwardTest, DropoutPreservesExpectation) {
+  Rng rng(5);
+  Tensor x = Tensor::Full(Shape{20000}, 1.0f);
+  Tensor y = ops::Dropout(x, 0.3f, /*training=*/true, &rng);
+  double mean = 0.0;
+  for (float v : y.data()) mean += v;
+  mean /= y.num_elements();
+  EXPECT_NEAR(mean, 1.0, 0.05);
+}
+
+TEST(OpsForwardTest, RowL2NormalizeUnitNorms) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {3, 4, 0.6f, 0.8f});
+  Tensor y = ops::RowL2Normalize(x);
+  for (int64_t i = 0; i < 2; ++i) {
+    float norm = std::sqrt(y.at(i, 0) * y.at(i, 0) + y.at(i, 1) * y.at(i, 1));
+    EXPECT_NEAR(norm, 1.0f, 1e-5f);
+  }
+  EXPECT_NEAR(y.at(0, 0), 0.6f, 1e-5f);
+}
+
+TEST(OpsForwardTest, Reductions) {
+  Tensor x = Tensor::FromVector(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(ops::SumAll(x).at(0), 10.0f);
+  EXPECT_EQ(ops::MeanAll(x).at(0), 2.5f);
+  Tensor mr = ops::MeanRows(x);
+  EXPECT_EQ(mr.shape(), Shape({1, 2}));
+  EXPECT_EQ(mr.at(0, 0), 2.0f);
+  EXPECT_EQ(mr.at(0, 1), 3.0f);
+  Tensor rs = ops::RowSum(x);
+  EXPECT_EQ(rs.shape(), Shape({2, 1}));
+  EXPECT_EQ(rs.at(0, 0), 3.0f);
+  EXPECT_EQ(rs.at(1, 0), 7.0f);
+}
+
+TEST(OpsForwardTest, MeanRowsEmptyInputIsZero) {
+  Tensor x = Tensor::Zeros(Shape{0, 3});
+  Tensor y = ops::MeanRows(x);
+  EXPECT_EQ(y.shape(), Shape({1, 3}));
+  for (float v : y.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OpsForwardTest, CrossEntropyUniformLogits) {
+  Tensor logits = Tensor::Zeros(Shape{2, 4});
+  Tensor loss = ops::CrossEntropyWithLogits(logits, {1, 3});
+  EXPECT_NEAR(loss.at(0), std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsForwardTest, CrossEntropyConfidentCorrect) {
+  Tensor logits = Tensor::FromVector(Shape{1, 3}, {10.0f, -10.0f, -10.0f});
+  Tensor loss = ops::CrossEntropyWithLogits(logits, {0});
+  EXPECT_LT(loss.at(0), 1e-3f);
+}
+
+TEST(OpsForwardTest, Conv2x3MiddleTapOnly) {
+  // A single kernel with only the centre h-tap set to 1 copies h.
+  Tensor h = Tensor::FromVector(Shape{1, 4}, {1, 2, 3, 4});
+  Tensor r = Tensor::Full(Shape{1, 4}, 9.0f);
+  Tensor kernels = Tensor::FromVector(Shape{1, 6}, {0, 1, 0, 0, 0, 0});
+  Tensor bias = Tensor::Zeros(Shape{1});
+  Tensor y = ops::Conv2x3(h, r, kernels, bias);
+  EXPECT_EQ(y.shape(), Shape({1, 4}));
+  for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(y.at(0, j), h.at(0, j));
+}
+
+TEST(OpsForwardTest, Conv2x3ShiftTap) {
+  // Left tap (w=0) reads in[j-1]; boundary is zero-padded.
+  Tensor h = Tensor::FromVector(Shape{1, 3}, {1, 2, 3});
+  Tensor r = Tensor::Zeros(Shape{1, 3});
+  Tensor kernels = Tensor::FromVector(Shape{1, 6}, {1, 0, 0, 0, 0, 0});
+  Tensor bias = Tensor::Zeros(Shape{1});
+  Tensor y = ops::Conv2x3(h, r, kernels, bias);
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  EXPECT_EQ(y.at(0, 1), 1.0f);
+  EXPECT_EQ(y.at(0, 2), 2.0f);
+}
+
+TEST(OpsForwardTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 copies the image.
+  Tensor img = Tensor::FromVector(Shape{1, 6}, {1, 2, 3, 4, 5, 6});  // 1x2x3
+  Tensor kern = Tensor::FromVector(Shape{1, 1}, {1.0f});
+  Tensor bias = Tensor::Zeros(Shape{1});
+  Tensor y = ops::Conv2d(img, 1, 2, 3, kern, 1, 1, 0, bias);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_EQ(y.at(i), img.at(i));
+}
+
+TEST(OpsForwardTest, Conv2dSumKernel) {
+  // 3x3 all-ones kernel with pad 1 computes neighbourhood sums.
+  Tensor img = Tensor::Full(Shape{1, 9}, 1.0f);  // 1x3x3 of ones
+  Tensor kern = Tensor::Full(Shape{1, 9}, 1.0f);
+  Tensor bias = Tensor::Zeros(Shape{1});
+  Tensor y = ops::Conv2d(img, 1, 3, 3, kern, 3, 3, 1, bias);
+  EXPECT_EQ(y.at(4), 9.0f);  // centre sees 9 neighbours
+  EXPECT_EQ(y.at(0), 4.0f);  // corner sees 4
+}
+
+// ---------------------------------------------------------------------------
+// Backward: hand-checked cases.
+// ---------------------------------------------------------------------------
+
+TEST(BackwardTest, AddAccumulatesIntoBothParents) {
+  Tensor a = Tensor::FromVector(Shape{2}, {1, 2}, true);
+  Tensor b = Tensor::FromVector(Shape{2}, {3, 4}, true);
+  Tensor loss = ops::SumAll(ops::Add(a, b));
+  Backward(loss);
+  EXPECT_EQ(a.grad()[0], 1.0f);
+  EXPECT_EQ(b.grad()[1], 1.0f);
+}
+
+TEST(BackwardTest, ReusedTensorAccumulates) {
+  Tensor a = Tensor::FromVector(Shape{1}, {3}, true);
+  Tensor y = ops::Add(a, a);  // y = 2a
+  Backward(ops::SumAll(y));
+  EXPECT_EQ(a.grad()[0], 2.0f);
+}
+
+TEST(BackwardTest, ChainRuleThroughScale) {
+  Tensor a = Tensor::FromVector(Shape{1}, {2}, true);
+  Tensor y = ops::Scale(ops::Scale(a, 3.0f), 4.0f);
+  Backward(ops::SumAll(y));
+  EXPECT_EQ(a.grad()[0], 12.0f);
+}
+
+TEST(BackwardTest, MulProductRule) {
+  Tensor a = Tensor::FromVector(Shape{1}, {5}, true);
+  Tensor b = Tensor::FromVector(Shape{1}, {7}, true);
+  Backward(ops::SumAll(ops::Mul(a, b)));
+  EXPECT_EQ(a.grad()[0], 7.0f);
+  EXPECT_EQ(b.grad()[0], 5.0f);
+}
+
+TEST(BackwardTest, RowBroadcastBiasGradSumsOverRows) {
+  Tensor x = Tensor::Zeros(Shape{3, 2});
+  Tensor bias = Tensor::Zeros(Shape{2});
+  bias.set_requires_grad(true);
+  Backward(ops::SumAll(ops::Add(x, bias)));
+  EXPECT_EQ(bias.grad()[0], 3.0f);
+  EXPECT_EQ(bias.grad()[1], 3.0f);
+}
+
+TEST(BackwardTest, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  Tensor logits = Tensor::Zeros(Shape{1, 2});
+  logits.set_requires_grad(true);
+  Backward(ops::CrossEntropyWithLogits(logits, {0}));
+  EXPECT_NEAR(logits.grad()[0], -0.5f, 1e-5f);
+  EXPECT_NEAR(logits.grad()[1], 0.5f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Backward: finite-difference property tests over many ops and shapes.
+// ---------------------------------------------------------------------------
+
+Tensor RandomTensor(const Shape& shape, Rng* rng) {
+  return Tensor::RandomNormal(shape, 1.0f, rng, /*requires_grad=*/true);
+}
+
+TEST(GradCheckTest, Add) {
+  Rng rng(101);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Mul(ops::Add(in[0], in[1]), in[0]));
+      },
+      {RandomTensor(Shape{3, 4}, &rng), RandomTensor(Shape{3, 4}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, RowBroadcast) {
+  Rng rng(102);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Mul(ops::Add(in[0], in[1]), in[0]));
+      },
+      {RandomTensor(Shape{4, 3}, &rng), RandomTensor(Shape{3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, MatMul) {
+  Rng rng(103);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Tanh(ops::MatMul(in[0], in[1])));
+      },
+      {RandomTensor(Shape{3, 4}, &rng), RandomTensor(Shape{4, 2}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, TransposeAndReshape) {
+  Rng rng(104);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor t = ops::Transpose(in[0]);
+        Tensor r = ops::Reshape(t, Shape{2, 6});
+        return ops::SumAll(ops::Mul(r, r));
+      },
+      {RandomTensor(Shape{3, 4}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, ConcatColsSlice) {
+  Rng rng(105);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor c = ops::ConcatCols({in[0], in[1]});
+        Tensor s = ops::SliceCols(c, 1, 3);
+        return ops::SumAll(ops::Sigmoid(s));
+      },
+      {RandomTensor(Shape{2, 2}, &rng), RandomTensor(Shape{2, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, ConcatRowsSliceRows) {
+  Rng rng(106);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor c = ops::ConcatRows({in[0], in[1]});
+        Tensor s = ops::SliceRows(c, 1, 2);
+        return ops::MeanAll(ops::Mul(s, s));
+      },
+      {RandomTensor(Shape{2, 3}, &rng), RandomTensor(Shape{1, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, IndexSelectScatterAdd) {
+  Rng rng(107);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor sel = ops::IndexSelectRows(in[0], {0, 2, 2, 1});
+        Tensor agg = ops::ScatterAddRows(sel, {1, 1, 0, 2}, 3);
+        return ops::SumAll(ops::Tanh(agg));
+      },
+      {RandomTensor(Shape{3, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, ScatterMean) {
+  Rng rng(108);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor agg = ops::ScatterMeanRows(in[0], {0, 0, 1, 1}, 3);
+        return ops::SumAll(ops::Mul(agg, agg));
+      },
+      {RandomTensor(Shape{4, 2}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, SegmentSoftmax) {
+  Rng rng(109);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor y = ops::SegmentSoftmax(in[0], {0, 0, 1, 1, 1}, 2);
+        Tensor w = Tensor::FromVector(Shape{5, 1}, {1, 2, 3, 4, 5});
+        return ops::SumAll(ops::Mul(y, w));
+      },
+      {RandomTensor(Shape{5, 1}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, SoftmaxAndLogSoftmax) {
+  Rng rng(110);
+  Tensor w = Tensor::FromVector(Shape{2, 3}, {1, -2, 3, 0.5f, 2, -1});
+  auto report = CheckGradients(
+      [&w](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Mul(ops::Softmax(in[0]), w));
+      },
+      {RandomTensor(Shape{2, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+  auto report2 = CheckGradients(
+      [&w](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Mul(ops::LogSoftmax(in[0]), w));
+      },
+      {RandomTensor(Shape{2, 3}, &rng)});
+  EXPECT_TRUE(report2.passed) << report2.detail;
+}
+
+TEST(GradCheckTest, Nonlinearities) {
+  Rng rng(111);
+  struct Case {
+    const char* name;
+    Tensor (*fn)(const Tensor&);
+  };
+  auto sigmoid = [](const Tensor& x) { return ops::Sigmoid(x); };
+  auto tanh_fn = [](const Tensor& x) { return ops::Tanh(x); };
+  auto cos_fn = [](const Tensor& x) { return ops::Cos(x); };
+  auto exp_fn = [](const Tensor& x) { return ops::Exp(x); };
+  std::vector<Case> cases = {{"sigmoid", sigmoid},
+                             {"tanh", tanh_fn},
+                             {"cos", cos_fn},
+                             {"exp", exp_fn}};
+  for (const Case& c : cases) {
+    auto report = CheckGradients(
+        [&c](const std::vector<Tensor>& in) {
+          return ops::SumAll(c.fn(in[0]));
+        },
+        {RandomTensor(Shape{3, 3}, &rng)});
+    EXPECT_TRUE(report.passed) << c.name << ": " << report.detail;
+  }
+}
+
+TEST(GradCheckTest, LeakyReluAwayFromKink) {
+  Rng rng(112);
+  // Shift inputs away from 0 to avoid the non-differentiable kink.
+  Tensor x = Tensor::RandomNormal(Shape{4, 4}, 1.0f, &rng, true);
+  for (float& v : x.mutable_data()) {
+    if (std::fabs(v) < 0.2f) v += v >= 0 ? 0.3f : -0.3f;
+  }
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::LeakyRelu(in[0], 0.1f));
+      },
+      {x});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, LogPositiveInputs) {
+  Rng rng(113);
+  Tensor x = Tensor::RandomNormal(Shape{3, 3}, 1.0f, &rng, true);
+  for (float& v : x.mutable_data()) v = std::fabs(v) + 0.5f;
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) { return ops::SumAll(ops::Log(in[0])); },
+      {x});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, RowL2Normalize) {
+  Rng rng(114);
+  Tensor w = Tensor::FromVector(Shape{3, 4},
+                                {1, 2, 3, 4, -1, 0.5f, 2, -2, 0.3f, 1, -1, 2});
+  auto report = CheckGradients(
+      [&w](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Mul(ops::RowL2Normalize(in[0]), w));
+      },
+      {RandomTensor(Shape{3, 4}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, Reductions) {
+  Rng rng(115);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor m = ops::MeanRows(in[0]);
+        Tensor rs = ops::RowSum(in[0]);
+        return ops::Add(ops::SumAll(ops::Mul(m, m)), ops::MeanAll(rs));
+      },
+      {RandomTensor(Shape{3, 4}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, CrossEntropy) {
+  Rng rng(116);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::CrossEntropyWithLogits(in[0], {2, 0, 1});
+      },
+      {RandomTensor(Shape{3, 4}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, MulColBroadcast) {
+  Rng rng(117);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(ops::Tanh(ops::MulColBroadcast(in[0], in[1])));
+      },
+      {RandomTensor(Shape{3, 4}, &rng), RandomTensor(Shape{3, 1}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, Conv2x3) {
+  Rng rng(118);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(
+            ops::Tanh(ops::Conv2x3(in[0], in[1], in[2], in[3])));
+      },
+      {RandomTensor(Shape{2, 5}, &rng), RandomTensor(Shape{2, 5}, &rng),
+       RandomTensor(Shape{3, 6}, &rng), RandomTensor(Shape{3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, Conv2d) {
+  Rng rng(119);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        return ops::SumAll(
+            ops::Tanh(ops::Conv2d(in[0], 2, 3, 4, in[1], 3, 3, 1, in[2])));
+      },
+      {RandomTensor(Shape{2, 24}, &rng), RandomTensor(Shape{2, 18}, &rng),
+       RandomTensor(Shape{2}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+TEST(GradCheckTest, DropoutFixedMask) {
+  // Dropout draws a fresh mask per call, so wrap it to reuse one mask by
+  // seeding identically: instead check the identity path p=0.
+  Rng rng(120);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Rng local(42);
+        return ops::SumAll(ops::Dropout(in[0], 0.0f, true, &local));
+      },
+      {RandomTensor(Shape{3, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+// Parameterized sweep: composite expression gradchecked over many shapes.
+class CompositeGradCheck : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(CompositeGradCheck, MatMulChain) {
+  auto [m, k] = GetParam();
+  Rng rng(200 + m * 10 + k);
+  auto report = CheckGradients(
+      [](const std::vector<Tensor>& in) {
+        Tensor y = ops::MatMul(in[0], in[1]);
+        Tensor z = ops::Sigmoid(y);
+        return ops::MeanAll(ops::Mul(z, z));
+      },
+      {RandomTensor(Shape{m, k}, &rng), RandomTensor(Shape{k, 3}, &rng)});
+  EXPECT_TRUE(report.passed) << report.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CompositeGradCheck,
+                         ::testing::Values(std::pair<int, int>{1, 1},
+                                           std::pair<int, int>{1, 5},
+                                           std::pair<int, int>{4, 2},
+                                           std::pair<int, int>{5, 7},
+                                           std::pair<int, int>{8, 3}));
+
+// ---------------------------------------------------------------------------
+// Optimizer.
+// ---------------------------------------------------------------------------
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimise ||x - target||^2.
+  Tensor x = Tensor::FromVector(Shape{3}, {5, -3, 2}, true);
+  Tensor target = Tensor::FromVector(Shape{3}, {1, 2, -1});
+  AdamOptions options;
+  options.learning_rate = 0.05f;
+  AdamOptimizer opt({x}, options);
+  for (int step = 0; step < 500; ++step) {
+    opt.ZeroGrad();
+    Tensor diff = ops::Sub(x, target);
+    Backward(ops::SumAll(ops::Mul(diff, diff)));
+    opt.Step();
+  }
+  for (int64_t i = 0; i < 3; ++i) EXPECT_NEAR(x.at(i), target.at(i), 0.05f);
+}
+
+TEST(AdamTest, ZeroGradClearsGradients) {
+  Tensor x = Tensor::FromVector(Shape{2}, {1, 1}, true);
+  AdamOptimizer opt({x});
+  Backward(ops::SumAll(ops::Mul(x, x)));
+  EXPECT_NE(x.grad()[0], 0.0f);
+  opt.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AdamTest, ClipGradNormRescales) {
+  Tensor x = Tensor::FromVector(Shape{2}, {0, 0}, true);
+  AdamOptimizer opt({x});
+  x.mutable_grad() = {3.0f, 4.0f};  // norm 5
+  float norm = opt.ClipGradNorm(1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-4f);
+  float clipped = std::sqrt(x.grad()[0] * x.grad()[0] + x.grad()[1] * x.grad()[1]);
+  EXPECT_NEAR(clipped, 1.0f, 1e-3f);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::FromVector(Shape{1}, {10.0f}, true);
+  AdamOptions options;
+  options.learning_rate = 0.1f;
+  options.weight_decay = 0.5f;
+  AdamOptimizer opt({x}, options);
+  opt.ZeroGrad();  // zero gradient: only decay acts
+  opt.Step();
+  EXPECT_LT(x.at(0), 10.0f);
+}
+
+TEST(BackwardTest, DeepChainDoesNotOverflowStack) {
+  Tensor x = Tensor::FromVector(Shape{1}, {1.0f}, true);
+  Tensor y = x;
+  for (int i = 0; i < 5000; ++i) y = ops::AddScalar(y, 0.0f);
+  Backward(ops::SumAll(y));
+  EXPECT_EQ(x.grad()[0], 1.0f);
+}
+
+}  // namespace
+}  // namespace logcl
