@@ -1,0 +1,92 @@
+// Micro-benchmarks for the parallel runtime: ParallelFor dispatch overhead
+// and the blocked matmul kernel against the original (seed) serial kernel.
+
+#include <cstdint>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace {
+
+// Dispatch cost of one parallel region over a trivially small body: the
+// difference between threads=1 (inline) and threads=N is pure pool overhead.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  SetNumThreads(threads);
+  std::vector<float> xs(1024, 1.0f);
+  for (auto _ : state) {
+    ParallelFor(0, static_cast<int64_t>(xs.size()), 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        xs[static_cast<size_t>(i)] += 1.0f;
+      }
+    });
+    benchmark::DoNotOptimize(xs.data());
+  }
+  SetNumThreads(0);
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// The seed's un-blocked serial matmul kernel, kept verbatim as the baseline
+// for the blocked/threaded implementation behind ops::MatMul.
+void NaiveMatMulAccum(const float* a, const float* b, float* c, int64_t m,
+                      int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      float av = a[i * k + l];
+      if (av == 0.0f) continue;
+      const float* brow = b + l * n;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void BM_MatMulNaiveSerial(benchmark::State& state) {
+  int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  std::vector<float> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    std::fill(c.begin(), c.end(), 0.0f);
+    NaiveMatMulAccum(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulNaiveSerial)->Arg(64)->Arg(128)->Arg(256);
+
+// Blocked kernel at a fixed thread count; Args are {size, threads}. The
+// {*, 1} rows isolate the cache-blocking gain over BM_MatMulNaiveSerial;
+// higher thread counts add the pool on top.
+void BM_MatMulBlocked(benchmark::State& state) {
+  int64_t n = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  SetNumThreads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulBlocked)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
+
+}  // namespace
+}  // namespace logcl
+
+BENCHMARK_MAIN();

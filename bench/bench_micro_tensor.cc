@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
@@ -20,7 +21,29 @@ void BM_MatMul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
-BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+// Thread-count sweep over the 256^3 matmul: Args are {size, threads}.
+// Speedups over the threads=1 row are only meaningful on machines with
+// that many physical cores.
+void BM_MatMulThreads(benchmark::State& state) {
+  int64_t n = state.range(0);
+  int threads = static_cast<int>(state.range(1));
+  SetNumThreads(threads);
+  Rng rng(1);
+  Tensor a = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  Tensor b = Tensor::RandomNormal(Shape{n, n}, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  SetNumThreads(0);
+}
+BENCHMARK(BM_MatMulThreads)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({256, 8});
 
 void BM_MatMulBackward(benchmark::State& state) {
   int64_t n = state.range(0);

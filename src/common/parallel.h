@@ -1,0 +1,82 @@
+// Parallel execution runtime: a lazily-initialised persistent worker pool
+// shared by every compute kernel in the repo.
+//
+// Design notes:
+//  - Pool size comes from SetNumThreads(), else the LOGCL_NUM_THREADS env
+//    var, else std::thread::hardware_concurrency(). The count includes the
+//    calling thread, so SetNumThreads(1) means "no workers, run inline".
+//  - ParallelFor uses *static* range partitioning: [begin, end) is split
+//    into at most GetNumThreads() contiguous sub-ranges of near-equal size
+//    (each at least `grain` indices, except possibly the last), so the
+//    split is deterministic for a given thread count. Callers must write
+//    only to locations owned by the indices of their sub-range; under that
+//    contract the result is bitwise-identical at any thread count.
+//  - ParallelReduce uses *fixed* chunking instead: chunk boundaries depend
+//    only on (range, grain), never on the thread count, and per-chunk
+//    partials are combined in ascending chunk order. This makes reductions
+//    bitwise reproducible run-to-run AND across thread counts, which is
+//    what the 1-vs-N determinism tests assert.
+//  - Nested parallel calls (from inside a ParallelFor body) run inline on
+//    the calling thread; the decomposition contracts above are unaffected.
+
+#ifndef LOGCL_COMMON_PARALLEL_H_
+#define LOGCL_COMMON_PARALLEL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace logcl {
+
+/// Threads the pool targets for top-level parallel regions (>= 1, includes
+/// the calling thread).
+int GetNumThreads();
+
+/// Resizes the pool; n <= 0 restores the default (LOGCL_NUM_THREADS env var
+/// or hardware concurrency). Joins existing workers, so it must not be
+/// called while a parallel region is running.
+void SetNumThreads(int n);
+
+/// Runs fn(sub_begin, sub_end) over a static partition of [begin, end); see
+/// the file comment for the determinism contract. fn runs on the calling
+/// thread when the range is empty, shorter than `grain`, the pool has one
+/// thread, or the call is nested inside another parallel region.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+namespace internal_parallel {
+
+/// Executes chunk_fn(c) for c in [0, num_chunks), distributing chunks over
+/// the pool (in order when run serially).
+void RunChunks(int64_t num_chunks,
+               const std::function<void(int64_t)>& chunk_fn);
+
+}  // namespace internal_parallel
+
+/// Chunked reduction with a thread-count-invariant result. [begin, end) is
+/// cut into ceil(range / grain) fixed chunks; `map(chunk_begin, chunk_end)`
+/// produces one partial per chunk (possibly concurrently), and partials are
+/// folded left-to-right with `combine(acc, partial)` in chunk order.
+template <typename T, typename MapFn, typename CombineFn>
+T ParallelReduce(int64_t begin, int64_t end, int64_t grain, T identity,
+                 const MapFn& map, const CombineFn& combine) {
+  if (begin >= end) return identity;
+  grain = std::max<int64_t>(1, grain);
+  int64_t range = end - begin;
+  int64_t num_chunks = (range + grain - 1) / grain;
+  std::vector<T> partials(static_cast<size_t>(num_chunks), identity);
+  internal_parallel::RunChunks(num_chunks, [&](int64_t c) {
+    int64_t cb = begin + c * grain;
+    int64_t ce = std::min(end, cb + grain);
+    partials[static_cast<size_t>(c)] = map(cb, ce);
+  });
+  T acc = std::move(identity);
+  for (T& partial : partials) acc = combine(std::move(acc), std::move(partial));
+  return acc;
+}
+
+}  // namespace logcl
+
+#endif  // LOGCL_COMMON_PARALLEL_H_

@@ -1,24 +1,33 @@
 #include "eval/ranking.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace logcl {
 
 int64_t RankOfTarget(const std::vector<float>& scores, int64_t target,
                      const std::vector<int64_t>& filter_out) {
+  int64_t n = static_cast<int64_t>(scores.size());
   LOGCL_CHECK_GE(target, 0);
-  LOGCL_CHECK_LT(target, static_cast<int64_t>(scores.size()));
-  std::unordered_set<int64_t> removed(filter_out.begin(), filter_out.end());
-  removed.erase(target);
+  LOGCL_CHECK_LT(target, n);
   float target_score = scores[static_cast<size_t>(target)];
+  // Count strictly-greater scores over the full candidate list (the target
+  // itself never compares greater), then walk the sorted filter list and
+  // discount filtered entities that out-scored the target. This avoids the
+  // per-query hash-set allocation of the naive version: O(V + F) time with
+  // zero heap traffic.
   int64_t rank = 1;
-  for (int64_t i = 0; i < static_cast<int64_t>(scores.size()); ++i) {
-    if (i == target) continue;
-    if (removed.contains(i)) continue;
+  for (int64_t i = 0; i < n; ++i) {
     if (scores[static_cast<size_t>(i)] > target_score) ++rank;
+  }
+  int64_t prev = -1;
+  for (int64_t f : filter_out) {
+    if (f == target || f == prev) continue;  // skip target + adjacent dups
+    prev = f;
+    if (f < 0 || f >= n) continue;
+    if (scores[static_cast<size_t>(f)] > target_score) --rank;
   }
   return rank;
 }
@@ -47,15 +56,31 @@ void AccumulateRanks(const std::vector<std::vector<float>>& scores,
                      MetricsAccumulator* metrics) {
   LOGCL_CHECK_EQ(scores.size(), queries.size());
   LOGCL_CHECK(metrics != nullptr);
-  for (size_t i = 0; i < queries.size(); ++i) {
-    const ScoredQuery& q = queries[i];
-    if (filter != nullptr) {
-      metrics->AddRank(RankOfTarget(
-          scores[i], q.target, filter->Answers(q.subject, q.relation, q.time)));
-    } else {
-      metrics->AddRank(RankOfTarget(scores[i], q.target));
-    }
-  }
+  int64_t n = static_cast<int64_t>(queries.size());
+  // Query-parallel: each chunk ranks its queries into a private accumulator;
+  // chunk accumulators merge in chunk order (thread-count invariant). The
+  // filter index is immutable, so concurrent Answers() lookups are safe.
+  MetricsAccumulator merged = ParallelReduce<MetricsAccumulator>(
+      0, n, /*grain=*/8, MetricsAccumulator{},
+      [&](int64_t q0, int64_t q1) {
+        MetricsAccumulator local;
+        for (int64_t i = q0; i < q1; ++i) {
+          const ScoredQuery& q = queries[static_cast<size_t>(i)];
+          if (filter != nullptr) {
+            local.AddRank(RankOfTarget(
+                scores[static_cast<size_t>(i)], q.target,
+                filter->Answers(q.subject, q.relation, q.time)));
+          } else {
+            local.AddRank(RankOfTarget(scores[static_cast<size_t>(i)], q.target));
+          }
+        }
+        return local;
+      },
+      [](MetricsAccumulator acc, MetricsAccumulator partial) {
+        acc.Merge(partial);
+        return acc;
+      });
+  metrics->Merge(merged);
 }
 
 }  // namespace logcl

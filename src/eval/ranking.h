@@ -13,9 +13,11 @@ namespace logcl {
 
 /// 1-based rank of `target` in `scores` (higher score = better). Entities in
 /// `filter_out` other than the target are ignored (treated as removed from
-/// the candidate list). Ties with the target's score rank optimistically
-/// (only strictly greater scores count), matching the reference
-/// implementations' sort-based ranking.
+/// the candidate list). `filter_out` must be sorted ascending (duplicates
+/// allowed), as produced by TimeAwareFilter::Answers — this lets the hot
+/// eval loop run without per-query hash-set allocations. Ties with the
+/// target's score rank optimistically (only strictly greater scores count),
+/// matching the reference implementations' sort-based ranking.
 int64_t RankOfTarget(const std::vector<float>& scores, int64_t target,
                      const std::vector<int64_t>& filter_out);
 

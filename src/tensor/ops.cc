@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace logcl {
 namespace ops {
@@ -16,6 +17,17 @@ using Node = internal_tensor::TensorNode;
 constexpr float kRReluLower = 1.0f / 8.0f;
 constexpr float kRReluUpper = 1.0f / 3.0f;
 constexpr float kRReluEvalSlope = (kRReluLower + kRReluUpper) / 2.0f;
+
+// Minimum elements per shard before a loop is split across the pool. For
+// ParallelReduce calls the grain also fixes chunk boundaries, so it must
+// depend only on problem shape (never on the thread count) to keep results
+// identical at 1 vs N threads.
+constexpr int64_t kGrain = 8192;
+
+// Rows per shard so one shard covers at least kGrain elements.
+inline int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kGrain / std::max<int64_t>(1, cols));
+}
 
 // Broadcast modes supported by the elementwise binary ops.
 enum class BroadcastMode { kSame, kScalarB, kRowB };
@@ -47,47 +59,118 @@ inline int64_t BroadcastIndex(BroadcastMode mode, int64_t i, int64_t cols) {
   return 0;
 }
 
-// Raw accumulate-matmul kernels (C += op(A) * op(B)).
+// ---------------------------------------------------------------------------
+// Blocked accumulate-matmul kernels (C += op(A) * op(B)).
+//
+// Each kernel tiles the output: a micro-tile of accumulators sweeps the full
+// reduction dimension before touching C once, which cuts C traffic and keeps
+// the per-element accumulation order a function of the loop structure alone.
+// Parallelism is over contiguous output-row shards, so results are identical
+// for any thread count.
+// ---------------------------------------------------------------------------
+
+// Output rows per register/L1 tile (axpy-style kernels).
+constexpr int64_t kTileRows = 4;
+// Output columns per tile; 64 floats stay resident in L1.
+constexpr int64_t kTileCols = 64;
+// Square micro-tile for the dot-product (NT) kernel.
+constexpr int64_t kDotTile = 4;
+// Do not split a matmul into shards below this many multiply-accumulates.
+constexpr int64_t kMatMulShardFlops = int64_t{1} << 15;
+
+// Row grain so one shard performs at least kMatMulShardFlops MACs, where
+// each output row costs `flops_per_row` MACs.
+inline int64_t MatMulRowGrain(int64_t flops_per_row) {
+  return std::max<int64_t>(
+      kTileRows, kMatMulShardFlops / std::max<int64_t>(1, flops_per_row));
+}
+
+// C(m x n) += A(m x k) * B(k x n)
 void MatMulAccumNN(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t l = 0; l < k; ++l) {
-      float av = a[i * k + l];
-      if (av == 0.0f) continue;
-      const float* brow = b + l * n;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  ParallelFor(0, m, MatMulRowGrain(k * n), [&](int64_t r0, int64_t r1) {
+    float acc[kTileRows][kTileCols];
+    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
+      const int64_t jn = std::min(kTileCols, n - j0);
+      for (int64_t i0 = r0; i0 < r1; i0 += kTileRows) {
+        const int64_t im = std::min(kTileRows, r1 - i0);
+        for (int64_t r = 0; r < im; ++r) {
+          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
+        }
+        for (int64_t l = 0; l < k; ++l) {
+          const float* brow = b + l * n + j0;
+          for (int64_t r = 0; r < im; ++r) {
+            float av = a[(i0 + r) * k + l];
+            float* arow = acc[r];
+            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
+          }
+        }
+        for (int64_t r = 0; r < im; ++r) {
+          float* crow = c + (i0 + r) * n + j0;
+          for (int64_t j = 0; j < jn; ++j) crow[j] += acc[r][j];
+        }
+      }
     }
-  }
+  });
 }
 
 // C(m x k) += A(m x n) * B(k x n)^T
 void MatMulAccumNT(const float* a, const float* b, float* c, int64_t m,
                    int64_t n, int64_t k) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * n;
-    for (int64_t j = 0; j < k; ++j) {
-      const float* brow = b + j * n;
-      float sum = 0.0f;
-      for (int64_t l = 0; l < n; ++l) sum += arow[l] * brow[l];
-      c[i * k + j] += sum;
+  ParallelFor(0, m, MatMulRowGrain(n * k), [&](int64_t r0, int64_t r1) {
+    float acc[kDotTile][kDotTile];
+    for (int64_t i0 = r0; i0 < r1; i0 += kDotTile) {
+      const int64_t im = std::min(kDotTile, r1 - i0);
+      for (int64_t j0 = 0; j0 < k; j0 += kDotTile) {
+        const int64_t jm = std::min(kDotTile, k - j0);
+        for (int64_t r = 0; r < im; ++r) {
+          for (int64_t s = 0; s < jm; ++s) acc[r][s] = 0.0f;
+        }
+        for (int64_t l = 0; l < n; ++l) {
+          for (int64_t s = 0; s < jm; ++s) {
+            float bv = b[(j0 + s) * n + l];
+            for (int64_t r = 0; r < im; ++r) {
+              acc[r][s] += a[(i0 + r) * n + l] * bv;
+            }
+          }
+        }
+        for (int64_t r = 0; r < im; ++r) {
+          float* crow = c + (i0 + r) * k + j0;
+          for (int64_t s = 0; s < jm; ++s) crow[s] += acc[r][s];
+        }
+      }
     }
-  }
+  });
 }
 
 // C(k x n) += A(m x k)^T * B(m x n)
 void MatMulAccumTN(const float* a, const float* b, float* c, int64_t m,
                    int64_t k, int64_t n) {
-  for (int64_t l = 0; l < m; ++l) {
-    const float* arow = a + l * k;
-    const float* brow = b + l * n;
-    for (int64_t i = 0; i < k; ++i) {
-      float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+  ParallelFor(0, k, MatMulRowGrain(m * n), [&](int64_t r0, int64_t r1) {
+    float acc[kTileRows][kTileCols];
+    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
+      const int64_t jn = std::min(kTileCols, n - j0);
+      for (int64_t i0 = r0; i0 < r1; i0 += kTileRows) {
+        const int64_t im = std::min(kTileRows, r1 - i0);
+        for (int64_t r = 0; r < im; ++r) {
+          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
+        }
+        for (int64_t l = 0; l < m; ++l) {
+          const float* brow = b + l * n + j0;
+          const float* acol = a + l * k + i0;
+          for (int64_t r = 0; r < im; ++r) {
+            float av = acol[r];
+            float* arow = acc[r];
+            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
+          }
+        }
+        for (int64_t r = 0; r < im; ++r) {
+          float* crow = c + (i0 + r) * n + j0;
+          for (int64_t j = 0; j < jn; ++j) crow[j] += acc[r][j];
+        }
+      }
     }
-  }
+  });
 }
 
 // Shared implementation for Add/Sub/Mul.
@@ -99,14 +182,15 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
   BroadcastMode mode = ResolveBroadcast(a.shape(), b.shape());
   int64_t n = a.num_elements();
   int64_t cols = a.shape().rank() == 2 ? a.shape().cols() : n;
-  const std::vector<float>& av = a.data();
-  const std::vector<float>& bv = b.data();
+  const float* av = a.data().data();
+  const float* bv = b.data().data();
   std::vector<float> out(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] =
-        fwd(av[static_cast<size_t>(i)],
-            bv[static_cast<size_t>(BroadcastIndex(mode, i, cols))]);
-  }
+  float* od = out.data();
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      od[i] = fwd(av[i], bv[BroadcastIndex(mode, i, cols)]);
+    }
+  });
   return Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a, b},
       [mode, n, cols, bwd](Node& node) {
@@ -125,12 +209,55 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
           pb->EnsureGrad();
           gb = pb->grad.data();
         }
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t bi = BroadcastIndex(mode, i, cols);
-          float da = 0.0f, db = 0.0f;
-          bwd(g[i], ad[i], bd[bi], &da, &db);
-          if (ga != nullptr) ga[i] += da;
-          if (gb != nullptr) gb[bi] += db;
+        if (mode == BroadcastMode::kSame) {
+          // No accumulation aliasing: one pass handles both sides.
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              float da = 0.0f, db = 0.0f;
+              bwd(g[i], ad[i], bd[i], &da, &db);
+              if (ga != nullptr) ga[i] += da;
+              if (gb != nullptr) gb[i] += db;
+            }
+          });
+          return;
+        }
+        if (ga != nullptr) {
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              float da = 0.0f, db = 0.0f;
+              bwd(g[i], ad[i], bd[BroadcastIndex(mode, i, cols)], &da, &db);
+              ga[i] += da;
+            }
+          });
+        }
+        if (gb != nullptr && mode == BroadcastMode::kRowB) {
+          // gb[j] accumulates over rows; shard by output column so every
+          // column keeps the serial (row-order) accumulation order.
+          int64_t rows = n / cols;
+          ParallelFor(0, cols, RowGrain(rows), [&](int64_t j0, int64_t j1) {
+            for (int64_t j = j0; j < j1; ++j) {
+              float sum = gb[j];
+              for (int64_t i = j; i < n; i += cols) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[j], &da, &db);
+                sum += db;
+              }
+              gb[j] = sum;
+            }
+          });
+        } else if (gb != nullptr) {  // kScalarB
+          gb[0] += ParallelReduce<float>(
+              0, n, kGrain, 0.0f,
+              [&](int64_t i0, int64_t i1) {
+                float sum = 0.0f;
+                for (int64_t i = i0; i < i1; ++i) {
+                  float da = 0.0f, db = 0.0f;
+                  bwd(g[i], ad[i], bd[0], &da, &db);
+                  sum += db;
+                }
+                return sum;
+              },
+              [](float acc, float partial) { return acc + partial; });
         }
       });
 }
@@ -141,11 +268,12 @@ template <typename ForwardFn, typename DerivFn>
 Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
   LOGCL_CHECK(x.defined());
   int64_t n = x.num_elements();
-  const std::vector<float>& xv = x.data();
+  const float* xv = x.data().data();
   std::vector<float> out(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    out[static_cast<size_t>(i)] = fwd(xv[static_cast<size_t>(i)]);
-  }
+  float* od = out.data();
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) od[i] = fwd(xv[i]);
+  });
   return Tensor::MakeOpOutput(
       x.shape(), std::move(out), {x}, [n, dydx](Node& node) {
         const auto& px = node.parents[0];
@@ -155,7 +283,9 @@ Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
         const float* xd = px->data.data();
         const float* yd = node.data.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) gx[i] += g[i] * dydx(xd[i], yd[i]);
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) gx[i] += g[i] * dydx(xd[i], yd[i]);
+        });
       });
 }
 
@@ -198,12 +328,13 @@ Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
   const float* xd = x.data().data();
   const float* cd = col.data().data();
   std::vector<float> out(static_cast<size_t>(rows * cols));
-  for (int64_t i = 0; i < rows; ++i) {
-    float c = cd[i];
-    for (int64_t j = 0; j < cols; ++j) {
-      out[static_cast<size_t>(i * cols + j)] = xd[i * cols + j] * c;
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float c = cd[i];
+      for (int64_t j = 0; j < cols; ++j) od[i * cols + j] = xd[i * cols + j] * c;
     }
-  }
+  });
   return Tensor::MakeOpOutput(
       x.shape(), std::move(out), {x, col}, [rows, cols](Node& node) {
         const auto& px = node.parents[0];
@@ -211,27 +342,33 @@ Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
         const float* g = node.grad.data();
         const float* xd = px->data.data();
         const float* cd = pc->data.data();
+        float* gx = nullptr;
+        float* gc = nullptr;
         if (px->requires_grad) {
           px->EnsureGrad();
-          float* gx = px->grad.data();
-          for (int64_t i = 0; i < rows; ++i) {
-            float c = cd[i];
-            for (int64_t j = 0; j < cols; ++j) {
-              gx[i * cols + j] += g[i * cols + j] * c;
-            }
-          }
+          gx = px->grad.data();
         }
         if (pc->requires_grad) {
           pc->EnsureGrad();
-          float* gc = pc->grad.data();
-          for (int64_t i = 0; i < rows; ++i) {
-            float sum = 0.0f;
-            for (int64_t j = 0; j < cols; ++j) {
-              sum += g[i * cols + j] * xd[i * cols + j];
-            }
-            gc[i] += sum;
-          }
+          gc = pc->grad.data();
         }
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            if (gx != nullptr) {
+              float c = cd[i];
+              for (int64_t j = 0; j < cols; ++j) {
+                gx[i * cols + j] += g[i * cols + j] * c;
+              }
+            }
+            if (gc != nullptr) {
+              float sum = 0.0f;
+              for (int64_t j = 0; j < cols; ++j) {
+                sum += g[i * cols + j] * xd[i * cols + j];
+              }
+              gc[i] += sum;
+            }
+          }
+        });
       });
 }
 
@@ -288,11 +425,12 @@ Tensor Transpose(const Tensor& a) {
   int64_t cols = a.shape().cols();
   const float* ad = a.data().data();
   std::vector<float> out(static_cast<size_t>(rows * cols));
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t j = 0; j < cols; ++j) {
-      out[static_cast<size_t>(j * rows + i)] = ad[i * cols + j];
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      for (int64_t j = 0; j < cols; ++j) od[j * rows + i] = ad[i * cols + j];
     }
-  }
+  });
   return Tensor::MakeOpOutput(
       Shape{cols, rows}, std::move(out), {a}, [rows, cols](Node& node) {
         const auto& pa = node.parents[0];
@@ -300,11 +438,13 @@ Tensor Transpose(const Tensor& a) {
         pa->EnsureGrad();
         const float* g = node.grad.data();
         float* ga = pa->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          for (int64_t j = 0; j < cols; ++j) {
-            ga[i * cols + j] += g[j * rows + i];
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            for (int64_t j = 0; j < cols; ++j) {
+              ga[i * cols + j] += g[j * rows + i];
+            }
           }
-        }
+        });
       });
 }
 
@@ -319,7 +459,9 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
     pa->EnsureGrad();
     const float* g = node.grad.data();
     float* ga = pa->grad.data();
-    for (int64_t i = 0; i < n; ++i) ga[i] += g[i];
+    ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+    });
   });
 }
 
@@ -332,19 +474,26 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     LOGCL_CHECK_EQ(p.shape().rows(), rows);
     total_cols += p.shape().cols();
   }
-  std::vector<float> out(static_cast<size_t>(rows * total_cols));
   std::vector<int64_t> offsets;
-  int64_t offset = 0;
-  for (const Tensor& p : parts) {
-    offsets.push_back(offset);
-    int64_t pc = p.shape().cols();
-    const float* pd = p.data().data();
-    for (int64_t i = 0; i < rows; ++i) {
-      std::copy(pd + i * pc, pd + (i + 1) * pc,
-                out.data() + i * total_cols + offset);
+  {
+    int64_t offset = 0;
+    for (const Tensor& p : parts) {
+      offsets.push_back(offset);
+      offset += p.shape().cols();
     }
-    offset += pc;
   }
+  std::vector<float> out(static_cast<size_t>(rows * total_cols));
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(total_cols), [&](int64_t r0, int64_t r1) {
+    for (size_t p = 0; p < parts.size(); ++p) {
+      int64_t pc = parts[p].shape().cols();
+      const float* pd = parts[p].data().data();
+      for (int64_t i = r0; i < r1; ++i) {
+        std::copy(pd + i * pc, pd + (i + 1) * pc,
+                  od + i * total_cols + offsets[p]);
+      }
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{rows, total_cols}, std::move(out), parts,
       [rows, total_cols, offsets](Node& node) {
@@ -356,11 +505,13 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
           int64_t pc = parent->shape.cols();
           int64_t off = offsets[p];
           float* gp = parent->grad.data();
-          for (int64_t i = 0; i < rows; ++i) {
-            const float* grow = g + i * total_cols + off;
-            float* prow = gp + i * pc;
-            for (int64_t j = 0; j < pc; ++j) prow[j] += grow[j];
-          }
+          ParallelFor(0, rows, RowGrain(pc), [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* grow = g + i * total_cols + off;
+              float* prow = gp + i * pc;
+              for (int64_t j = 0; j < pc; ++j) prow[j] += grow[j];
+            }
+          });
         }
       });
 }
@@ -394,7 +545,9 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
           int64_t pr = parent->shape.rows();
           const float* gstart = g + row_offsets[p] * cols;
           float* gp = parent->grad.data();
-          for (int64_t i = 0; i < pr * cols; ++i) gp[i] += gstart[i];
+          ParallelFor(0, pr * cols, kGrain, [&](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) gp[i] += gstart[i];
+          });
         }
       });
 }
@@ -409,10 +562,13 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
   LOGCL_CHECK_LE(start + count, cols);
   const float* ad = a.data().data();
   std::vector<float> out(static_cast<size_t>(rows * count));
-  for (int64_t i = 0; i < rows; ++i) {
-    std::copy(ad + i * cols + start, ad + i * cols + start + count,
-              out.data() + i * count);
-  }
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(count), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      std::copy(ad + i * cols + start, ad + i * cols + start + count,
+                od + i * count);
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{rows, count}, std::move(out), {a},
       [rows, cols, start, count](Node& node) {
@@ -421,11 +577,13 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
         pa->EnsureGrad();
         const float* g = node.grad.data();
         float* ga = pa->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          for (int64_t j = 0; j < count; ++j) {
-            ga[i * cols + start + j] += g[i * count + j];
+        ParallelFor(0, rows, RowGrain(count), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            for (int64_t j = 0; j < count; ++j) {
+              ga[i * cols + start + j] += g[i * count + j];
+            }
           }
-        }
+        });
       });
 }
 
@@ -447,7 +605,9 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
         pa->EnsureGrad();
         const float* g = node.grad.data();
         float* ga = pa->grad.data() + start * cols;
-        for (int64_t i = 0; i < count * cols; ++i) ga[i] += g[i];
+        ParallelFor(0, count * cols, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+        });
       });
 }
 
@@ -458,26 +618,38 @@ Tensor IndexSelectRows(const Tensor& x, const std::vector<int64_t>& indices) {
   int64_t cols = x.shape().cols();
   int64_t n = static_cast<int64_t>(indices.size());
   const float* xd = x.data().data();
-  std::vector<float> out(static_cast<size_t>(n * cols));
   for (int64_t i = 0; i < n; ++i) {
-    int64_t src = indices[static_cast<size_t>(i)];
-    LOGCL_CHECK_GE(src, 0);
-    LOGCL_CHECK_LT(src, rows);
-    std::copy(xd + src * cols, xd + (src + 1) * cols, out.data() + i * cols);
+    LOGCL_CHECK_GE(indices[static_cast<size_t>(i)], 0);
+    LOGCL_CHECK_LT(indices[static_cast<size_t>(i)], rows);
   }
+  std::vector<float> out(static_cast<size_t>(n * cols));
+  float* od = out.data();
+  ParallelFor(0, n, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      int64_t src = indices[static_cast<size_t>(i)];
+      std::copy(xd + src * cols, xd + (src + 1) * cols, od + i * cols);
+    }
+  });
   return Tensor::MakeOpOutput(
-      Shape{n, cols}, std::move(out), {x}, [cols, n, indices](Node& node) {
+      Shape{n, cols}, std::move(out), {x},
+      [rows, cols, n, indices](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
         px->EnsureGrad();
         const float* g = node.grad.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t dst = indices[static_cast<size_t>(i)];
-          const float* grow = g + i * cols;
-          float* xrow = gx + dst * cols;
-          for (int64_t j = 0; j < cols; ++j) xrow[j] += grow[j];
-        }
+        // Destination-sharded: each shard owns a contiguous range of gx
+        // rows and scans every index, so repeated indices accumulate in
+        // the same (serial) order at any thread count.
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = 0; i < n; ++i) {
+            int64_t dst = indices[static_cast<size_t>(i)];
+            if (dst < r0 || dst >= r1) continue;
+            const float* grow = g + i * cols;
+            float* xrow = gx + dst * cols;
+            for (int64_t j = 0; j < cols; ++j) xrow[j] += grow[j];
+          }
+        });
       });
 }
 
@@ -488,16 +660,23 @@ Tensor ScatterAddRows(const Tensor& values, const std::vector<int64_t>& indices,
   int64_t n = values.shape().rows();
   int64_t cols = values.shape().cols();
   LOGCL_CHECK_EQ(n, static_cast<int64_t>(indices.size()));
+  for (int64_t i = 0; i < n; ++i) {
+    LOGCL_CHECK_GE(indices[static_cast<size_t>(i)], 0);
+    LOGCL_CHECK_LT(indices[static_cast<size_t>(i)], num_rows);
+  }
   const float* vd = values.data().data();
   std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t dst = indices[static_cast<size_t>(i)];
-    LOGCL_CHECK_GE(dst, 0);
-    LOGCL_CHECK_LT(dst, num_rows);
-    const float* vrow = vd + i * cols;
-    float* orow = out.data() + dst * cols;
-    for (int64_t j = 0; j < cols; ++j) orow[j] += vrow[j];
-  }
+  float* od = out.data();
+  // Destination-sharded accumulation (see IndexSelectRows backward).
+  ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t dst = indices[static_cast<size_t>(i)];
+      if (dst < r0 || dst >= r1) continue;
+      const float* vrow = vd + i * cols;
+      float* orow = od + dst * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += vrow[j];
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{num_rows, cols}, std::move(out), {values},
       [cols, n, indices](Node& node) {
@@ -506,12 +685,15 @@ Tensor ScatterAddRows(const Tensor& values, const std::vector<int64_t>& indices,
         pv->EnsureGrad();
         const float* g = node.grad.data();
         float* gv = pv->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t src = indices[static_cast<size_t>(i)];
-          const float* grow = g + src * cols;
-          float* vrow = gv + i * cols;
-          for (int64_t j = 0; j < cols; ++j) vrow[j] += grow[j];
-        }
+        // Edge-parallel: every value row has a distinct gradient row.
+        ParallelFor(0, n, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            int64_t src = indices[static_cast<size_t>(i)];
+            const float* grow = g + src * cols;
+            float* vrow = gv + i * cols;
+            for (int64_t j = 0; j < cols; ++j) vrow[j] += grow[j];
+          }
+        });
       });
 }
 
@@ -532,13 +714,17 @@ Tensor ScatterMeanRows(const Tensor& values,
   for (float& c : inv_count) c = c > 0.0f ? 1.0f / c : 0.0f;
   const float* vd = values.data().data();
   std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t dst = indices[static_cast<size_t>(i)];
-    float w = inv_count[static_cast<size_t>(dst)];
-    const float* vrow = vd + i * cols;
-    float* orow = out.data() + dst * cols;
-    for (int64_t j = 0; j < cols; ++j) orow[j] += w * vrow[j];
-  }
+  float* od = out.data();
+  ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t dst = indices[static_cast<size_t>(i)];
+      if (dst < r0 || dst >= r1) continue;
+      float w = inv_count[static_cast<size_t>(dst)];
+      const float* vrow = vd + i * cols;
+      float* orow = od + dst * cols;
+      for (int64_t j = 0; j < cols; ++j) orow[j] += w * vrow[j];
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{num_rows, cols}, std::move(out), {values},
       [cols, n, indices, inv_count](Node& node) {
@@ -547,15 +733,28 @@ Tensor ScatterMeanRows(const Tensor& values,
         pv->EnsureGrad();
         const float* g = node.grad.data();
         float* gv = pv->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          int64_t src = indices[static_cast<size_t>(i)];
-          float w = inv_count[static_cast<size_t>(src)];
-          const float* grow = g + src * cols;
-          float* vrow = gv + i * cols;
-          for (int64_t j = 0; j < cols; ++j) vrow[j] += w * grow[j];
-        }
+        ParallelFor(0, n, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            int64_t src = indices[static_cast<size_t>(i)];
+            float w = inv_count[static_cast<size_t>(src)];
+            const float* grow = g + src * cols;
+            float* vrow = gv + i * cols;
+            for (int64_t j = 0; j < cols; ++j) vrow[j] += w * grow[j];
+          }
+        });
       });
 }
+
+namespace {
+
+// Grain for loops sharded over softmax segments: aim for ~2048 edges of
+// work per shard, assuming edges are evenly spread over segments.
+int64_t SegmentGrain(int64_t num_segments, int64_t num_edges) {
+  return std::max<int64_t>(
+      1, num_segments * 2048 / std::max<int64_t>(1, num_edges));
+}
+
+}  // namespace
 
 Tensor SegmentSoftmax(const Tensor& logits,
                       const std::vector<int64_t>& segment_ids,
@@ -564,28 +763,41 @@ Tensor SegmentSoftmax(const Tensor& logits,
   int64_t n = logits.num_elements();
   LOGCL_CHECK_EQ(n, static_cast<int64_t>(segment_ids.size()));
   const float* ld = logits.data().data();
-  // Numerically stable per-segment softmax: subtract segment max.
+  for (int64_t i = 0; i < n; ++i) {
+    LOGCL_CHECK_GE(segment_ids[static_cast<size_t>(i)], 0);
+    LOGCL_CHECK_LT(segment_ids[static_cast<size_t>(i)], num_segments);
+  }
+  // Numerically stable per-segment softmax: subtract segment max. The
+  // max/sum passes are segment-sharded (each shard owns a contiguous
+  // segment range and scans all edges), the normalisation is edge-parallel.
   std::vector<float> seg_max(static_cast<size_t>(num_segments),
                              -std::numeric_limits<float>::infinity());
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t s = segment_ids[static_cast<size_t>(i)];
-    LOGCL_CHECK_GE(s, 0);
-    LOGCL_CHECK_LT(s, num_segments);
-    seg_max[static_cast<size_t>(s)] =
-        std::max(seg_max[static_cast<size_t>(s)], ld[i]);
-  }
   std::vector<float> out(static_cast<size_t>(n));
   std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t s = segment_ids[static_cast<size_t>(i)];
-    float e = std::exp(ld[i] - seg_max[static_cast<size_t>(s)]);
-    out[static_cast<size_t>(i)] = e;
-    seg_sum[static_cast<size_t>(s)] += e;
-  }
-  for (int64_t i = 0; i < n; ++i) {
-    int64_t s = segment_ids[static_cast<size_t>(i)];
-    out[static_cast<size_t>(i)] /= seg_sum[static_cast<size_t>(s)];
-  }
+  int64_t seg_grain = SegmentGrain(num_segments, n);
+  ParallelFor(0, num_segments, seg_grain, [&](int64_t s0, int64_t s1) {
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t s = segment_ids[static_cast<size_t>(i)];
+      if (s < s0 || s >= s1) continue;
+      seg_max[static_cast<size_t>(s)] =
+          std::max(seg_max[static_cast<size_t>(s)], ld[i]);
+    }
+  });
+  float* od = out.data();
+  ParallelFor(0, num_segments, seg_grain, [&](int64_t s0, int64_t s1) {
+    for (int64_t i = 0; i < n; ++i) {
+      int64_t s = segment_ids[static_cast<size_t>(i)];
+      if (s < s0 || s >= s1) continue;
+      float e = std::exp(ld[i] - seg_max[static_cast<size_t>(s)]);
+      od[i] = e;
+      seg_sum[static_cast<size_t>(s)] += e;
+    }
+  });
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) {
+      od[i] /= seg_sum[static_cast<size_t>(segment_ids[static_cast<size_t>(i)])];
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{n, 1}, std::move(out), {logits},
       [n, segment_ids, num_segments](Node& node) {
@@ -597,15 +809,21 @@ Tensor SegmentSoftmax(const Tensor& logits,
         float* gl = pl->grad.data();
         // gx_i = y_i * (g_i - sum_{j in seg} y_j g_j)
         std::vector<float> seg_dot(static_cast<size_t>(num_segments), 0.0f);
-        for (int64_t i = 0; i < n; ++i) {
-          seg_dot[static_cast<size_t>(segment_ids[static_cast<size_t>(i)])] +=
-              y[i] * g[i];
-        }
-        for (int64_t i = 0; i < n; ++i) {
-          float dot =
-              seg_dot[static_cast<size_t>(segment_ids[static_cast<size_t>(i)])];
-          gl[i] += y[i] * (g[i] - dot);
-        }
+        ParallelFor(0, num_segments, SegmentGrain(num_segments, n),
+                    [&](int64_t s0, int64_t s1) {
+                      for (int64_t i = 0; i < n; ++i) {
+                        int64_t s = segment_ids[static_cast<size_t>(i)];
+                        if (s < s0 || s >= s1) continue;
+                        seg_dot[static_cast<size_t>(s)] += y[i] * g[i];
+                      }
+                    });
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            float dot = seg_dot[static_cast<size_t>(
+                segment_ids[static_cast<size_t>(i)])];
+            gl[i] += y[i] * (g[i] - dot);
+          }
+        });
       });
 }
 
@@ -622,23 +840,26 @@ Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
   }
   const float* xd = x.data().data();
   std::vector<float> out(static_cast<size_t>(rows * cols));
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* row = xd + i * cols;
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
-    float lse = m + std::log(sum);
-    float* orow = out.data() + i * cols;
-    // The probability path divides by `sum` explicitly rather than using
-    // exp(x - lse): when the row max has huge magnitude (e.g. -1e9 masks),
-    // lse = m + log(sum) absorbs the log(sum) term in float32 and exp(x-lse)
-    // collapses to 1 instead of 1/cols.
-    float inv_sum = 1.0f / sum;
-    for (int64_t j = 0; j < cols; ++j) {
-      orow[j] = log_space ? row[j] - lse : std::exp(row[j] - m) * inv_sum;
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = xd + i * cols;
+      float m = -std::numeric_limits<float>::infinity();
+      for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
+      float sum = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
+      float lse = m + std::log(sum);
+      float* orow = od + i * cols;
+      // The probability path divides by `sum` explicitly rather than using
+      // exp(x - lse): when the row max has huge magnitude (e.g. -1e9 masks),
+      // lse = m + log(sum) absorbs the log(sum) term in float32 and exp(x-lse)
+      // collapses to 1 instead of 1/cols.
+      float inv_sum = 1.0f / sum;
+      for (int64_t j = 0; j < cols; ++j) {
+        orow[j] = log_space ? row[j] - lse : std::exp(row[j] - m) * inv_sum;
+      }
     }
-  }
+  });
   return Tensor::MakeOpOutput(
       x.shape(), std::move(out), {x}, [rows, cols, log_space](Node& node) {
         const auto& px = node.parents[0];
@@ -647,25 +868,27 @@ Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
         const float* g = node.grad.data();
         const float* y = node.data.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          const float* grow = g + i * cols;
-          const float* yrow = y + i * cols;
-          float* gxrow = gx + i * cols;
-          if (log_space) {
-            // y = x - lse; gx = g - softmax * sum(g)
-            float gsum = 0.0f;
-            for (int64_t j = 0; j < cols; ++j) gsum += grow[j];
-            for (int64_t j = 0; j < cols; ++j) {
-              gxrow[j] += grow[j] - std::exp(yrow[j]) * gsum;
-            }
-          } else {
-            float dot = 0.0f;
-            for (int64_t j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
-            for (int64_t j = 0; j < cols; ++j) {
-              gxrow[j] += yrow[j] * (grow[j] - dot);
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* grow = g + i * cols;
+            const float* yrow = y + i * cols;
+            float* gxrow = gx + i * cols;
+            if (log_space) {
+              // y = x - lse; gx = g - softmax * sum(g)
+              float gsum = 0.0f;
+              for (int64_t j = 0; j < cols; ++j) gsum += grow[j];
+              for (int64_t j = 0; j < cols; ++j) {
+                gxrow[j] += grow[j] - std::exp(yrow[j]) * gsum;
+              }
+            } else {
+              float dot = 0.0f;
+              for (int64_t j = 0; j < cols; ++j) dot += grow[j] * yrow[j];
+              for (int64_t j = 0; j < cols; ++j) {
+                gxrow[j] += yrow[j] * (grow[j] - dot);
+              }
             }
           }
-        }
+        });
       });
 }
 }  // namespace
@@ -713,6 +936,8 @@ Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
   const float* xd = x.data().data();
   std::vector<float> slopes(static_cast<size_t>(n));
   std::vector<float> out(static_cast<size_t>(n));
+  // Serial on purpose: the slopes must consume the RNG stream in index
+  // order so training runs are reproducible at any thread count.
   for (int64_t i = 0; i < n; ++i) {
     float s = static_cast<float>(rng->Uniform(kRReluLower, kRReluUpper));
     slopes[static_cast<size_t>(i)] = s;
@@ -726,9 +951,12 @@ Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
         const float* g = node.grad.data();
         const float* xd = px->data.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          gx[i] += g[i] * (xd[i] > 0.0f ? 1.0f : slopes[static_cast<size_t>(i)]);
-        }
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            gx[i] +=
+                g[i] * (xd[i] > 0.0f ? 1.0f : slopes[static_cast<size_t>(i)]);
+          }
+        });
       });
 }
 
@@ -761,6 +989,8 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   const float* xd = x.data().data();
   std::vector<float> mask(static_cast<size_t>(n));
   std::vector<float> out(static_cast<size_t>(n));
+  // Serial on purpose: mask draws consume the RNG stream in index order
+  // (see RRelu).
   for (int64_t i = 0; i < n; ++i) {
     float m = rng->Bernoulli(p) ? 0.0f : scale;
     mask[static_cast<size_t>(i)] = m;
@@ -773,9 +1003,11 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
         px->EnsureGrad();
         const float* g = node.grad.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) {
-          gx[i] += g[i] * mask[static_cast<size_t>(i)];
-        }
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            gx[i] += g[i] * mask[static_cast<size_t>(i)];
+          }
+        });
       });
 }
 
@@ -787,15 +1019,19 @@ Tensor RowL2Normalize(const Tensor& x, float eps) {
   const float* xd = x.data().data();
   std::vector<float> norms(static_cast<size_t>(rows));
   std::vector<float> out(static_cast<size_t>(rows * cols));
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* row = xd + i * cols;
-    float sq = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) sq += row[j] * row[j];
-    float norm = std::max(std::sqrt(sq), eps);
-    norms[static_cast<size_t>(i)] = norm;
-    float inv = 1.0f / norm;
-    for (int64_t j = 0; j < cols; ++j) out[static_cast<size_t>(i * cols + j)] = row[j] * inv;
-  }
+  float* od = out.data();
+  float* nd = norms.data();
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      const float* row = xd + i * cols;
+      float sq = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) sq += row[j] * row[j];
+      float norm = std::max(std::sqrt(sq), eps);
+      nd[i] = norm;
+      float inv = 1.0f / norm;
+      for (int64_t j = 0; j < cols; ++j) od[i * cols + j] = row[j] * inv;
+    }
+  });
   return Tensor::MakeOpOutput(
       x.shape(), std::move(out), {x}, [rows, cols, norms, eps](Node& node) {
         const auto& px = node.parents[0];
@@ -804,33 +1040,50 @@ Tensor RowL2Normalize(const Tensor& x, float eps) {
         const float* g = node.grad.data();
         const float* xd = px->data.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          float norm = norms[static_cast<size_t>(i)];
-          const float* grow = g + i * cols;
-          const float* xrow = xd + i * cols;
-          float* gxrow = gx + i * cols;
-          if (norm <= eps) {
-            // Clamped: y = x / eps, constant scale.
-            for (int64_t j = 0; j < cols; ++j) gxrow[j] += grow[j] / eps;
-            continue;
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            float norm = norms[static_cast<size_t>(i)];
+            const float* grow = g + i * cols;
+            const float* xrow = xd + i * cols;
+            float* gxrow = gx + i * cols;
+            if (norm <= eps) {
+              // Clamped: y = x / eps, constant scale.
+              for (int64_t j = 0; j < cols; ++j) gxrow[j] += grow[j] / eps;
+              continue;
+            }
+            float dot = 0.0f;
+            for (int64_t j = 0; j < cols; ++j) dot += grow[j] * xrow[j];
+            float inv = 1.0f / norm;
+            float inv3 = inv * inv * inv;
+            for (int64_t j = 0; j < cols; ++j) {
+              gxrow[j] += grow[j] * inv - xrow[j] * dot * inv3;
+            }
           }
-          float dot = 0.0f;
-          for (int64_t j = 0; j < cols; ++j) dot += grow[j] * xrow[j];
-          float inv = 1.0f / norm;
-          float inv3 = inv * inv * inv;
-          for (int64_t j = 0; j < cols; ++j) {
-            gxrow[j] += grow[j] * inv - xrow[j] * dot * inv3;
-          }
-        }
+        });
       });
 }
+
+namespace {
+
+// Chunk-ordered double sum over [0, n); bitwise identical at any thread
+// count (chunk boundaries depend only on n and kGrain).
+double ChunkedSum(const float* xd, int64_t n) {
+  return ParallelReduce<double>(
+      0, n, kGrain, 0.0,
+      [xd](int64_t i0, int64_t i1) {
+        double sum = 0.0;
+        for (int64_t i = i0; i < i1; ++i) sum += xd[i];
+        return sum;
+      },
+      [](double acc, double partial) { return acc + partial; });
+}
+
+}  // namespace
 
 Tensor SumAll(const Tensor& x) {
   LOGCL_CHECK(x.defined());
   int64_t n = x.num_elements();
-  const float* xd = x.data().data();
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) sum += xd[i];
+  double sum = ChunkedSum(x.data().data(), n);
   return Tensor::MakeOpOutput(
       Shape{}, {static_cast<float>(sum)}, {x}, [n](Node& node) {
         const auto& px = node.parents[0];
@@ -838,7 +1091,9 @@ Tensor SumAll(const Tensor& x) {
         px->EnsureGrad();
         float g = node.grad[0];
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) gx[i] += g;
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+        });
       });
 }
 
@@ -846,9 +1101,7 @@ Tensor MeanAll(const Tensor& x) {
   LOGCL_CHECK(x.defined());
   int64_t n = x.num_elements();
   LOGCL_CHECK_GT(n, 0);
-  const float* xd = x.data().data();
-  double sum = 0.0;
-  for (int64_t i = 0; i < n; ++i) sum += xd[i];
+  double sum = ChunkedSum(x.data().data(), n);
   float inv = 1.0f / static_cast<float>(n);
   return Tensor::MakeOpOutput(
       Shape{}, {static_cast<float>(sum) * inv}, {x}, [n, inv](Node& node) {
@@ -857,7 +1110,9 @@ Tensor MeanAll(const Tensor& x) {
         px->EnsureGrad();
         float g = node.grad[0] * inv;
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < n; ++i) gx[i] += g;
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+        });
       });
 }
 
@@ -871,9 +1126,23 @@ Tensor MeanRows(const Tensor& x) {
     return Tensor::FromVector(Shape{1, cols}, std::move(out));
   }
   const float* xd = x.data().data();
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t j = 0; j < cols; ++j) out[static_cast<size_t>(j)] += xd[i * cols + j];
-  }
+  // Chunk-ordered column sums: per-chunk row partials are combined in
+  // ascending chunk order, thread-count invariant.
+  out = ParallelReduce<std::vector<float>>(
+      0, rows, RowGrain(cols), std::move(out),
+      [xd, cols](int64_t r0, int64_t r1) {
+        std::vector<float> partial(static_cast<size_t>(cols), 0.0f);
+        for (int64_t i = r0; i < r1; ++i) {
+          for (int64_t j = 0; j < cols; ++j) {
+            partial[static_cast<size_t>(j)] += xd[i * cols + j];
+          }
+        }
+        return partial;
+      },
+      [](std::vector<float> acc, std::vector<float> partial) {
+        for (size_t j = 0; j < acc.size(); ++j) acc[j] += partial[j];
+        return acc;
+      });
   float inv = 1.0f / static_cast<float>(rows);
   for (float& v : out) v *= inv;
   return Tensor::MakeOpOutput(
@@ -883,9 +1152,11 @@ Tensor MeanRows(const Tensor& x) {
         px->EnsureGrad();
         const float* g = node.grad.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[j] * inv;
-        }
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[j] * inv;
+          }
+        });
       });
 }
 
@@ -896,11 +1167,14 @@ Tensor RowSum(const Tensor& x) {
   int64_t cols = x.shape().cols();
   const float* xd = x.data().data();
   std::vector<float> out(static_cast<size_t>(rows), 0.0f);
-  for (int64_t i = 0; i < rows; ++i) {
-    float sum = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) sum += xd[i * cols + j];
-    out[static_cast<size_t>(i)] = sum;
-  }
+  float* od = out.data();
+  ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+    for (int64_t i = r0; i < r1; ++i) {
+      float sum = 0.0f;
+      for (int64_t j = 0; j < cols; ++j) sum += xd[i * cols + j];
+      od[i] = sum;
+    }
+  });
   return Tensor::MakeOpOutput(
       Shape{rows, 1}, std::move(out), {x}, [rows, cols](Node& node) {
         const auto& px = node.parents[0];
@@ -908,9 +1182,11 @@ Tensor RowSum(const Tensor& x) {
         px->EnsureGrad();
         const float* g = node.grad.data();
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[i];
-        }
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            for (int64_t j = 0; j < cols; ++j) gx[i * cols + j] += g[i];
+          }
+        });
       });
 }
 
@@ -923,23 +1199,32 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   LOGCL_CHECK_EQ(rows, static_cast<int64_t>(targets.size()));
   LOGCL_CHECK_GT(rows, 0);
   const float* xd = logits.data().data();
-  // Cache softmax probabilities for the fused backward.
+  // Cache softmax probabilities for the fused backward. Per-row work is
+  // parallel; the loss is a chunk-ordered reduction so the total is
+  // identical at any thread count.
   std::vector<float> probs(static_cast<size_t>(rows * cols));
-  double loss = 0.0;
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* row = xd + i * cols;
-    int64_t target = targets[static_cast<size_t>(i)];
-    LOGCL_CHECK_GE(target, 0);
-    LOGCL_CHECK_LT(target, cols);
-    float m = -std::numeric_limits<float>::infinity();
-    for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
-    float lse = m + std::log(sum);
-    loss += lse - row[target];
-    float* prow = probs.data() + i * cols;
-    for (int64_t j = 0; j < cols; ++j) prow[j] = std::exp(row[j] - lse);
-  }
+  float* pd = probs.data();
+  double loss = ParallelReduce<double>(
+      0, rows, RowGrain(cols), 0.0,
+      [&](int64_t r0, int64_t r1) {
+        double partial = 0.0;
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* row = xd + i * cols;
+          int64_t target = targets[static_cast<size_t>(i)];
+          LOGCL_CHECK_GE(target, 0);
+          LOGCL_CHECK_LT(target, cols);
+          float m = -std::numeric_limits<float>::infinity();
+          for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
+          float sum = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
+          float lse = m + std::log(sum);
+          partial += lse - row[target];
+          float* prow = pd + i * cols;
+          for (int64_t j = 0; j < cols; ++j) prow[j] = std::exp(row[j] - lse);
+        }
+        return partial;
+      },
+      [](double acc, double partial) { return acc + partial; });
   float mean_loss = static_cast<float>(loss / static_cast<double>(rows));
   return Tensor::MakeOpOutput(
       Shape{}, {mean_loss}, {logits},
@@ -949,13 +1234,15 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
         px->EnsureGrad();
         float g = node.grad[0] / static_cast<float>(rows);
         float* gx = px->grad.data();
-        for (int64_t i = 0; i < rows; ++i) {
-          const float* prow = probs.data() + i * cols;
-          float* gxrow = gx + i * cols;
-          int64_t target = targets[static_cast<size_t>(i)];
-          for (int64_t j = 0; j < cols; ++j) gxrow[j] += g * prow[j];
-          gxrow[target] -= g;
-        }
+        ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* prow = probs.data() + i * cols;
+            float* gxrow = gx + i * cols;
+            int64_t target = targets[static_cast<size_t>(i)];
+            for (int64_t j = 0; j < cols; ++j) gxrow[j] += g * prow[j];
+            gxrow[target] -= g;
+          }
+        });
       });
 }
 
@@ -979,26 +1266,30 @@ Tensor Conv2x3(const Tensor& h, const Tensor& r, const Tensor& kernels,
   const float* kd = kernels.data().data();
   const float* bd = bias.data().data();
   std::vector<float> out(static_cast<size_t>(batch * num_kernels * d));
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* hrow = hd + b * d;
-    const float* rrow = rd + b * d;
-    for (int64_t k = 0; k < num_kernels; ++k) {
-      const float* kr = kd + k * 6;
-      float* orow = out.data() + (b * num_kernels + k) * d;
-      for (int64_t j = 0; j < d; ++j) {
-        float acc = bd[k];
-        for (int64_t w = 0; w < 3; ++w) {
-          int64_t src = j + w - 1;
-          if (src < 0 || src >= d) continue;
-          acc += kr[w] * hrow[src] + kr[3 + w] * rrow[src];
+  float* od = out.data();
+  int64_t batch_grain = RowGrain(num_kernels * d);
+  ParallelFor(0, batch, batch_grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* hrow = hd + b * d;
+      const float* rrow = rd + b * d;
+      for (int64_t k = 0; k < num_kernels; ++k) {
+        const float* kr = kd + k * 6;
+        float* orow = od + (b * num_kernels + k) * d;
+        for (int64_t j = 0; j < d; ++j) {
+          float acc = bd[k];
+          for (int64_t w = 0; w < 3; ++w) {
+            int64_t src = j + w - 1;
+            if (src < 0 || src >= d) continue;
+            acc += kr[w] * hrow[src] + kr[3 + w] * rrow[src];
+          }
+          orow[j] = acc;
         }
-        orow[j] = acc;
       }
     }
-  }
+  });
   return Tensor::MakeOpOutput(
       Shape{batch, num_kernels * d}, std::move(out), {h, r, kernels, bias},
-      [batch, d, num_kernels](Node& node) {
+      [batch, d, num_kernels, batch_grain](Node& node) {
         const auto& ph = node.parents[0];
         const auto& pr = node.parents[1];
         const auto& pk = node.parents[2];
@@ -1015,27 +1306,58 @@ Tensor Conv2x3(const Tensor& h, const Tensor& r, const Tensor& kernels,
         if (pr->requires_grad) { pr->EnsureGrad(); gr = pr->grad.data(); }
         if (pk->requires_grad) { pk->EnsureGrad(); gk = pk->grad.data(); }
         if (pb->requires_grad) { pb->EnsureGrad(); gb = pb->grad.data(); }
-        for (int64_t b = 0; b < batch; ++b) {
-          const float* hrow = hd + b * d;
-          const float* rrow = rd + b * d;
-          for (int64_t k = 0; k < num_kernels; ++k) {
-            const float* kr = kd + k * 6;
-            const float* grow = g + (b * num_kernels + k) * d;
-            for (int64_t j = 0; j < d; ++j) {
-              float gv = grow[j];
-              if (gv == 0.0f) continue;
-              if (gb != nullptr) gb[k] += gv;
-              for (int64_t w = 0; w < 3; ++w) {
-                int64_t src = j + w - 1;
-                if (src < 0 || src >= d) continue;
-                if (gh != nullptr) gh[b * d + src] += gv * kr[w];
-                if (gr != nullptr) gr[b * d + src] += gv * kr[3 + w];
-                if (gk != nullptr) {
-                  gk[k * 6 + w] += gv * hrow[src];
-                  gk[k * 6 + 3 + w] += gv * rrow[src];
+        // gh/gr rows are per-batch (disjoint across shards); gk/gb
+        // accumulate across the whole batch, so they go through per-chunk
+        // partials combined in chunk order (thread-count invariant).
+        int64_t kb_size = num_kernels * 7;  // 6 kernel taps + 1 bias
+        std::vector<float> kb = ParallelReduce<std::vector<float>>(
+            0, batch, batch_grain,
+            std::vector<float>(
+                static_cast<size_t>(gk != nullptr || gb != nullptr ? kb_size
+                                                                   : 0),
+                0.0f),
+            [&](int64_t b0, int64_t b1) {
+              std::vector<float> local(
+                  static_cast<size_t>(gk != nullptr || gb != nullptr ? kb_size
+                                                                     : 0),
+                  0.0f);
+              float* lk = local.empty() ? nullptr : local.data();
+              float* lb = local.empty() ? nullptr : local.data() + num_kernels * 6;
+              for (int64_t b = b0; b < b1; ++b) {
+                const float* hrow = hd + b * d;
+                const float* rrow = rd + b * d;
+                for (int64_t k = 0; k < num_kernels; ++k) {
+                  const float* kr = kd + k * 6;
+                  const float* grow = g + (b * num_kernels + k) * d;
+                  for (int64_t j = 0; j < d; ++j) {
+                    float gv = grow[j];
+                    if (gv == 0.0f) continue;
+                    if (lb != nullptr) lb[k] += gv;
+                    for (int64_t w = 0; w < 3; ++w) {
+                      int64_t src = j + w - 1;
+                      if (src < 0 || src >= d) continue;
+                      if (gh != nullptr) gh[b * d + src] += gv * kr[w];
+                      if (gr != nullptr) gr[b * d + src] += gv * kr[3 + w];
+                      if (lk != nullptr) {
+                        lk[k * 6 + w] += gv * hrow[src];
+                        lk[k * 6 + 3 + w] += gv * rrow[src];
+                      }
+                    }
+                  }
                 }
               }
-            }
+              return local;
+            },
+            [](std::vector<float> acc, std::vector<float> partial) {
+              for (size_t i = 0; i < acc.size(); ++i) acc[i] += partial[i];
+              return acc;
+            });
+        if (gk != nullptr) {
+          for (int64_t i = 0; i < num_kernels * 6; ++i) gk[i] += kb[i];
+        }
+        if (gb != nullptr) {
+          for (int64_t k = 0; k < num_kernels; ++k) {
+            gb[k] += kb[num_kernels * 6 + k];
           }
         }
       });
@@ -1060,35 +1382,40 @@ Tensor Conv2d(const Tensor& input, int64_t channels, int64_t height,
   const float* bd = bias.data().data();
   int64_t plane = height * width;
   std::vector<float> out(static_cast<size_t>(batch * num_kernels * plane));
-  for (int64_t b = 0; b < batch; ++b) {
-    const float* img = in + b * channels * plane;
-    for (int64_t k = 0; k < num_kernels; ++k) {
-      const float* kern = kd + k * channels * kernel_h * kernel_w;
-      float* oplane = out.data() + (b * num_kernels + k) * plane;
-      for (int64_t y = 0; y < height; ++y) {
-        for (int64_t x = 0; x < width; ++x) {
-          float acc = bd[k];
-          for (int64_t c = 0; c < channels; ++c) {
-            for (int64_t i = 0; i < kernel_h; ++i) {
-              int64_t sy = y + i - pad;
-              if (sy < 0 || sy >= height) continue;
-              for (int64_t j = 0; j < kernel_w; ++j) {
-                int64_t sx = x + j - pad;
-                if (sx < 0 || sx >= width) continue;
-                acc += kern[(c * kernel_h + i) * kernel_w + j] *
-                       img[c * plane + sy * width + sx];
+  float* od = out.data();
+  int64_t batch_grain =
+      RowGrain(num_kernels * plane * channels * kernel_h * kernel_w);
+  ParallelFor(0, batch, batch_grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const float* img = in + b * channels * plane;
+      for (int64_t k = 0; k < num_kernels; ++k) {
+        const float* kern = kd + k * channels * kernel_h * kernel_w;
+        float* oplane = od + (b * num_kernels + k) * plane;
+        for (int64_t y = 0; y < height; ++y) {
+          for (int64_t x = 0; x < width; ++x) {
+            float acc = bd[k];
+            for (int64_t c = 0; c < channels; ++c) {
+              for (int64_t i = 0; i < kernel_h; ++i) {
+                int64_t sy = y + i - pad;
+                if (sy < 0 || sy >= height) continue;
+                for (int64_t j = 0; j < kernel_w; ++j) {
+                  int64_t sx = x + j - pad;
+                  if (sx < 0 || sx >= width) continue;
+                  acc += kern[(c * kernel_h + i) * kernel_w + j] *
+                         img[c * plane + sy * width + sx];
+                }
               }
             }
+            oplane[y * width + x] = acc;
           }
-          oplane[y * width + x] = acc;
         }
       }
     }
-  }
+  });
   return Tensor::MakeOpOutput(
       Shape{batch, num_kernels * plane}, std::move(out), {input, kernels, bias},
-      [batch, channels, height, width, num_kernels, kernel_h, kernel_w,
-       pad](Node& node) {
+      [batch, channels, height, width, num_kernels, kernel_h, kernel_w, pad,
+       batch_grain](Node& node) {
         const auto& pin = node.parents[0];
         const auto& pk = node.parents[1];
         const auto& pb = node.parents[2];
@@ -1102,37 +1429,70 @@ Tensor Conv2d(const Tensor& input, int64_t channels, int64_t height,
         if (pk->requires_grad) { pk->EnsureGrad(); gk = pk->grad.data(); }
         if (pb->requires_grad) { pb->EnsureGrad(); gb = pb->grad.data(); }
         int64_t plane = height * width;
-        for (int64_t b = 0; b < batch; ++b) {
-          const float* img = in + b * channels * plane;
-          for (int64_t k = 0; k < num_kernels; ++k) {
-            const float* kern = kd + k * channels * kernel_h * kernel_w;
-            const float* gplane = g + (b * num_kernels + k) * plane;
-            for (int64_t y = 0; y < height; ++y) {
-              for (int64_t x = 0; x < width; ++x) {
-                float gv = gplane[y * width + x];
-                if (gv == 0.0f) continue;
-                if (gb != nullptr) gb[k] += gv;
-                for (int64_t c = 0; c < channels; ++c) {
-                  for (int64_t i = 0; i < kernel_h; ++i) {
-                    int64_t sy = y + i - pad;
-                    if (sy < 0 || sy >= height) continue;
-                    for (int64_t j = 0; j < kernel_w; ++j) {
-                      int64_t sx = x + j - pad;
-                      if (sx < 0 || sx >= width) continue;
-                      int64_t kidx = (c * kernel_h + i) * kernel_w + j;
-                      int64_t iidx = c * plane + sy * width + sx;
-                      if (gin != nullptr) {
-                        gin[b * channels * plane + iidx] += gv * kern[kidx];
-                      }
-                      if (gk != nullptr) {
-                        gk[k * channels * kernel_h * kernel_w + kidx] +=
-                            gv * img[iidx];
+        int64_t kern_size = channels * kernel_h * kernel_w;
+        // Same decomposition as Conv2x3's backward: gin is batch-sharded,
+        // gk/gb go through chunk-ordered partials.
+        int64_t kb_size = num_kernels * (kern_size + 1);
+        std::vector<float> kb = ParallelReduce<std::vector<float>>(
+            0, batch, batch_grain,
+            std::vector<float>(
+                static_cast<size_t>(gk != nullptr || gb != nullptr ? kb_size
+                                                                   : 0),
+                0.0f),
+            [&](int64_t b0, int64_t b1) {
+              std::vector<float> local(
+                  static_cast<size_t>(gk != nullptr || gb != nullptr ? kb_size
+                                                                     : 0),
+                  0.0f);
+              float* lk = local.empty() ? nullptr : local.data();
+              float* lb = local.empty()
+                              ? nullptr
+                              : local.data() + num_kernels * kern_size;
+              for (int64_t b = b0; b < b1; ++b) {
+                const float* img = in + b * channels * plane;
+                for (int64_t k = 0; k < num_kernels; ++k) {
+                  const float* kern = kd + k * kern_size;
+                  const float* gplane = g + (b * num_kernels + k) * plane;
+                  for (int64_t y = 0; y < height; ++y) {
+                    for (int64_t x = 0; x < width; ++x) {
+                      float gv = gplane[y * width + x];
+                      if (gv == 0.0f) continue;
+                      if (lb != nullptr) lb[k] += gv;
+                      for (int64_t c = 0; c < channels; ++c) {
+                        for (int64_t i = 0; i < kernel_h; ++i) {
+                          int64_t sy = y + i - pad;
+                          if (sy < 0 || sy >= height) continue;
+                          for (int64_t j = 0; j < kernel_w; ++j) {
+                            int64_t sx = x + j - pad;
+                            if (sx < 0 || sx >= width) continue;
+                            int64_t kidx = (c * kernel_h + i) * kernel_w + j;
+                            int64_t iidx = c * plane + sy * width + sx;
+                            if (gin != nullptr) {
+                              gin[b * channels * plane + iidx] +=
+                                  gv * kern[kidx];
+                            }
+                            if (lk != nullptr) {
+                              lk[k * kern_size + kidx] += gv * img[iidx];
+                            }
+                          }
+                        }
                       }
                     }
                   }
                 }
               }
-            }
+              return local;
+            },
+            [](std::vector<float> acc, std::vector<float> partial) {
+              for (size_t i = 0; i < acc.size(); ++i) acc[i] += partial[i];
+              return acc;
+            });
+        if (gk != nullptr) {
+          for (int64_t i = 0; i < num_kernels * kern_size; ++i) gk[i] += kb[i];
+        }
+        if (gb != nullptr) {
+          for (int64_t k = 0; k < num_kernels; ++k) {
+            gb[k] += kb[num_kernels * kern_size + k];
           }
         }
       });

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace logcl {
 
@@ -25,15 +26,32 @@ void AdamOptimizer::ZeroGrad() {
 
 float AdamOptimizer::ClipGradNorm(float max_norm) {
   LOGCL_CHECK_GT(max_norm, 0.0f);
+  // Per-parameter chunk-ordered reductions summed in parameter order, so
+  // the norm is identical at any thread count.
   double total_sq = 0.0;
   for (Tensor& p : parameters_) {
-    for (float g : p.grad()) total_sq += static_cast<double>(g) * g;
+    const float* g = p.grad().data();
+    int64_t n = static_cast<int64_t>(p.grad().size());
+    total_sq += ParallelReduce<double>(
+        0, n, /*grain=*/8192, 0.0,
+        [g](int64_t i0, int64_t i1) {
+          double sq = 0.0;
+          for (int64_t i = i0; i < i1; ++i) {
+            sq += static_cast<double>(g[i]) * g[i];
+          }
+          return sq;
+        },
+        [](double acc, double partial) { return acc + partial; });
   }
   float norm = static_cast<float>(std::sqrt(total_sq));
   if (norm > max_norm) {
     float scale = max_norm / (norm + 1e-6f);
     for (Tensor& p : parameters_) {
-      for (float& g : p.mutable_grad()) g *= scale;
+      float* g = p.mutable_grad().data();
+      int64_t n = static_cast<int64_t>(p.mutable_grad().size());
+      ParallelFor(0, n, 8192, [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) g[i] *= scale;
+      });
     }
   }
   return norm;
@@ -49,18 +67,27 @@ void AdamOptimizer::Step() {
     const std::vector<float>& grad = p.grad();
     std::vector<float>& m = moment1_[i];
     std::vector<float>& v = moment2_[i];
-    for (size_t j = 0; j < data.size(); ++j) {
-      float g = grad[j];
-      if (options_.weight_decay > 0.0f) {
-        data[j] -= options_.learning_rate * options_.weight_decay * data[j];
-      }
-      m[j] = options_.beta1 * m[j] + (1.0f - options_.beta1) * g;
-      v[j] = options_.beta2 * v[j] + (1.0f - options_.beta2) * g * g;
-      float m_hat = m[j] / bias1;
-      float v_hat = v[j] / bias2;
-      data[j] -= options_.learning_rate * m_hat /
+    // Every element updates independently, so the split is free to vary
+    // with the thread count without changing the result.
+    ParallelFor(
+        0, static_cast<int64_t>(data.size()), 8192,
+        [&](int64_t j0, int64_t j1) {
+          for (int64_t j = j0; j < j1; ++j) {
+            float g = grad[static_cast<size_t>(j)];
+            float& d = data[static_cast<size_t>(j)];
+            float& mj = m[static_cast<size_t>(j)];
+            float& vj = v[static_cast<size_t>(j)];
+            if (options_.weight_decay > 0.0f) {
+              d -= options_.learning_rate * options_.weight_decay * d;
+            }
+            mj = options_.beta1 * mj + (1.0f - options_.beta1) * g;
+            vj = options_.beta2 * vj + (1.0f - options_.beta2) * g * g;
+            float m_hat = mj / bias1;
+            float v_hat = vj / bias2;
+            d -= options_.learning_rate * m_hat /
                  (std::sqrt(v_hat) + options_.epsilon);
-    }
+          }
+        });
   }
 }
 

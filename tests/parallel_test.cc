@@ -1,0 +1,190 @@
+// Tests for the parallel runtime: ParallelFor/ParallelReduce semantics and
+// the thread-count determinism contract on a full LogCL training step.
+
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/logcl_model.h"
+#include "synth/generator.h"
+#include "tensor/optimizer.h"
+
+namespace logcl {
+namespace {
+
+// Restores the default thread count when a test exits, pass or fail.
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { SetNumThreads(0); }
+};
+
+TEST(ThreadCountTest, SetAndGetRoundTrip) {
+  ThreadCountGuard guard;
+  SetNumThreads(3);
+  EXPECT_EQ(GetNumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(0);  // restore default
+  EXPECT_GE(GetNumThreads(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::vector<std::pair<int64_t, int64_t>> ranges;
+  ParallelFor(2, 9, 100, [&](int64_t b, int64_t e) {
+    ranges.emplace_back(b, e);  // single inline call: no race
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, 2);
+  EXPECT_EQ(ranges[0].second, 9);
+}
+
+TEST(ParallelForTest, SubRangesCoverEveryIndexExactlyOnce) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, kN, 16, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+  });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kOuter = 12;
+  constexpr int64_t kInner = 7;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, kOuter, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(0, kInner, 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t j = ib; j < ie; ++j) {
+          ++hits[static_cast<size_t>(i * kInner + j)];
+        }
+      });
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelReduceTest, EmptyRangeReturnsIdentity) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  int64_t result = ParallelReduce<int64_t>(
+      3, 3, 1, int64_t{42},
+      [](int64_t, int64_t) { return int64_t{1}; },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(result, 42);
+}
+
+TEST(ParallelReduceTest, SumsExactly) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  constexpr int64_t kN = 12345;
+  int64_t sum = ParallelReduce<int64_t>(
+      0, kN, 97, int64_t{0},
+      [](int64_t b, int64_t e) {
+        int64_t s = 0;
+        for (int64_t i = b; i < e; ++i) s += i;
+        return s;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(sum, kN * (kN - 1) / 2);
+}
+
+TEST(ParallelReduceTest, FloatSumIsBitwiseIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  constexpr int64_t kN = 40000;
+  std::vector<float> xs(static_cast<size_t>(kN));
+  uint32_t state = 12345;
+  for (float& x : xs) {
+    state = state * 1664525u + 1013904223u;  // LCG: deterministic data
+    x = static_cast<float>(state % 1000) / 7.0f - 70.0f;
+  }
+  auto sum = [&] {
+    return ParallelReduce<float>(
+        0, kN, 128, 0.0f,
+        [&](int64_t b, int64_t e) {
+          float s = 0.0f;
+          for (int64_t i = b; i < e; ++i) s += xs[static_cast<size_t>(i)];
+          return s;
+        },
+        [](float a, float b) { return a + b; });
+  };
+  SetNumThreads(1);
+  float serial = sum();
+  SetNumThreads(4);
+  float threaded = sum();
+  EXPECT_EQ(serial, threaded);  // bitwise, not near
+}
+
+// The ISSUE's acceptance test: one full LogCL training epoch plus scoring
+// must produce identical forward scores and identical post-Adam-step
+// parameters (hence identical gradients) at 1 vs 4 threads.
+TEST(ThreadDeterminismTest, TrainingStepIdenticalAtOneVsFourThreads) {
+  ThreadCountGuard guard;
+  SynthConfig config;
+  config.seed = 88;
+  config.num_entities = 16;
+  config.num_relations = 3;
+  config.num_timestamps = 15;
+  TkgDataset d = GenerateSyntheticTkg(config);
+  LogClConfig model_config;
+  model_config.embedding_dim = 8;
+  model_config.local.history_length = 2;
+  model_config.local.num_layers = 1;
+  model_config.global.num_layers = 1;
+  model_config.decoder.num_kernels = 4;
+  model_config.seed = 99;
+
+  struct RunResult {
+    std::vector<std::vector<float>> scores;
+    std::vector<std::vector<float>> params;
+    std::vector<std::vector<float>> grads;
+  };
+  auto run = [&] {
+    LogClModel model(&d, model_config);
+    AdamOptimizer optimizer(model.Parameters(), {});
+    model.TrainEpoch(&optimizer);
+    RunResult r;
+    r.scores = model.ScoreQueries({{0, 0, 1, 13}, {2, 1, 3, 13}});
+    for (const Tensor& p : model.Parameters()) {
+      r.params.push_back(p.data());
+      r.grads.push_back(p.grad());
+    }
+    return r;
+  };
+
+  SetNumThreads(1);
+  RunResult serial = run();
+  SetNumThreads(4);
+  RunResult threaded = run();
+
+  EXPECT_EQ(serial.scores, threaded.scores);
+  ASSERT_EQ(serial.params.size(), threaded.params.size());
+  for (size_t i = 0; i < serial.params.size(); ++i) {
+    EXPECT_EQ(serial.params[i], threaded.params[i]) << "parameter " << i;
+    EXPECT_EQ(serial.grads[i], threaded.grads[i]) << "grad " << i;
+  }
+}
+
+}  // namespace
+}  // namespace logcl
