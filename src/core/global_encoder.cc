@@ -1,6 +1,6 @@
 #include "core/global_encoder.h"
 
-#include <unordered_set>
+#include <algorithm>
 
 #include "common/logging.h"
 #include "tensor/ops.h"
@@ -17,15 +17,38 @@ GlobalEncoder::GlobalEncoder(int64_t dim, GlobalEncoderOptions options,
   AddChild(&w_attention_);
 }
 
+namespace {
+
+// Packed (s, r, o) edge key for sort+unique dedup: 40 bits per field is
+// far beyond any benchmark's id range and collision-free by construction
+// (unlike a hash). Using sorted keys also makes the edge order
+// deterministic and avoids the per-insert rehash churn of a hash set on
+// large anchor unions.
+using PackedEdge = unsigned __int128;
+
+inline PackedEdge PackEdge(int64_t s, int64_t r, int64_t o) {
+  return (static_cast<PackedEdge>(static_cast<uint64_t>(s)) << 80) |
+         (static_cast<PackedEdge>(static_cast<uint64_t>(r)) << 40) |
+         static_cast<PackedEdge>(static_cast<uint64_t>(o));
+}
+
+constexpr uint64_t kPackMask = (uint64_t{1} << 40) - 1;
+
+}  // namespace
+
 SnapshotGraph GlobalEncoder::BuildQuerySubgraph(
     const HistoryIndex& history, const std::vector<Quadruple>& queries,
     int64_t num_entities) const {
+  LOGCL_CHECK(!queries.empty());
   SnapshotGraph graph;
   graph.num_nodes = num_entities;
-  std::unordered_set<int64_t> anchors;
+  std::vector<int64_t> anchors;
+  anchors.reserve(queries.size() *
+                  static_cast<size_t>(1 + std::max<int64_t>(
+                                              0, options_.max_answers_per_query)));
   for (const Quadruple& q : queries) {
     // G'_g1: the query subject.
-    anchors.insert(q.subject);
+    anchors.push_back(q.subject);
     // G'_g2: historical answer objects of (s, r).
     std::vector<int64_t> answers =
         history.ObjectsBefore(q.subject, q.relation, q.time);
@@ -35,25 +58,76 @@ SnapshotGraph GlobalEncoder::BuildQuerySubgraph(
           kept >= options_.max_answers_per_query) {
         break;
       }
-      anchors.insert(object);
+      anchors.push_back(object);
       ++kept;
     }
   }
-  // Expand anchors by their one-hop historical facts (dedup on (s, r, o)).
-  LOGCL_CHECK(!queries.empty());
+  std::sort(anchors.begin(), anchors.end());
+  anchors.erase(std::unique(anchors.begin(), anchors.end()), anchors.end());
+
+  // Expand anchors by their one-hop historical facts; dedup on packed
+  // (s, r, o) keys via sort+unique.
   int64_t time = queries.front().time;
-  std::unordered_set<uint64_t> edge_seen;
+  std::vector<PackedEdge> edges;
+  if (options_.max_edges_per_anchor > 0) {
+    edges.reserve(anchors.size() *
+                  static_cast<size_t>(options_.max_edges_per_anchor));
+  }
   for (int64_t anchor : anchors) {
+    LOGCL_CHECK_LT(anchor, num_entities);
     for (const HistoryEdge& edge : history.FactsTouchingBefore(
              anchor, time, options_.max_edges_per_anchor)) {
-      uint64_t key = (static_cast<uint64_t>(anchor) << 40) ^
-                     (static_cast<uint64_t>(edge.relation) << 24) ^
-                     static_cast<uint64_t>(edge.neighbor);
-      if (!edge_seen.insert(key).second) continue;
-      graph.AddEdge(anchor, edge.relation, edge.neighbor);
+      edges.push_back(PackEdge(anchor, edge.relation, edge.neighbor));
     }
   }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  graph.src.reserve(edges.size());
+  graph.rel.reserve(edges.size());
+  graph.dst.reserve(edges.size());
+  for (PackedEdge key : edges) {
+    graph.AddEdge(static_cast<int64_t>(static_cast<uint64_t>(key >> 80)),
+                  static_cast<int64_t>(static_cast<uint64_t>(key >> 40) &
+                                       kPackMask),
+                  static_cast<int64_t>(static_cast<uint64_t>(key) &
+                                       kPackMask));
+  }
   return graph;
+}
+
+std::shared_ptr<const SnapshotGraph> GlobalEncoder::QuerySubgraph(
+    const HistoryIndex& history, const std::vector<Quadruple>& queries,
+    int64_t num_entities) const {
+  if (!options_.cache_query_subgraphs) {
+    return std::make_shared<const SnapshotGraph>(
+        BuildQuerySubgraph(history, queries, num_entities));
+  }
+  // Entries are valid only against one HistoryIndex (hence one dataset);
+  // drop everything if the encoder is pointed at a different one.
+  if (cached_history_ != &history) {
+    subgraph_cache_.clear();
+    cached_history_ = &history;
+  }
+  LOGCL_CHECK(!queries.empty());
+  SubgraphKey key;
+  key.first = queries.front().time;
+  key.second.reserve(queries.size());
+  for (const Quadruple& q : queries) {
+    key.second.emplace_back(q.subject, q.relation);
+  }
+  std::sort(key.second.begin(), key.second.end());
+  key.second.erase(std::unique(key.second.begin(), key.second.end()),
+                   key.second.end());
+  auto it = subgraph_cache_.find(key);
+  if (it == subgraph_cache_.end()) {
+    it = subgraph_cache_
+             .emplace(std::move(key),
+                      std::make_shared<const SnapshotGraph>(BuildQuerySubgraph(
+                          history, queries, num_entities)))
+             .first;
+  }
+  return it->second;
 }
 
 Tensor GlobalEncoder::Encode(const SnapshotGraph& graph,

@@ -43,8 +43,10 @@ LocalEncoderOutput LocalEncoder::Encode(const TkgDataset& dataset, int64_t t,
                                : options_.history_length;
   int64_t start = std::max<int64_t>(0, t - history_length);
   for (int64_t s = start; s < t; ++s) {
-    std::vector<Quadruple> facts = dataset.WithInverses(dataset.FactsAt(s));
-    SnapshotGraph graph = SnapshotGraph::FromFacts(facts, num_entities);
+    // Structure cache: the inverse-augmented snapshot graph (and its CSR
+    // layouts) is built once per timestamp for the dataset's lifetime.
+    const SnapshotGraph& graph = dataset.SnapshotGraphAt(s);
+    LOGCL_CHECK_EQ(graph.num_nodes, num_entities);
 
     // Eq.2-3: fold the time interval into the entity features.
     Tensor dynamic = options_.use_time_encoding
@@ -63,7 +65,7 @@ LocalEncoderOutput LocalEncoder::Encode(const TkgDataset& dataset, int64_t t,
     } else {
       Tensor subject_states = ops::IndexSelectRows(entities, graph.src);
       Tensor per_relation_mean =
-          ops::ScatterMeanRows(subject_states, graph.rel, num_relations);
+          ops::ScatterMeanRows(subject_states, graph.RelCsr(num_relations));
       relation_input = ops::Add(per_relation_mean, relations);
     }
     // Eq.7-8: time-gated relation update.

@@ -89,9 +89,10 @@ LogClModel::BatchOutput LogClModel::ForwardPhase(
   Tensor global_encoded;
   Tensor global_query;
   if (config_.use_global) {
-    SnapshotGraph subgraph = global_encoder_.BuildQuerySubgraph(
-        history_, queries, dataset().num_entities());
-    global_encoded = global_encoder_.Encode(subgraph, h0, base_relations_,
+    std::shared_ptr<const SnapshotGraph> subgraph =
+        global_encoder_.QuerySubgraph(history_, queries,
+                                      dataset().num_entities());
+    global_encoded = global_encoder_.Encode(*subgraph, h0, base_relations_,
                                             training, &rng_);
     global_query = global_encoder_.QueryRepresentations(
         global_encoded, h0, queries, history_, config_.use_entity_attention);

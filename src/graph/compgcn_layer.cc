@@ -20,14 +20,24 @@ Tensor CompGcnLayer::Forward(const SnapshotGraph& graph, const Tensor& nodes,
   if (graph.empty()) {
     return ops::RRelu(self, training, rng);
   }
-  Tensor subjects = ops::IndexSelectRows(nodes, graph.src);
-  Tensor rels = ops::IndexSelectRows(relations, graph.rel);
-  Tensor composed = composition_ == CompGcnComposition::kSubtract
-                        ? ops::Sub(subjects, rels)
-                        : ops::Mul(subjects, rels);
-  Tensor messages = ops::MatMul(composed, w_message_);
-  Tensor aggregated =
-      ops::ScatterMeanRows(messages, graph.dst, graph.num_nodes);
+  ops::EdgeCompose compose = composition_ == CompGcnComposition::kSubtract
+                                 ? ops::EdgeCompose::kSubtract
+                                 : ops::EdgeCompose::kMultiply;
+  Tensor aggregated;
+  if (ops::FusedMessagePassingEnabled()) {
+    aggregated = ops::FusedRelMessagePassing(nodes, relations, w_message_,
+                                             graph.src, graph.rel, graph.dst,
+                                             graph.DstCsr(), compose);
+  } else {
+    // Composed reference chain; bitwise identical to the fused op.
+    Tensor subjects = ops::IndexSelectRows(nodes, graph.src);
+    Tensor rels = ops::IndexSelectRows(relations, graph.rel);
+    Tensor composed = composition_ == CompGcnComposition::kSubtract
+                          ? ops::Sub(subjects, rels)
+                          : ops::Mul(subjects, rels);
+    Tensor messages = ops::MatMul(composed, w_message_);
+    aggregated = ops::ScatterMeanRows(messages, graph.DstCsr());
+  }
   return ops::RRelu(ops::Add(aggregated, self), training, rng);
 }
 

@@ -23,18 +23,35 @@ Tensor KbgatLayer::Forward(const SnapshotGraph& graph, const Tensor& nodes,
   if (graph.empty()) {
     return ops::RRelu(self, training, rng);
   }
-  Tensor messages = ops::MatMul(
-      ops::Add(ops::IndexSelectRows(nodes, graph.src),
-               ops::IndexSelectRows(relations, graph.rel)),
-      w_message_);
-  Tensor receivers = ops::IndexSelectRows(self, graph.dst);
-  Tensor logits = ops::LeakyRelu(
-      ops::MatMul(ops::ConcatCols({messages, receivers}), attention_),
-      kAttentionLeak);
-  Tensor alpha = ops::SegmentSoftmax(logits, graph.dst, graph.num_nodes);
-  Tensor weighted = ops::MulColBroadcast(messages, alpha);
-  Tensor aggregated = ops::ScatterAddRows(weighted, graph.dst,
-                                          graph.num_nodes);
+  // The attention needs the materialized per-edge messages, so only the
+  // gather+compose+matmul front is fused; softmax/scatter read the cached
+  // CSR layout. The else-branch is the bitwise-identical composed reference.
+  Tensor messages;
+  Tensor alpha;
+  Tensor aggregated;
+  if (ops::FusedMessagePassingEnabled()) {
+    messages = ops::EdgeMessages(nodes, relations, w_message_, graph.src,
+                                 graph.rel, ops::EdgeCompose::kAdd);
+    Tensor receivers = ops::IndexSelectRows(self, graph.dst);
+    Tensor logits = ops::LeakyRelu(
+        ops::MatMul(ops::ConcatCols({messages, receivers}), attention_),
+        kAttentionLeak);
+    alpha = ops::SegmentSoftmax(logits, graph.DstCsr());
+    Tensor weighted = ops::MulColBroadcast(messages, alpha);
+    aggregated = ops::ScatterAddRows(weighted, graph.DstCsr());
+  } else {
+    messages = ops::MatMul(
+        ops::Add(ops::IndexSelectRows(nodes, graph.src),
+                 ops::IndexSelectRows(relations, graph.rel)),
+        w_message_);
+    Tensor receivers = ops::IndexSelectRows(self, graph.dst);
+    Tensor logits = ops::LeakyRelu(
+        ops::MatMul(ops::ConcatCols({messages, receivers}), attention_),
+        kAttentionLeak);
+    alpha = ops::SegmentSoftmax(logits, graph.dst, graph.num_nodes);
+    Tensor weighted = ops::MulColBroadcast(messages, alpha);
+    aggregated = ops::ScatterAddRows(weighted, graph.dst, graph.num_nodes);
+  }
   return ops::RRelu(ops::Add(aggregated, self), training, rng);
 }
 

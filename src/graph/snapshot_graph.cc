@@ -4,6 +4,21 @@
 
 namespace logcl {
 
+const EdgeCsrPtr& SnapshotGraph::DstCsr() const {
+  if (dst_csr_ == nullptr || dst_csr_->num_edges != num_edges()) {
+    dst_csr_ = EdgeCsr::Build(dst, num_nodes);
+  }
+  return dst_csr_;
+}
+
+const EdgeCsrPtr& SnapshotGraph::RelCsr(int64_t num_relations) const {
+  if (rel_csr_ == nullptr || rel_csr_->num_edges != num_edges() ||
+      rel_csr_->num_rows != num_relations) {
+    rel_csr_ = EdgeCsr::Build(rel, num_relations);
+  }
+  return rel_csr_;
+}
+
 SnapshotGraph SnapshotGraph::FromFacts(const std::vector<Quadruple>& facts,
                                        int64_t num_nodes) {
   LOGCL_CHECK_GT(num_nodes, 0);
@@ -16,6 +31,29 @@ SnapshotGraph SnapshotGraph::FromFacts(const std::vector<Quadruple>& facts,
     LOGCL_CHECK_LT(q.subject, num_nodes);
     LOGCL_CHECK_LT(q.object, num_nodes);
     graph.AddEdge(q.subject, q.relation, q.object);
+  }
+  return graph;
+}
+
+SnapshotGraph SnapshotGraph::FromFactsWithInverses(
+    const std::vector<Quadruple>& facts, int64_t num_nodes,
+    int64_t num_base_relations) {
+  LOGCL_CHECK_GT(num_nodes, 0);
+  SnapshotGraph graph;
+  graph.num_nodes = num_nodes;
+  graph.src.reserve(facts.size() * 2);
+  graph.rel.reserve(facts.size() * 2);
+  graph.dst.reserve(facts.size() * 2);
+  // Same edge order as FromFacts(WithInverses(facts)): originals first,
+  // then the inverses.
+  for (const Quadruple& q : facts) {
+    LOGCL_CHECK_LT(q.subject, num_nodes);
+    LOGCL_CHECK_LT(q.object, num_nodes);
+    graph.AddEdge(q.subject, q.relation, q.object);
+  }
+  for (const Quadruple& q : facts) {
+    graph.AddEdge(q.object, InverseRelation(q.relation, num_base_relations),
+                  q.subject);
   }
   return graph;
 }

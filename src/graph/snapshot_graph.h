@@ -7,12 +7,20 @@
 #include <cstdint>
 #include <vector>
 
+#include "tensor/edge_csr.h"
 #include "tkg/quadruple.h"
 
 namespace logcl {
 
 /// Parallel-array edge list. Node ids address rows of the entity embedding
 /// matrix; relation ids address the (inverse-augmented) relation matrix.
+///
+/// The graph lazily builds and caches CSR layouts over its edges (grouped by
+/// destination node, and by relation) shared by the fused message-passing
+/// kernels, their backwards and the CSR scatter ops. The caches are
+/// invalidated by AddEdge and never outlive the graph; lazy builds are not
+/// thread-safe (build happens on the single training thread before any
+/// parallel kernel reads the layout).
 struct SnapshotGraph {
   int64_t num_nodes = 0;
   std::vector<int64_t> src;
@@ -26,13 +34,30 @@ struct SnapshotGraph {
     src.push_back(s);
     rel.push_back(r);
     dst.push_back(d);
+    dst_csr_.reset();
+    rel_csr_.reset();
   }
+
+  /// CSR over `dst` with num_nodes rows (message aggregation layout).
+  const EdgeCsrPtr& DstCsr() const;
+  /// CSR over `rel` with `num_relations` rows (Eq.6 per-relation pooling).
+  const EdgeCsrPtr& RelCsr(int64_t num_relations) const;
 
   /// Builds a graph from facts' (s, r, o); timestamps are ignored (one
   /// snapshot = concurrent facts). Pass inverse-augmented facts for
   /// bidirectional message passing.
   static SnapshotGraph FromFacts(const std::vector<Quadruple>& facts,
                                  int64_t num_nodes);
+
+  /// FromFacts over `facts` plus their inverses (object, r + num_base,
+  /// subject) without materializing the doubled quadruple list.
+  static SnapshotGraph FromFactsWithInverses(
+      const std::vector<Quadruple>& facts, int64_t num_nodes,
+      int64_t num_base_relations);
+
+ private:
+  mutable EdgeCsrPtr dst_csr_;
+  mutable EdgeCsrPtr rel_csr_;
 };
 
 }  // namespace logcl

@@ -1,0 +1,38 @@
+#include "tensor/edge_csr.h"
+
+#include "common/logging.h"
+
+namespace logcl {
+
+std::shared_ptr<const EdgeCsr> EdgeCsr::Build(const std::vector<int64_t>& dst,
+                                              int64_t num_rows) {
+  LOGCL_CHECK_GE(num_rows, 0);
+  auto csr = std::make_shared<EdgeCsr>();
+  csr->num_rows = num_rows;
+  csr->num_edges = static_cast<int64_t>(dst.size());
+  csr->offsets.assign(static_cast<size_t>(num_rows) + 1, 0);
+  for (int64_t d : dst) {
+    LOGCL_CHECK_GE(d, 0);
+    LOGCL_CHECK_LT(d, num_rows);
+    ++csr->offsets[static_cast<size_t>(d) + 1];
+  }
+  for (int64_t r = 0; r < num_rows; ++r) {
+    csr->offsets[static_cast<size_t>(r) + 1] +=
+        csr->offsets[static_cast<size_t>(r)];
+  }
+  csr->edge_order.resize(dst.size());
+  std::vector<int64_t> cursor(csr->offsets.begin(), csr->offsets.end() - 1);
+  for (int64_t e = 0; e < csr->num_edges; ++e) {
+    csr->edge_order[static_cast<size_t>(
+        cursor[static_cast<size_t>(dst[static_cast<size_t>(e)])]++)] = e;
+  }
+  csr->inv_in_degree.resize(static_cast<size_t>(num_rows));
+  for (int64_t r = 0; r < num_rows; ++r) {
+    int64_t deg = csr->degree(r);
+    csr->inv_in_degree[static_cast<size_t>(r)] =
+        deg > 0 ? 1.0f / static_cast<float>(deg) : 0.0f;
+  }
+  return csr;
+}
+
+}  // namespace logcl

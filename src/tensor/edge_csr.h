@@ -1,0 +1,46 @@
+// EdgeCsr: a destination-grouped CSR layout over an edge list, shared by the
+// fused message-passing kernels, their backwards, and the scatter/segment
+// ops. Built once per graph (see SnapshotGraph::DstCsr) and captured by
+// backward closures via shared_ptr, so a layout outlives neither rebuilds of
+// its graph nor the tape that references it.
+
+#ifndef LOGCL_TENSOR_EDGE_CSR_H_
+#define LOGCL_TENSOR_EDGE_CSR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace logcl {
+
+/// Immutable CSR view keyed by an arbitrary per-edge destination id (node,
+/// relation, or softmax segment).
+struct EdgeCsr {
+  int64_t num_rows = 0;   // destination rows
+  int64_t num_edges = 0;
+  /// Edge ids grouped by destination; within one destination, ascending edge
+  /// id (counting sort is stable), so per-row accumulation in CSR order is
+  /// bitwise identical to an edge-order scan of the original list.
+  std::vector<int64_t> edge_order;
+  /// edge_order[offsets[r] .. offsets[r+1]) are the edges targeting row r.
+  std::vector<int64_t> offsets;  // size num_rows + 1
+  /// 1 / in-degree per destination (0 for rows receiving nothing) — the
+  /// 1/c_o normalisation of Eq.4, shared so ScatterMeanRows and the fused
+  /// kernel never recount degrees.
+  std::vector<float> inv_in_degree;
+
+  int64_t degree(int64_t row) const {
+    return offsets[static_cast<size_t>(row) + 1] -
+           offsets[static_cast<size_t>(row)];
+  }
+
+  /// Counting-sorts `dst` (all values in [0, num_rows)) into a layout.
+  static std::shared_ptr<const EdgeCsr> Build(const std::vector<int64_t>& dst,
+                                              int64_t num_rows);
+};
+
+using EdgeCsrPtr = std::shared_ptr<const EdgeCsr>;
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_EDGE_CSR_H_

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "tensor/edge_csr.h"
 #include "tensor/tensor.h"
 
 namespace logcl {
@@ -72,6 +73,53 @@ Tensor ScatterMeanRows(const Tensor& values,
 Tensor SegmentSoftmax(const Tensor& logits,
                       const std::vector<int64_t>& segment_ids,
                       int64_t num_segments);
+
+// ---------------------------------------------------------------------------
+// CSR-layout scatter variants. Bitwise identical to the index-vector
+// overloads above (the CSR keeps each destination's edges in ascending edge
+// id, matching the serial accumulation order), but each destination row
+// visits only its own edges and ScatterMeanRows reads the cached in-degrees
+// instead of recounting per call.
+// ---------------------------------------------------------------------------
+Tensor ScatterAddRows(const Tensor& values, const EdgeCsrPtr& csr);
+Tensor ScatterMeanRows(const Tensor& values, const EdgeCsrPtr& csr);
+/// CSR rows are softmax segments here (csr->num_edges == logits elements).
+Tensor SegmentSoftmax(const Tensor& logits, const EdgeCsrPtr& csr);
+
+// ---------------------------------------------------------------------------
+// Fused relational message passing.
+// ---------------------------------------------------------------------------
+/// Per-edge composition of source-node and relation features (CompGCN's
+/// phi): kAdd is h_s + h_r, kSubtract h_s - h_r, kMultiply h_s * h_r.
+enum class EdgeCompose { kAdd, kSubtract, kMultiply };
+
+/// Whether the graph layers route through the fused kernels (default on;
+/// env LOGCL_FUSED_MP=0 disables). The composed chain stays available as a
+/// bitwise-identical reference for tests and benchmarks.
+bool FusedMessagePassingEnabled();
+void SetFusedMessagePassingEnabled(bool enabled);
+
+/// messages[e, :] = compose(nodes[src[e], :], relations[rel[e], :]) * weight.
+/// One op replacing IndexSelectRows x2 -> compose -> MatMul for layers that
+/// must materialize per-edge messages (KBGAT attention); custom backward
+/// avoids putting the two gathered [E, d] tensors on the tape.
+Tensor EdgeMessages(const Tensor& nodes, const Tensor& relations,
+                    const Tensor& weight, const std::vector<int64_t>& src,
+                    const std::vector<int64_t>& rel, EdgeCompose compose);
+
+/// out[v, :] = mean over in-edges e of v of
+///   compose(nodes[src[e], :], relations[rel[e], :]) * weight.
+/// The full IndexSelectRows x2 -> compose -> MatMul -> ScatterMeanRows chain
+/// as ONE autograd op: per-edge messages stream through register tiles and
+/// never hit the tape. `dst` and `dst_csr` must describe the same edge list
+/// (dst_csr = EdgeCsr::Build(dst, num_nodes), normally the graph's cached
+/// layout). Bitwise identical to the composed chain at any thread count.
+Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
+                              const Tensor& weight,
+                              const std::vector<int64_t>& src,
+                              const std::vector<int64_t>& rel,
+                              const std::vector<int64_t>& dst,
+                              const EdgeCsrPtr& dst_csr, EdgeCompose compose);
 
 // ---------------------------------------------------------------------------
 // Nonlinearities / normalisations.

@@ -119,6 +119,22 @@ void TkgDataset::BuildIndexes() {
   train_times_ = collect_times(train_);
   valid_times_ = collect_times(valid_);
   test_times_ = collect_times(test_);
+  snapshot_graphs_.assign(static_cast<size_t>(num_timestamps_) + 1, nullptr);
+}
+
+const SnapshotGraph& TkgDataset::SnapshotGraphAt(int64_t t) const {
+  size_t slot = (t < 0 || t >= num_timestamps_)
+                    ? static_cast<size_t>(num_timestamps_)  // edgeless
+                    : static_cast<size_t>(t);
+  std::shared_ptr<SnapshotGraph>& entry = snapshot_graphs_[slot];
+  if (entry == nullptr) {
+    entry = std::make_shared<SnapshotGraph>(SnapshotGraph::FromFactsWithInverses(
+        FactsAt(slot == static_cast<size_t>(num_timestamps_)
+                    ? int64_t{-1}
+                    : t),
+        num_entities_, num_base_relations_));
+  }
+  return *entry;
 }
 
 Result<TkgDataset> TkgDataset::LoadTsv(const std::string& dir,

@@ -14,10 +14,12 @@
 #define LOGCL_TKG_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "graph/snapshot_graph.h"
 #include "tkg/quadruple.h"
 #include "tkg/vocabulary.h"
 
@@ -85,6 +87,15 @@ class TkgDataset {
   /// `facts` plus their inverse quadruples (order: originals then inverses).
   std::vector<Quadruple> WithInverses(const std::vector<Quadruple>& facts) const;
 
+  /// The inverse-augmented snapshot graph of FactsAt(t) over all entities —
+  /// equivalent to SnapshotGraph::FromFacts(WithInverses(FactsAt(t)),
+  /// num_entities()). Built lazily on first access and cached for the
+  /// dataset's lifetime (the facts are immutable), so trainer, eval and
+  /// benches share one structure per timestamp across epochs. Copies of the
+  /// dataset share the cached graphs. Out-of-range t yields the edgeless
+  /// graph. Lazy builds are not thread-safe (single training thread).
+  const SnapshotGraph& SnapshotGraphAt(int64_t t) const;
+
   DatasetStats Stats() const;
 
  private:
@@ -100,6 +111,9 @@ class TkgDataset {
   std::vector<Quadruple> test_;
   // facts_by_time_[t] = union of all splits' facts at t.
   std::vector<std::vector<Quadruple>> facts_by_time_;
+  // Per-timestamp inverse-augmented graphs (see SnapshotGraphAt); index
+  // num_timestamps_ holds the shared edgeless graph for out-of-range t.
+  mutable std::vector<std::shared_ptr<SnapshotGraph>> snapshot_graphs_;
   std::vector<int64_t> train_times_;
   std::vector<int64_t> valid_times_;
   std::vector<int64_t> test_times_;
