@@ -17,6 +17,7 @@
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "synth/presets.h"
+#include "tensor/buffer_pool.h"
 #include "tkg/filters.h"
 
 namespace logcl {
@@ -61,6 +62,29 @@ inline void PrintPaperRow(const std::string& label, double mrr, double h1,
 
 inline void PrintSectionTitle(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Dumps the tensor buffer-pool counters (see tensor/buffer_pool.h) with a
+/// label, e.g. after an epoch to inspect hit rate and peak live bytes.
+inline void PrintPoolStats(const std::string& label) {
+  std::printf("[pool] %s: %s\n", label.c_str(), PoolStats().ToString().c_str());
+  std::fflush(stdout);
+}
+
+/// When LOGCL_POOL_STATS=1, registers an atexit hook that dumps the final
+/// buffer-pool counters; call once near the top of main(). Returns true when
+/// the dump is enabled so binaries can also print per-phase snapshots.
+inline bool EnablePoolStatsDump() {
+  const char* value = std::getenv("LOGCL_POOL_STATS");
+  if (value == nullptr || std::string(value) != "1") return false;
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit([] {
+      std::printf("[pool] at exit: %s\n", PoolStats().ToString().c_str());
+    });
+  }
+  return true;
 }
 
 /// Datasets used by two-dataset experiments (the paper sweeps ICEWS14/18).

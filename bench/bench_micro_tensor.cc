@@ -5,6 +5,7 @@
 
 #include "common/parallel.h"
 #include "common/rng.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 
@@ -94,6 +95,91 @@ void BM_Conv2x3(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Conv2x3)->Arg(32)->Arg(128);
+
+// Chain of small ops in the decoder-input shape (the allocation-bound
+// regime the buffer pool targets): gather entity/relation rows, concat,
+// gate elementwise, slice halves back apart. The data-movement ops do O(n)
+// copying per O(n) of fresh storage, so with malloc-per-op a large share of
+// the runtime is allocation + zero-init — the part the pool elides on
+// kUninit hits. Arg toggles the pool (0 = malloc per op, 1 = pooled);
+// shapes repeat every iteration, so the pooled run is all hits after the
+// first pass.
+void BM_SmallOpChain(benchmark::State& state) {
+  bool pool = state.range(0) != 0;
+  bool saved_pool = BufferPoolEnabled();
+  SetBufferPoolEnabled(pool);
+  constexpr int64_t kBatch = 64;
+  constexpr int64_t kDim = 64;
+  constexpr int64_t kEntities = 256;
+  constexpr int kRounds = 2;
+  Rng rng(8);
+  Tensor entities =
+      Tensor::RandomNormal(Shape{kEntities, kDim}, 0.1f, &rng);
+  Tensor relations = Tensor::RandomNormal(Shape{kEntities, kDim}, 0.1f, &rng);
+  Tensor gate = Tensor::RandomNormal(Shape{kBatch, 2 * kDim}, 0.1f, &rng);
+  Tensor bias = Tensor::RandomNormal(Shape{kBatch, 2 * kDim}, 0.1f, &rng);
+  std::vector<int64_t> eidx(static_cast<size_t>(kBatch));
+  std::vector<int64_t> ridx(static_cast<size_t>(kBatch));
+  for (auto& v : eidx) v = static_cast<int64_t>(rng.UniformInt(kEntities));
+  for (auto& v : ridx) v = static_cast<int64_t>(rng.UniformInt(kEntities));
+  for (auto _ : state) {
+    Tensor h;
+    for (int i = 0; i < kRounds; ++i) {
+      Tensor e = ops::IndexSelectRows(entities, eidx);
+      Tensor r = ops::IndexSelectRows(relations, ridx);
+      Tensor fused = ops::ConcatCols({e, r});
+      fused = ops::Relu(ops::Add(ops::Mul(fused, gate), bias));
+      h = ops::Add(ops::SliceCols(fused, 0, kDim),
+                   ops::SliceCols(fused, kDim, kDim));
+    }
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetItemsProcessed(state.iterations() * kRounds * kBatch * kDim);
+  SetBufferPoolEnabled(saved_pool);
+}
+BENCHMARK(BM_SmallOpChain)->Arg(0)->Arg(1);
+
+// Full training-step variant: same gated-residual shape plus backward and
+// grad zeroing. The pool's relative win is smaller here — kZero grad
+// buffers must be cleared whether pooled or not, and the elementwise
+// kernels are memory-bandwidth-bound — so this row is the honest
+// end-to-end-step number next to the allocation-bound chain above.
+void BM_SmallOpChainTrainStep(benchmark::State& state) {
+  bool pool = state.range(0) != 0;
+  bool saved_pool = BufferPoolEnabled();
+  SetBufferPoolEnabled(pool);
+  constexpr int64_t kBatch = 256;
+  constexpr int64_t kDim = 128;
+  constexpr int64_t kEntities = 512;
+  constexpr int kLayers = 12;
+  Rng rng(7);
+  Tensor embeddings =
+      Tensor::RandomNormal(Shape{kEntities, kDim}, 0.1f, &rng, true);
+  std::vector<Tensor> gates, biases;
+  for (int l = 0; l < kLayers; ++l) {
+    gates.push_back(
+        Tensor::RandomNormal(Shape{kBatch, kDim}, 0.1f, &rng, true));
+    biases.push_back(
+        Tensor::RandomNormal(Shape{kBatch, kDim}, 0.1f, &rng, true));
+  }
+  std::vector<int64_t> batch(static_cast<size_t>(kBatch));
+  for (auto& v : batch) v = static_cast<int64_t>(rng.UniformInt(kEntities));
+  for (auto _ : state) {
+    embeddings.ZeroGrad();
+    for (int l = 0; l < kLayers; ++l) {
+      gates[l].ZeroGrad();
+      biases[l].ZeroGrad();
+    }
+    Tensor h = ops::IndexSelectRows(embeddings, batch);
+    for (int l = 0; l < kLayers; ++l) {
+      h = ops::Add(h, ops::Relu(ops::Add(ops::Mul(h, gates[l]), biases[l])));
+    }
+    Backward(ops::SumAll(ops::Mul(h, h)));
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+  SetBufferPoolEnabled(saved_pool);
+}
+BENCHMARK(BM_SmallOpChainTrainStep)->Arg(0)->Arg(1);
 
 void BM_CrossEntropy(benchmark::State& state) {
   int64_t batch = state.range(0);

@@ -90,6 +90,7 @@ void Run() {
 }  // namespace logcl
 
 int main() {
+  logcl::bench::EnablePoolStatsDump();
   logcl::Run();
   return 0;
 }

@@ -171,8 +171,10 @@ void RunChunks(int64_t num_chunks,
 
 }  // namespace internal_parallel
 
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn) {
+namespace internal_parallel {
+
+void ParallelForErased(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn) {
   if (begin >= end) return;
   if (tls_in_parallel_region) {
     fn(begin, end);
@@ -186,18 +188,27 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     fn(begin, end);
     return;
   }
-  // Static split: parts near-equal contiguous sub-ranges.
+  // Static split: parts near-equal contiguous sub-ranges. The bounds array
+  // lives on the stack for realistic pool sizes — ParallelFor is called per
+  // op on the training hot path, and a heap allocation here would defeat
+  // the buffer pool's allocation elision one layer down.
+  constexpr int64_t kStackParts = 64;
+  int64_t stack_bounds[kStackParts + 1];
+  std::vector<int64_t> heap_bounds;
+  int64_t* bounds = stack_bounds;
+  if (parts > kStackParts) {
+    heap_bounds.resize(static_cast<size_t>(parts) + 1);
+    bounds = heap_bounds.data();
+  }
   int64_t base = range / parts;
   int64_t remainder = range % parts;
-  std::vector<int64_t> bounds(static_cast<size_t>(parts) + 1);
   bounds[0] = begin;
   for (int64_t p = 0; p < parts; ++p) {
-    bounds[static_cast<size_t>(p) + 1] =
-        bounds[static_cast<size_t>(p)] + base + (p < remainder ? 1 : 0);
+    bounds[p + 1] = bounds[p] + base + (p < remainder ? 1 : 0);
   }
-  internal_parallel::RunChunks(parts, [&](int64_t p) {
-    fn(bounds[static_cast<size_t>(p)], bounds[static_cast<size_t>(p) + 1]);
-  });
+  RunChunks(parts, [&](int64_t p) { fn(bounds[p], bounds[p + 1]); });
 }
+
+}  // namespace internal_parallel
 
 }  // namespace logcl

@@ -18,6 +18,12 @@
 //    what the 1-vs-N determinism tests assert.
 //  - Nested parallel calls (from inside a ParallelFor body) run inline on
 //    the calling thread; the decomposition contracts above are unaffected.
+//  - Per-thread fast path for memory: worker threads recycle kernel scratch
+//    through the tensor buffer pool's thread-local caches (see
+//    tensor/buffer_pool.h), so per-shard PooledBuffer scratch inside
+//    ParallelFor bodies is allocation- and lock-free in steady state. The
+//    ParallelFor bounds array itself is stack-allocated for pools <= 64
+//    threads for the same reason.
 
 #ifndef LOGCL_COMMON_PARALLEL_H_
 #define LOGCL_COMMON_PARALLEL_H_
@@ -39,13 +45,6 @@ int GetNumThreads();
 /// called while a parallel region is running.
 void SetNumThreads(int n);
 
-/// Runs fn(sub_begin, sub_end) over a static partition of [begin, end); see
-/// the file comment for the determinism contract. fn runs on the calling
-/// thread when the range is empty, shorter than `grain`, the pool has one
-/// thread, or the call is nested inside another parallel region.
-void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t, int64_t)>& fn);
-
 namespace internal_parallel {
 
 /// Executes chunk_fn(c) for c in [0, num_chunks), distributing chunks over
@@ -53,7 +52,28 @@ namespace internal_parallel {
 void RunChunks(int64_t num_chunks,
                const std::function<void(int64_t)>& chunk_fn);
 
+/// Type-erased ParallelFor body for ranges that may dispatch to the pool.
+void ParallelForErased(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn);
+
 }  // namespace internal_parallel
+
+/// Runs fn(sub_begin, sub_end) over a static partition of [begin, end); see
+/// the file comment for the determinism contract. fn runs on the calling
+/// thread when the range is empty, shorter than `grain`, the pool has one
+/// thread, or the call is nested inside another parallel region. Ranges no
+/// longer than `grain` always produce one part, so they run inline here
+/// without ever type-erasing `fn` — small ops on the autograd hot path pay
+/// no std::function construction or pool bookkeeping.
+template <typename Fn>
+inline void ParallelFor(int64_t begin, int64_t end, int64_t grain, Fn&& fn) {
+  if (begin >= end) return;
+  if (end - begin <= std::max<int64_t>(1, grain)) {
+    fn(begin, end);
+    return;
+  }
+  internal_parallel::ParallelForErased(begin, end, grain, fn);
+}
 
 /// Chunked reduction with a thread-count-invariant result. [begin, end) is
 /// cut into ceil(range / grain) fixed chunks; `map(chunk_begin, chunk_end)`

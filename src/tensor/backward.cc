@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace logcl {
@@ -47,6 +48,12 @@ void Backward(const Tensor& loss) {
     if (!node->backward_fn) continue;
     node->EnsureGrad();
     node->backward_fn(*node);
+    // Lazy grad recycling: replay runs in descending sequence order, so
+    // every consumer of this node's grad (an op output created later) has
+    // already executed — the buffer is dead and can be pooled now instead
+    // of at tape teardown. Leaves keep their grads for the optimizer
+    // (PyTorch-like "non-leaf .grad is not retained" semantics).
+    ReleaseBuffer(std::move(node->grad));
   }
 }
 

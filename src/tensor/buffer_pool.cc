@@ -1,0 +1,405 @@
+#include "tensor/buffer_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/stringpiece.h"
+
+namespace logcl {
+namespace {
+
+// Bytes a thread may keep in its local cache before releases spill to the
+// global tier. Big enough for one training step's working set of small
+// tensors; large activations (entity-score matrices) go global where any
+// thread can reuse them.
+constexpr size_t kThreadCacheMaxBytes = size_t{32} << 20;
+
+bool EnvFlag(const char* name, bool default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return default_value;
+  std::string value(env);
+  if (value == "0" || value == "false" || value == "off") return false;
+  if (value == "1" || value == "true" || value == "on") return true;
+  return default_value;
+}
+
+std::atomic<bool>& PoolEnabledFlag() {
+  static std::atomic<bool> flag(EnvFlag("LOGCL_TENSOR_POOL", true));
+  return flag;
+}
+
+std::atomic<bool>& PoisonFlag() {
+  static std::atomic<bool> flag(EnvFlag("LOGCL_POISON_UNINIT", false));
+  return flag;
+}
+
+// Per-thread statistics block. Only the owning thread writes, so updates are
+// single-writer relaxed load+store pairs — an ordinary increment, no lock
+// prefix — which keeps stat upkeep near-free on the acquire/release hot
+// path. PoolStats() sums every registered block: exact once writers are
+// quiescent (which is when tests and benchmarks read it). Blocks are held
+// alive by the registry after their thread exits so no counts are lost.
+// Gauges (outstanding, pooled_*) can go negative in one block when a buffer
+// acquired on thread A is released on thread B; only the sum is meaningful.
+struct StatBlock {
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> misses{0};
+  std::atomic<uint64_t> releases{0};
+  std::atomic<uint64_t> adoptions{0};
+  std::atomic<uint64_t> bytes_requested{0};
+  std::atomic<int64_t> outstanding{0};
+  std::atomic<int64_t> pooled_buffers{0};
+  std::atomic<int64_t> pooled_bytes{0};
+};
+
+template <typename T>
+inline void Bump(std::atomic<T>& counter, T delta) {
+  counter.store(counter.load(std::memory_order_relaxed) + delta,
+                std::memory_order_relaxed);
+}
+
+// Leaky singletons throughout: worker threads flush their caches through
+// these from thread-exit destructors, which may run during process teardown.
+struct StatRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<StatBlock>> blocks;
+};
+
+StatRegistry& Registry() {
+  static StatRegistry* registry = new StatRegistry;
+  return *registry;
+}
+
+// live/peak stay process-global: the high-water mark needs a serialised view
+// of total live bytes, so these two are the only cross-thread RMWs on the
+// acquire path.
+std::atomic<int64_t>& LiveBytes() {
+  static std::atomic<int64_t>* live = new std::atomic<int64_t>(0);
+  return *live;
+}
+
+std::atomic<int64_t>& PeakLiveBytes() {
+  static std::atomic<int64_t>* peak = new std::atomic<int64_t>(0);
+  return *peak;
+}
+
+void NoteLiveDelta(int64_t delta_bytes) {
+  int64_t live =
+      LiveBytes().fetch_add(delta_bytes, std::memory_order_relaxed) +
+      delta_bytes;
+  if (delta_bytes > 0) {
+    std::atomic<int64_t>& peak_counter = PeakLiveBytes();
+    int64_t peak = peak_counter.load(std::memory_order_relaxed);
+    while (live > peak && !peak_counter.compare_exchange_weak(
+                              peak, live, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+// Global tier: exact-size buckets behind a mutex. The mutex acquire/release
+// pair is the happens-before edge for buffers handed across threads.
+class GlobalPool {
+ public:
+  bool Pop(size_t num_elements, std::vector<float>* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(num_elements);
+    if (it == buckets_.end() || it->second.empty()) return false;
+    *out = std::move(it->second.back());
+    it->second.pop_back();
+    return true;
+  }
+
+  void Push(std::vector<float>&& buffer) {
+    std::lock_guard<std::mutex> lock(mu_);
+    buckets_[buffer.size()].push_back(std::move(buffer));
+  }
+
+  // Drops all buckets; returns (buffers, bytes) dropped for the counters.
+  std::pair<int64_t, int64_t> Trim() {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t buffers = 0;
+    int64_t bytes = 0;
+    for (auto& [n, list] : buckets_) {
+      buffers += static_cast<int64_t>(list.size());
+      bytes += static_cast<int64_t>(n * list.size() * sizeof(float));
+    }
+    buckets_.clear();
+    return {buffers, bytes};
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<size_t, std::vector<std::vector<float>>> buckets_;
+};
+
+GlobalPool& Global() {
+  static GlobalPool* pool = new GlobalPool;
+  return *pool;
+}
+
+// Thread-local tier: no locking; spills to the global pool once the byte
+// budget is exhausted and flushes there when the thread exits. A small
+// direct-mapped "front" (one buffer per slot, keyed by exact size) serves
+// the op-chain steady state — the same handful of shapes cycling acquire/
+// release — without touching the bucket map.
+struct ThreadCache {
+  static constexpr size_t kFrontSlots = 8;
+  struct Slot {
+    size_t num_elements = 0;
+    std::vector<float> buffer;
+  };
+  Slot front[kFrontSlots];
+  std::unordered_map<size_t, std::vector<std::vector<float>>> buckets;
+  size_t cached_bytes = 0;
+  std::shared_ptr<StatBlock> stats;
+
+  ThreadCache() : stats(std::make_shared<StatBlock>()) {
+    StatRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.blocks.push_back(stats);
+  }
+
+  static size_t SlotIndex(size_t num_elements) {
+    // Fibonacci hash; top bits select among kFrontSlots.
+    return (num_elements * size_t{0x9E3779B97F4A7C15}) >> 61;
+  }
+
+  bool Pop(size_t num_elements, std::vector<float>* out) {
+    Slot& slot = front[SlotIndex(num_elements)];
+    if (slot.num_elements == num_elements && !slot.buffer.empty()) {
+      *out = std::move(slot.buffer);
+      slot.buffer.clear();
+      cached_bytes -= num_elements * sizeof(float);
+      return true;
+    }
+    auto it = buckets.find(num_elements);
+    if (it == buckets.end() || it->second.empty()) return false;
+    *out = std::move(it->second.back());
+    it->second.pop_back();
+    cached_bytes -= num_elements * sizeof(float);
+    return true;
+  }
+
+  bool TryPush(std::vector<float>&& buffer) {
+    size_t bytes = buffer.size() * sizeof(float);
+    if (cached_bytes + bytes > kThreadCacheMaxBytes) return false;
+    Slot& slot = front[SlotIndex(buffer.size())];
+    if (slot.buffer.empty()) {
+      slot.num_elements = buffer.size();
+      slot.buffer = std::move(buffer);
+    } else if (slot.num_elements == buffer.size()) {
+      // Keep the newest buffer in the slot (LIFO cache warmth); displace
+      // the old occupant to its bucket.
+      buckets[slot.num_elements].push_back(std::move(slot.buffer));
+      slot.buffer = std::move(buffer);
+    } else {
+      buckets[buffer.size()].push_back(std::move(buffer));
+    }
+    cached_bytes += bytes;
+    return true;
+  }
+
+  std::pair<int64_t, int64_t> Trim() {
+    int64_t buffers = 0;
+    for (Slot& slot : front) {
+      if (!slot.buffer.empty()) ++buffers;
+      slot.num_elements = 0;
+      std::vector<float>().swap(slot.buffer);
+    }
+    for (auto& [n, list] : buckets) {
+      buffers += static_cast<int64_t>(list.size());
+    }
+    int64_t bytes = static_cast<int64_t>(cached_bytes);
+    buckets.clear();
+    cached_bytes = 0;
+    return {buffers, bytes};
+  }
+
+  ~ThreadCache() {
+    // Keep the buffers pooled: hand them to the global tier (still counted
+    // in pooled_bytes, so no counter adjustment). The stats block stays
+    // registered so this thread's counts survive.
+    for (Slot& slot : front) {
+      if (!slot.buffer.empty()) Global().Push(std::move(slot.buffer));
+    }
+    for (auto& [n, list] : buckets) {
+      for (auto& buffer : list) Global().Push(std::move(buffer));
+    }
+  }
+};
+
+ThreadCache& LocalCache() {
+  thread_local ThreadCache cache;
+  return cache;
+}
+
+void PoisonBuffer(std::vector<float>& buffer) {
+  const float nan = std::numeric_limits<float>::signaling_NaN();
+  for (float& v : buffer) v = nan;
+}
+
+}  // namespace
+
+bool BufferPoolEnabled() {
+  return PoolEnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetBufferPoolEnabled(bool enabled) {
+  PoolEnabledFlag().store(enabled, std::memory_order_relaxed);
+  if (!enabled) TrimBufferPool();
+}
+
+bool PoisonUninitEnabled() {
+  return PoisonFlag().load(std::memory_order_relaxed);
+}
+
+void SetPoisonUninitEnabled(bool enabled) {
+  PoisonFlag().store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<float> AcquireBuffer(size_t num_elements, BufferFill fill) {
+  ThreadCache& cache = LocalCache();
+  StatBlock& stats = *cache.stats;
+  const int64_t bytes = static_cast<int64_t>(num_elements * sizeof(float));
+  Bump(stats.bytes_requested, static_cast<uint64_t>(bytes));
+  Bump<int64_t>(stats.outstanding, 1);
+  NoteLiveDelta(bytes);
+
+  std::vector<float> buffer;
+  bool recycled = false;
+  if (num_elements > 0 && BufferPoolEnabled()) {
+    recycled = cache.Pop(num_elements, &buffer) ||
+               Global().Pop(num_elements, &buffer);
+  }
+  if (recycled) {
+    Bump<uint64_t>(stats.hits, 1);
+    Bump<int64_t>(stats.pooled_buffers, -1);
+    Bump(stats.pooled_bytes, -bytes);
+    if (fill == BufferFill::kZero) {
+      std::fill(buffer.begin(), buffer.end(), 0.0f);
+    } else if (PoisonUninitEnabled()) {
+      PoisonBuffer(buffer);
+    }
+    // kUninit on a recycled buffer: the zero-init elision — contents are
+    // stale and the caller overwrites every element.
+  } else {
+    Bump<uint64_t>(stats.misses, 1);
+    buffer.assign(num_elements, 0.0f);  // fresh storage is always zeroed
+    if (fill == BufferFill::kUninit && PoisonUninitEnabled()) {
+      PoisonBuffer(buffer);
+    }
+  }
+  return buffer;
+}
+
+void ReleaseBuffer(std::vector<float>&& buffer) {
+  if (buffer.empty()) return;
+  ThreadCache& cache = LocalCache();
+  StatBlock& stats = *cache.stats;
+  const int64_t bytes = static_cast<int64_t>(buffer.size() * sizeof(float));
+  Bump<uint64_t>(stats.releases, 1);
+  Bump<int64_t>(stats.outstanding, -1);
+  NoteLiveDelta(-bytes);
+  if (!BufferPoolEnabled()) {
+    std::vector<float>().swap(buffer);  // free now, don't pool
+    return;
+  }
+  Bump<int64_t>(stats.pooled_buffers, 1);
+  Bump(stats.pooled_bytes, bytes);
+  std::vector<float> owned = std::move(buffer);
+  buffer.clear();
+  if (!cache.TryPush(std::move(owned))) {
+    Global().Push(std::move(owned));
+  }
+}
+
+void NoteAdoptedBuffer(size_t num_elements) {
+  if (num_elements == 0) return;
+  StatBlock& stats = *LocalCache().stats;
+  Bump<uint64_t>(stats.adoptions, 1);
+  Bump<int64_t>(stats.outstanding, 1);
+  NoteLiveDelta(static_cast<int64_t>(num_elements * sizeof(float)));
+}
+
+BufferPoolStats PoolStats() {
+  BufferPoolStats out;
+  int64_t outstanding = 0;
+  int64_t pooled_buffers = 0;
+  int64_t pooled_bytes = 0;
+  {
+    StatRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& block : registry.blocks) {
+      out.hits += block->hits.load(std::memory_order_relaxed);
+      out.misses += block->misses.load(std::memory_order_relaxed);
+      out.releases += block->releases.load(std::memory_order_relaxed);
+      out.adoptions += block->adoptions.load(std::memory_order_relaxed);
+      out.bytes_requested +=
+          block->bytes_requested.load(std::memory_order_relaxed);
+      outstanding += block->outstanding.load(std::memory_order_relaxed);
+      pooled_buffers += block->pooled_buffers.load(std::memory_order_relaxed);
+      pooled_bytes += block->pooled_bytes.load(std::memory_order_relaxed);
+    }
+  }
+  out.acquires = out.hits + out.misses;
+  auto clamp = [](int64_t v) {
+    return v > 0 ? static_cast<uint64_t>(v) : uint64_t{0};
+  };
+  out.live_bytes = clamp(LiveBytes().load(std::memory_order_relaxed));
+  out.peak_live_bytes = clamp(PeakLiveBytes().load(std::memory_order_relaxed));
+  out.outstanding_buffers = clamp(outstanding);
+  out.pooled_buffers = clamp(pooled_buffers);
+  out.pooled_bytes = clamp(pooled_bytes);
+  return out;
+}
+
+void ResetPoolStats() {
+  // Requires quiescent writers (no concurrent tensor ops), like any stats
+  // read intended to be exact. live/pooled/outstanding reflect real buffer
+  // state, so a reset re-bases the peak at the current live level instead
+  // of zeroing the gauges.
+  StatRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& block : registry.blocks) {
+    block->hits.store(0, std::memory_order_relaxed);
+    block->misses.store(0, std::memory_order_relaxed);
+    block->releases.store(0, std::memory_order_relaxed);
+    block->adoptions.store(0, std::memory_order_relaxed);
+    block->bytes_requested.store(0, std::memory_order_relaxed);
+  }
+  PeakLiveBytes().store(LiveBytes().load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+}
+
+void TrimBufferPool() {
+  auto [global_buffers, global_bytes] = Global().Trim();
+  ThreadCache& cache = LocalCache();
+  auto [local_buffers, local_bytes] = cache.Trim();
+  StatBlock& stats = *cache.stats;
+  Bump(stats.pooled_buffers, -(global_buffers + local_buffers));
+  Bump(stats.pooled_bytes, -(global_bytes + local_bytes));
+}
+
+std::string BufferPoolStats::ToString() const {
+  return StrFormat(
+      "acquires=%llu hits=%llu (%.1f%%) misses=%llu releases=%llu "
+      "adoptions=%llu requested=%.2f MB live=%.2f MB peak=%.2f MB "
+      "pooled=%.2f MB outstanding=%llu",
+      static_cast<unsigned long long>(acquires),
+      static_cast<unsigned long long>(hits), 100.0 * HitRate(),
+      static_cast<unsigned long long>(misses),
+      static_cast<unsigned long long>(releases),
+      static_cast<unsigned long long>(adoptions),
+      static_cast<double>(bytes_requested) / (1024.0 * 1024.0),
+      static_cast<double>(live_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(peak_live_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(pooled_bytes) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(outstanding_buffers));
+}
+
+}  // namespace logcl

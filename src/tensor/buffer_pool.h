@@ -1,0 +1,142 @@
+// Pooled tensor memory: a size-bucketed buffer pool recycling the
+// std::vector<float> storage behind TensorNode data/grad and kernel scratch.
+//
+// Why: one LogCL training step rebuilds the autograd tape from scratch —
+// omega R-GCN layers per snapshot x m local timesteps x two forward phases —
+// so an epoch materialises tens of thousands of short-lived buffers whose
+// sizes repeat exactly across steps. Recycling them sidesteps the general
+// purpose allocator (and, for kernels that fully overwrite their output, the
+// redundant zero-fill a fresh std::vector<float>(n) forces).
+//
+// Design notes:
+//  - Buckets are keyed by exact element count. Successive steps request the
+//    same sizes, so steady-state hit rates approach 100% after step one.
+//  - Two tiers: a lock-free thread-local cache (bounded bytes, spills to the
+//    global tier) in front of a mutex-protected global map. Worker threads
+//    recycle their kernel scratch entirely within their own cache; the
+//    global tier hands buffers across threads with the mutex providing the
+//    happens-before edge.
+//  - Determinism contract: results are bitwise identical with the pool on or
+//    off, at any thread count. This holds because every kUninit acquisition
+//    is fully overwritten before it is read (LOGCL_POISON_UNINIT=1 fills
+//    recycled/uninitialised buffers with signalling NaNs so a kernel that
+//    reads before writing fails loudly in tests).
+//  - Invariant: a pooled buffer is never aliased by two live owners. Acquire
+//    pops the buffer out of the free list; Release is only called by owners
+//    giving up their storage (TensorNode destruction, PooledBuffer scope
+//    exit, Backward's grad recycling).
+//  - Env toggles: LOGCL_TENSOR_POOL=0 restores malloc-per-op (Acquire always
+//    allocates fresh zeroed storage, Release frees); LOGCL_POISON_UNINIT=1
+//    enables the poison-fill debug mode.
+
+#ifndef LOGCL_TENSOR_BUFFER_POOL_H_
+#define LOGCL_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace logcl {
+
+/// Requested initialisation of an acquired buffer. kZero is always all
+/// zeros; kUninit leaves recycled contents in place (poisoned with
+/// signalling NaNs under LOGCL_POISON_UNINIT=1) and is only safe when the
+/// caller fully overwrites the buffer before reading it.
+enum class BufferFill { kZero, kUninit };
+
+/// True when recycling is active (default; LOGCL_TENSOR_POOL=0 disables).
+bool BufferPoolEnabled();
+/// Overrides the env default (tests/benchmarks). Disabling drops the global
+/// free lists and the calling thread's cache so held memory is returned.
+void SetBufferPoolEnabled(bool enabled);
+
+/// True when kUninit acquisitions are filled with signalling NaNs
+/// (LOGCL_POISON_UNINIT=1; see BufferFill).
+bool PoisonUninitEnabled();
+void SetPoisonUninitEnabled(bool enabled);
+
+/// Returns a buffer with exactly `num_elements` elements, recycled when the
+/// pool holds one of that size. See BufferFill for the contents contract.
+std::vector<float> AcquireBuffer(size_t num_elements, BufferFill fill);
+
+/// Returns storage to the pool (or frees it when the pool is disabled).
+/// The argument is left empty. Empty buffers are a no-op.
+void ReleaseBuffer(std::vector<float>&& buffer);
+
+/// Records a caller-allocated buffer becoming tensor storage (FromVector and
+/// friends) so the live/outstanding counters stay exact: such buffers are
+/// released like any other on node destruction.
+void NoteAdoptedBuffer(size_t num_elements);
+
+/// Allocation-observability counters (monotonic since ResetPoolStats()).
+struct BufferPoolStats {
+  uint64_t acquires = 0;         // AcquireBuffer calls
+  uint64_t hits = 0;             // served from a free list
+  uint64_t misses = 0;           // fresh heap allocation
+  uint64_t releases = 0;         // buffers returned (pooled or freed)
+  uint64_t adoptions = 0;        // NoteAdoptedBuffer calls
+  uint64_t bytes_requested = 0;  // cumulative bytes across acquires
+  uint64_t live_bytes = 0;       // bytes currently checked out / adopted
+  uint64_t peak_live_bytes = 0;  // high-water mark of live_bytes
+  uint64_t outstanding_buffers = 0;  // live buffer count
+  uint64_t pooled_buffers = 0;   // buffers sitting in free lists
+  uint64_t pooled_bytes = 0;     // bytes sitting in free lists
+
+  /// Fraction of acquires served from a free list (0 when none yet).
+  double HitRate() const {
+    return acquires == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(acquires);
+  }
+
+  /// One-line rendering for logs/benchmarks.
+  std::string ToString() const;
+};
+
+/// Snapshot of the counters (cheap; relaxed atomic reads).
+BufferPoolStats PoolStats();
+void ResetPoolStats();
+
+/// Drops every buffer in the global free lists and the calling thread's
+/// cache (other threads' caches flush when those threads exit).
+void TrimBufferPool();
+
+/// RAII pooled scratch buffer for kernel internals: acquires on
+/// construction, releases on scope exit. Movable, not copyable.
+class PooledBuffer {
+ public:
+  PooledBuffer() = default;
+  PooledBuffer(size_t num_elements, BufferFill fill)
+      : buffer_(AcquireBuffer(num_elements, fill)) {}
+  ~PooledBuffer() { ReleaseBuffer(std::move(buffer_)); }
+
+  PooledBuffer(PooledBuffer&& other) noexcept
+      : buffer_(std::move(other.buffer_)) {
+    other.buffer_.clear();
+  }
+  PooledBuffer& operator=(PooledBuffer&& other) noexcept {
+    if (this != &other) {
+      ReleaseBuffer(std::move(buffer_));
+      buffer_ = std::move(other.buffer_);
+      other.buffer_.clear();
+    }
+    return *this;
+  }
+  PooledBuffer(const PooledBuffer&) = delete;
+  PooledBuffer& operator=(const PooledBuffer&) = delete;
+
+  float* data() { return buffer_.data(); }
+  const float* data() const { return buffer_.data(); }
+  size_t size() const { return buffer_.size(); }
+  float& operator[](size_t i) { return buffer_[i]; }
+  float operator[](size_t i) const { return buffer_[i]; }
+
+ private:
+  std::vector<float> buffer_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_BUFFER_POOL_H_

@@ -8,12 +8,31 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "tensor/buffer_pool.h"
 
 namespace logcl {
 namespace ops {
 namespace {
 
 using Node = internal_tensor::TensorNode;
+
+// Pool-backed op-output storage. UninitOut elides the zero-fill and is only
+// used by kernels that overwrite every output element before any read
+// (LOGCL_POISON_UNINIT=1 verifies this); ZeroOut is for kernels that
+// accumulate into their output. Scratch that lives inside a closure and is
+// heap-freed by the closure's destructor stays a plain vector — only buffers
+// whose release we control route through the pool.
+inline std::vector<float> UninitOut(int64_t n) {
+  return AcquireBuffer(static_cast<size_t>(n), BufferFill::kUninit);
+}
+inline std::vector<float> ZeroOut(int64_t n) {
+  return AcquireBuffer(static_cast<size_t>(n), BufferFill::kZero);
+}
+inline std::vector<float> ScalarOut(float value) {
+  std::vector<float> out = AcquireBuffer(1, BufferFill::kUninit);
+  out[0] = value;
+  return out;
+}
 
 // Fixed eval slope for RRelu: mean of the torch default [1/8, 1/3] range.
 constexpr float kRReluLower = 1.0f / 8.0f;
@@ -186,13 +205,23 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
   int64_t cols = a.shape().rank() == 2 ? a.shape().cols() : n;
   const float* av = a.data().data();
   const float* bv = b.data().data();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   float* od = out.data();
-  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) {
-      od[i] = fwd(av[i], bv[BroadcastIndex(mode, i, cols)]);
-    }
-  });
+  if (mode == BroadcastMode::kSame) {
+    // Dedicated same-shape loop: no per-element index translation, so the
+    // compiler can vectorise it. This is the dominant case on the autograd
+    // hot path and the arithmetic is per-element identical to the general
+    // loop below.
+    ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) od[i] = fwd(av[i], bv[i]);
+    });
+  } else {
+    ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        od[i] = fwd(av[i], bv[BroadcastIndex(mode, i, cols)]);
+      }
+    });
+  }
   return Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a, b},
       [mode, n, cols, bwd](Node& node) {
@@ -212,15 +241,35 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
           gb = pb->grad.data();
         }
         if (mode == BroadcastMode::kSame) {
-          // No accumulation aliasing: one pass handles both sides.
-          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-            for (int64_t i = i0; i < i1; ++i) {
-              float da = 0.0f, db = 0.0f;
-              bwd(g[i], ad[i], bd[i], &da, &db);
-              if (ga != nullptr) ga[i] += da;
-              if (gb != nullptr) gb[i] += db;
-            }
-          });
+          // No accumulation aliasing: one pass handles both sides. The
+          // null checks are hoisted out of the loops so each variant stays
+          // branch-free (and vectorisable) per element.
+          if (ga != nullptr && gb != nullptr) {
+            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[i], &da, &db);
+                ga[i] += da;
+                gb[i] += db;
+              }
+            });
+          } else if (ga != nullptr) {
+            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[i], &da, &db);
+                ga[i] += da;
+              }
+            });
+          } else if (gb != nullptr) {
+            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+              for (int64_t i = i0; i < i1; ++i) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[i], &da, &db);
+                gb[i] += db;
+              }
+            });
+          }
           return;
         }
         if (ga != nullptr) {
@@ -271,7 +320,7 @@ Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
   LOGCL_CHECK(x.defined());
   int64_t n = x.num_elements();
   const float* xv = x.data().data();
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   float* od = out.data();
   ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
     for (int64_t i = i0; i < i1; ++i) od[i] = fwd(xv[i]);
@@ -329,7 +378,7 @@ Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
   LOGCL_CHECK_EQ(col.num_elements(), rows);
   const float* xd = x.data().data();
   const float* cd = col.data().data();
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> out = UninitOut(rows * cols);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -400,7 +449,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   LOGCL_CHECK_EQ(k, b.shape().rows())
       << "MatMul shape mismatch: " << a.shape().ToString() << " x "
       << b.shape().ToString();
-  std::vector<float> out(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> out = ZeroOut(m * n);
   MatMulAccumNN(a.data().data(), b.data().data(), out.data(), m, k, n);
   return Tensor::MakeOpOutput(
       Shape{m, n}, std::move(out), {a, b}, [m, k, n](Node& node) {
@@ -426,7 +475,7 @@ Tensor Transpose(const Tensor& a) {
   int64_t rows = a.shape().rows();
   int64_t cols = a.shape().cols();
   const float* ad = a.data().data();
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> out = UninitOut(rows * cols);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -453,8 +502,9 @@ Tensor Transpose(const Tensor& a) {
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   LOGCL_CHECK(a.defined());
   LOGCL_CHECK_EQ(a.num_elements(), shape.num_elements());
-  std::vector<float> out = a.data();
   int64_t n = a.num_elements();
+  std::vector<float> out = UninitOut(n);
+  std::copy(a.data().begin(), a.data().end(), out.begin());
   return Tensor::MakeOpOutput(shape, std::move(out), {a}, [n](Node& node) {
     const auto& pa = node.parents[0];
     if (!pa->requires_grad) return;
@@ -477,6 +527,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     total_cols += p.shape().cols();
   }
   std::vector<int64_t> offsets;
+  offsets.reserve(parts.size());
   {
     int64_t offset = 0;
     for (const Tensor& p : parts) {
@@ -484,7 +535,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       offset += p.shape().cols();
     }
   }
-  std::vector<float> out(static_cast<size_t>(rows * total_cols));
+  std::vector<float> out = UninitOut(rows * total_cols);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(total_cols), [&](int64_t r0, int64_t r1) {
     for (size_t p = 0; p < parts.size(); ++p) {
@@ -527,13 +578,14 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     LOGCL_CHECK_EQ(p.shape().cols(), cols);
     total_rows += p.shape().rows();
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(total_rows * cols));
+  std::vector<float> out = UninitOut(total_rows * cols);
   std::vector<int64_t> row_offsets;
+  row_offsets.reserve(parts.size());
   int64_t offset = 0;
   for (const Tensor& p : parts) {
     row_offsets.push_back(offset);
-    out.insert(out.end(), p.data().begin(), p.data().end());
+    std::copy(p.data().begin(), p.data().end(),
+              out.begin() + static_cast<size_t>(offset * cols));
     offset += p.shape().rows();
   }
   return Tensor::MakeOpOutput(
@@ -563,7 +615,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t count) {
   LOGCL_CHECK_GE(count, 0);
   LOGCL_CHECK_LE(start + count, cols);
   const float* ad = a.data().data();
-  std::vector<float> out(static_cast<size_t>(rows * count));
+  std::vector<float> out = UninitOut(rows * count);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(count), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -598,7 +650,8 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t count) {
   LOGCL_CHECK_GE(count, 0);
   LOGCL_CHECK_LE(start + count, rows);
   const float* ad = a.data().data();
-  std::vector<float> out(ad + start * cols, ad + (start + count) * cols);
+  std::vector<float> out = UninitOut(count * cols);
+  std::copy(ad + start * cols, ad + (start + count) * cols, out.begin());
   return Tensor::MakeOpOutput(
       Shape{count, cols}, std::move(out), {a},
       [cols, start, count](Node& node) {
@@ -624,7 +677,7 @@ Tensor IndexSelectRows(const Tensor& x, const std::vector<int64_t>& indices) {
     LOGCL_CHECK_GE(indices[static_cast<size_t>(i)], 0);
     LOGCL_CHECK_LT(indices[static_cast<size_t>(i)], rows);
   }
-  std::vector<float> out(static_cast<size_t>(n * cols));
+  std::vector<float> out = UninitOut(n * cols);
   float* od = out.data();
   ParallelFor(0, n, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -667,7 +720,7 @@ Tensor ScatterAddRows(const Tensor& values, const std::vector<int64_t>& indices,
     LOGCL_CHECK_LT(indices[static_cast<size_t>(i)], num_rows);
   }
   const float* vd = values.data().data();
-  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  std::vector<float> out = ZeroOut(num_rows * cols);
   float* od = out.data();
   // Destination-sharded accumulation (see IndexSelectRows backward).
   ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -715,7 +768,7 @@ Tensor ScatterMeanRows(const Tensor& values,
   }
   for (float& c : inv_count) c = c > 0.0f ? 1.0f / c : 0.0f;
   const float* vd = values.data().data();
-  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  std::vector<float> out = ZeroOut(num_rows * cols);
   float* od = out.data();
   ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = 0; i < n; ++i) {
@@ -774,7 +827,7 @@ Tensor SegmentSoftmax(const Tensor& logits,
   // segment range and scans all edges), the normalisation is edge-parallel.
   std::vector<float> seg_max(static_cast<size_t>(num_segments),
                              -std::numeric_limits<float>::infinity());
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   std::vector<float> seg_sum(static_cast<size_t>(num_segments), 0.0f);
   int64_t seg_grain = SegmentGrain(num_segments, n);
   ParallelFor(0, num_segments, seg_grain, [&](int64_t s0, int64_t s1) {
@@ -883,18 +936,15 @@ void CheckEdgeIndices(const std::vector<int64_t>& indices, int64_t limit) {
   }
 }
 
-// WT[j, i] = W[i, j]. Lets the fused backward compute gA = G * W^T through
-// the NN kernel's streaming loop instead of the NT kernel's dot products
-// (~5x faster at d=200): per output element both kernels accumulate the
-// identical products in ascending reduction order into one zero-initialized
-// accumulator, so the results are bitwise equal.
-std::vector<float> TransposeMatrix(const float* w, int64_t rows,
-                                   int64_t cols) {
-  std::vector<float> wt(static_cast<size_t>(rows * cols));
+// WT[j, i] = W[i, j], written into pooled scratch. Lets the fused backward
+// compute gA = G * W^T through the NN kernel's streaming loop instead of the
+// NT kernel's dot products (~5x faster at d=200): per output element both
+// kernels accumulate the identical products in ascending reduction order
+// into one zero-initialized accumulator, so the results are bitwise equal.
+void TransposeInto(const float* w, int64_t rows, int64_t cols, float* wt) {
   for (int64_t i = 0; i < rows; ++i) {
     for (int64_t j = 0; j < cols; ++j) wt[j * rows + i] = w[i * cols + j];
   }
-  return wt;
 }
 
 // gW(d_in x d_out) += compose(A)^T * G without materializing the [E, d_in]
@@ -913,8 +963,13 @@ void AccumulateWeightGrad(const float* nodes, const float* rels,
                           int64_t num_edges, int64_t d_in, int64_t d_out,
                           float* gw) {
   ParallelFor(0, d_in, 1, [&](int64_t l0, int64_t l1) {
-    std::vector<float> scratch(static_cast<size_t>((l1 - l0) * d_out), 0.0f);
-    std::vector<float> ablock(static_cast<size_t>(kEdgeTile * d_in));
+    // Pooled scratch: worker threads recycle these through their own
+    // thread-local cache, so the per-shard allocations vanish in steady
+    // state. ablock rows past `en` are never read, hence kUninit.
+    PooledBuffer scratch(static_cast<size_t>((l1 - l0) * d_out),
+                         BufferFill::kZero);
+    PooledBuffer ablock(static_cast<size_t>(kEdgeTile * d_in),
+                        BufferFill::kUninit);
     for (int64_t e0 = 0; e0 < num_edges; e0 += kEdgeTile) {
       const int64_t en = std::min<int64_t>(kEdgeTile, num_edges - e0);
       ComposeRows(nodes, rels, src, rel, compose, d_in, e0, e0 + en,
@@ -996,7 +1051,7 @@ Tensor ScatterAddRows(const Tensor& values, const EdgeCsrPtr& csr) {
   LOGCL_CHECK_EQ(values.shape().rows(), csr->num_edges);
   int64_t num_rows = csr->num_rows;
   const float* vd = values.data().data();
-  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  std::vector<float> out = ZeroOut(num_rows * cols);
   float* od = out.data();
   ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
@@ -1045,7 +1100,7 @@ Tensor ScatterMeanRows(const Tensor& values, const EdgeCsrPtr& csr) {
   LOGCL_CHECK_EQ(values.shape().rows(), csr->num_edges);
   int64_t num_rows = csr->num_rows;
   const float* vd = values.data().data();
-  std::vector<float> out(static_cast<size_t>(num_rows * cols), 0.0f);
+  std::vector<float> out = ZeroOut(num_rows * cols);
   float* od = out.data();
   ParallelFor(0, num_rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t r = r0; r < r1; ++r) {
@@ -1098,7 +1153,7 @@ Tensor SegmentSoftmax(const Tensor& logits, const EdgeCsrPtr& csr) {
   // Same max/exp-sum/normalize structure as the index-vector overload, but
   // each segment walks only its own edges (ascending edge id: identical
   // accumulation order to the full-edge scan).
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   float* od = out.data();
   int64_t seg_grain = SegmentGrain(num_segments, n);
   ParallelFor(0, num_segments, seg_grain, [&](int64_t s0, int64_t s1) {
@@ -1180,7 +1235,7 @@ Tensor EdgeMessages(const Tensor& nodes, const Tensor& relations,
   const float* nd = nodes.data().data();
   const float* rd = relations.data().data();
   const float* wd = weight.data().data();
-  std::vector<float> out(static_cast<size_t>(num_edges * d_out));
+  std::vector<float> out = UninitOut(num_edges * d_out);
   float* od = out.data();
   // Edge-tile streaming: compose kEdgeTile input rows into a scratch strip,
   // multiply against one weight column block at a time with a register tile
@@ -1188,7 +1243,8 @@ Tensor EdgeMessages(const Tensor& nodes, const Tensor& relations,
   // MatMulAccumNN), and write the finished message rows.
   int64_t edge_grain = MatMulRowGrain(d_in * d_out);
   ParallelFor(0, num_edges, edge_grain, [&](int64_t e0, int64_t e1) {
-    std::vector<float> a(static_cast<size_t>(kEdgeTile * d_in));
+    PooledBuffer a(static_cast<size_t>(kEdgeTile * d_in),
+                   BufferFill::kUninit);
     float acc[kEdgeTile][kTileCols];
     for (int64_t t0 = e0; t0 < e1; t0 += kEdgeTile) {
       const int64_t tn = std::min<int64_t>(kEdgeTile, e1 - t0);
@@ -1226,11 +1282,13 @@ Tensor EdgeMessages(const Tensor& nodes, const Tensor& relations,
         bool need_input_grads = pn->requires_grad || pr->requires_grad;
         // gA = G * W^T, computed as G * transpose(W) through the NN kernel
         // (bitwise equal to the composed MatMul backward's NT product).
-        std::vector<float> ga;
+        PooledBuffer ga;
         if (need_input_grads) {
-          ga.assign(static_cast<size_t>(num_edges * d_in), 0.0f);
-          std::vector<float> wt =
-              TransposeMatrix(pw->data.data(), d_in, d_out);
+          ga = PooledBuffer(static_cast<size_t>(num_edges * d_in),
+                            BufferFill::kZero);
+          PooledBuffer wt(static_cast<size_t>(d_in * d_out),
+                          BufferFill::kUninit);
+          TransposeInto(pw->data.data(), d_in, d_out, wt.data());
           MatMulAccumNN(g, wt.data(), ga.data(), num_edges, d_out, d_in);
         }
         if (pw->requires_grad) {
@@ -1286,7 +1344,7 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
   const float* rd = relations.data().data();
   const float* wd = weight.data().data();
   const EdgeCsr& csr = *dst_csr;
-  std::vector<float> out(static_cast<size_t>(num_rows * d_out), 0.0f);
+  std::vector<float> out = ZeroOut(num_rows * d_out);
   float* od = out.data();
   // Shards own contiguous destination rows; a row's CSR edges are contiguous
   // and ascending, so streaming tiles of CSR positions keeps each output
@@ -1295,7 +1353,8 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
     const int64_t p_begin = csr.offsets[static_cast<size_t>(r0)];
     const int64_t p_end = csr.offsets[static_cast<size_t>(r1)];
     if (p_begin == p_end) return;
-    std::vector<float> a(static_cast<size_t>(kEdgeTile * d_in));
+    PooledBuffer a(static_cast<size_t>(kEdgeTile * d_in),
+                   BufferFill::kUninit);
     float acc[kEdgeTile][kTileCols];
     for (int64_t t0 = p_begin; t0 < p_end; t0 += kEdgeTile) {
       const int64_t tn = std::min<int64_t>(kEdgeTile, p_end - t0);
@@ -1345,8 +1404,10 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
         const float* rd = pr->data.data();
         const EdgeCsr& csr = *dst_csr;
         // gM[e] = inv_deg[dst[e]] * G[dst[e]] (ScatterMeanRows backward);
-        // each edge is written once via its CSR row, so this is racefree.
-        std::vector<float> gm(static_cast<size_t>(num_edges * d_out));
+        // each edge is written once via its CSR row, so this is racefree
+        // (and every edge IS written: kUninit is safe).
+        PooledBuffer gm(static_cast<size_t>(num_edges * d_out),
+                        BufferFill::kUninit);
         ParallelFor(0, csr.num_rows, RowGrain(d_out),
                     [&](int64_t r0, int64_t r1) {
                       for (int64_t r = r0; r < r1; ++r) {
@@ -1368,11 +1429,13 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
         // gA = gM * W^T via the NN kernel on a transposed W, and
         // gW += compose(A)^T * gM via the block-recomposing rank-update
         // kernel — both bitwise equal to the composed NT/TN products.
-        std::vector<float> ga;
+        PooledBuffer ga;
         if (need_input_grads) {
-          ga.assign(static_cast<size_t>(num_edges * d_in), 0.0f);
-          std::vector<float> wt =
-              TransposeMatrix(pw->data.data(), d_in, d_out);
+          ga = PooledBuffer(static_cast<size_t>(num_edges * d_in),
+                            BufferFill::kZero);
+          PooledBuffer wt(static_cast<size_t>(d_in * d_out),
+                          BufferFill::kUninit);
+          TransposeInto(pw->data.data(), d_in, d_out, wt.data());
           MatMulAccumNN(gm.data(), wt.data(), ga.data(), num_edges, d_out,
                         d_in);
         }
@@ -1407,7 +1470,7 @@ Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
     cols = x.num_elements();
   }
   const float* xd = x.data().data();
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> out = UninitOut(rows * cols);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -1503,7 +1566,7 @@ Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
   int64_t n = x.num_elements();
   const float* xd = x.data().data();
   std::vector<float> slopes(static_cast<size_t>(n));
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   // Serial on purpose: the slopes must consume the RNG stream in index
   // order so training runs are reproducible at any thread count.
   for (int64_t i = 0; i < n; ++i) {
@@ -1556,7 +1619,7 @@ Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {
   float scale = 1.0f / (1.0f - p);
   const float* xd = x.data().data();
   std::vector<float> mask(static_cast<size_t>(n));
-  std::vector<float> out(static_cast<size_t>(n));
+  std::vector<float> out = UninitOut(n);
   // Serial on purpose: mask draws consume the RNG stream in index order
   // (see RRelu).
   for (int64_t i = 0; i < n; ++i) {
@@ -1586,7 +1649,7 @@ Tensor RowL2Normalize(const Tensor& x, float eps) {
   int64_t cols = x.shape().cols();
   const float* xd = x.data().data();
   std::vector<float> norms(static_cast<size_t>(rows));
-  std::vector<float> out(static_cast<size_t>(rows * cols));
+  std::vector<float> out = UninitOut(rows * cols);
   float* od = out.data();
   float* nd = norms.data();
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
@@ -1653,7 +1716,7 @@ Tensor SumAll(const Tensor& x) {
   int64_t n = x.num_elements();
   double sum = ChunkedSum(x.data().data(), n);
   return Tensor::MakeOpOutput(
-      Shape{}, {static_cast<float>(sum)}, {x}, [n](Node& node) {
+      Shape{}, ScalarOut(static_cast<float>(sum)), {x}, [n](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
         px->EnsureGrad();
@@ -1672,7 +1735,8 @@ Tensor MeanAll(const Tensor& x) {
   double sum = ChunkedSum(x.data().data(), n);
   float inv = 1.0f / static_cast<float>(n);
   return Tensor::MakeOpOutput(
-      Shape{}, {static_cast<float>(sum) * inv}, {x}, [n, inv](Node& node) {
+      Shape{}, ScalarOut(static_cast<float>(sum) * inv), {x},
+      [n, inv](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
         px->EnsureGrad();
@@ -1689,15 +1753,15 @@ Tensor MeanRows(const Tensor& x) {
   LOGCL_CHECK_EQ(x.shape().rank(), 2);
   int64_t rows = x.shape().rows();
   int64_t cols = x.shape().cols();
-  std::vector<float> out(static_cast<size_t>(cols), 0.0f);
   if (rows == 0) {
-    return Tensor::FromVector(Shape{1, cols}, std::move(out));
+    return Tensor::Zeros(Shape{1, cols});
   }
   const float* xd = x.data().data();
   // Chunk-ordered column sums: per-chunk row partials are combined in
-  // ascending chunk order, thread-count invariant.
-  out = ParallelReduce<std::vector<float>>(
-      0, rows, RowGrain(cols), std::move(out),
+  // ascending chunk order, thread-count invariant. The reduction works on
+  // plain vectors; the scaled result is then written into pooled storage.
+  std::vector<float> sums = ParallelReduce<std::vector<float>>(
+      0, rows, RowGrain(cols), std::vector<float>(static_cast<size_t>(cols), 0.0f),
       [xd, cols](int64_t r0, int64_t r1) {
         std::vector<float> partial(static_cast<size_t>(cols), 0.0f);
         for (int64_t i = r0; i < r1; ++i) {
@@ -1712,7 +1776,10 @@ Tensor MeanRows(const Tensor& x) {
         return acc;
       });
   float inv = 1.0f / static_cast<float>(rows);
-  for (float& v : out) v *= inv;
+  std::vector<float> out = UninitOut(cols);
+  for (int64_t j = 0; j < cols; ++j) {
+    out[static_cast<size_t>(j)] = sums[static_cast<size_t>(j)] * inv;
+  }
   return Tensor::MakeOpOutput(
       Shape{1, cols}, std::move(out), {x}, [rows, cols, inv](Node& node) {
         const auto& px = node.parents[0];
@@ -1734,7 +1801,7 @@ Tensor RowSum(const Tensor& x) {
   int64_t rows = x.shape().rows();
   int64_t cols = x.shape().cols();
   const float* xd = x.data().data();
-  std::vector<float> out(static_cast<size_t>(rows), 0.0f);
+  std::vector<float> out = UninitOut(rows);
   float* od = out.data();
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
@@ -1795,7 +1862,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
       [](double acc, double partial) { return acc + partial; });
   float mean_loss = static_cast<float>(loss / static_cast<double>(rows));
   return Tensor::MakeOpOutput(
-      Shape{}, {mean_loss}, {logits},
+      Shape{}, ScalarOut(mean_loss), {logits},
       [rows, cols, targets, probs = std::move(probs)](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
@@ -1833,7 +1900,7 @@ Tensor Conv2x3(const Tensor& h, const Tensor& r, const Tensor& kernels,
   const float* rd = r.data().data();
   const float* kd = kernels.data().data();
   const float* bd = bias.data().data();
-  std::vector<float> out(static_cast<size_t>(batch * num_kernels * d));
+  std::vector<float> out = UninitOut(batch * num_kernels * d);
   float* od = out.data();
   int64_t batch_grain = RowGrain(num_kernels * d);
   ParallelFor(0, batch, batch_grain, [&](int64_t b0, int64_t b1) {
@@ -1949,7 +2016,7 @@ Tensor Conv2d(const Tensor& input, int64_t channels, int64_t height,
   const float* kd = kernels.data().data();
   const float* bd = bias.data().data();
   int64_t plane = height * width;
-  std::vector<float> out(static_cast<size_t>(batch * num_kernels * plane));
+  std::vector<float> out = UninitOut(batch * num_kernels * plane);
   float* od = out.data();
   int64_t batch_grain =
       RowGrain(num_kernels * plane * channels * kernel_h * kernel_w);

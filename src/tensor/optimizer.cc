@@ -15,8 +15,8 @@ AdamOptimizer::AdamOptimizer(std::vector<Tensor> parameters, AdamOptions options
     LOGCL_CHECK(p.defined());
     LOGCL_CHECK(p.requires_grad()) << "optimizer parameter without grad";
     size_t n = p.data().size();
-    moment1_.emplace_back(n, 0.0f);
-    moment2_.emplace_back(n, 0.0f);
+    moment1_.emplace_back(n, BufferFill::kZero);
+    moment2_.emplace_back(n, BufferFill::kZero);
   }
 }
 
@@ -65,8 +65,8 @@ void AdamOptimizer::Step() {
     Tensor& p = parameters_[i];
     std::vector<float>& data = p.mutable_data();
     const std::vector<float>& grad = p.grad();
-    std::vector<float>& m = moment1_[i];
-    std::vector<float>& v = moment2_[i];
+    PooledBuffer& m = moment1_[i];
+    PooledBuffer& v = moment2_[i];
     // Every element updates independently, so the split is free to vary
     // with the thread count without changing the result.
     ParallelFor(

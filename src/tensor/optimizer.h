@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
 
 namespace logcl {
@@ -41,9 +42,11 @@ class AdamOptimizer {
   std::vector<Tensor> parameters_;
   AdamOptions options_;
   int64_t step_ = 0;
-  // First/second moment estimates, one vector per parameter.
-  std::vector<std::vector<float>> moment1_;
-  std::vector<std::vector<float>> moment2_;
+  // First/second moment estimates, one pooled buffer per parameter —
+  // recycled when the optimizer is destroyed (models are re-fit in tests
+  // and benchmarks, so moment storage repeats sizes like everything else).
+  std::vector<PooledBuffer> moment1_;
+  std::vector<PooledBuffer> moment2_;
 };
 
 }  // namespace logcl

@@ -1,15 +1,35 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
 #include "common/logging.h"
 #include "common/stringpiece.h"
+#include "tensor/buffer_pool.h"
 
 namespace logcl {
 
+namespace internal_tensor {
+
+TensorNode::~TensorNode() {
+  ReleaseBuffer(std::move(data));
+  ReleaseBuffer(std::move(grad));
+}
+
+void TensorNode::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    ReleaseBuffer(std::move(grad));
+    grad = AcquireBuffer(data.size(), BufferFill::kZero);
+  }
+}
+
+}  // namespace internal_tensor
+
 namespace {
-bool g_grad_mode = true;
+// Thread-local so a NoGradGuard during evaluation on one thread cannot race
+// with (or silently disable) tape recording on another.
+thread_local bool g_grad_mode = true;
 std::atomic<uint64_t> g_sequence{0};
 
 Tensor::NodePtr NewNode(const Shape& shape, std::vector<float> data,
@@ -30,22 +50,40 @@ NoGradGuard::NoGradGuard() : previous_(g_grad_mode) { g_grad_mode = false; }
 NoGradGuard::~NoGradGuard() { g_grad_mode = previous_; }
 
 Tensor Tensor::Zeros(const Shape& shape, bool requires_grad) {
-  return Tensor(NewNode(shape, std::vector<float>(shape.num_elements(), 0.0f),
-                        requires_grad));
+  return Tensor(NewNode(
+      shape,
+      AcquireBuffer(static_cast<size_t>(shape.num_elements()),
+                    BufferFill::kZero),
+      requires_grad));
+}
+
+Tensor Tensor::Uninitialized(const Shape& shape, bool requires_grad) {
+  return Tensor(NewNode(
+      shape,
+      AcquireBuffer(static_cast<size_t>(shape.num_elements()),
+                    BufferFill::kUninit),
+      requires_grad));
 }
 
 Tensor Tensor::Full(const Shape& shape, float value, bool requires_grad) {
-  return Tensor(NewNode(shape, std::vector<float>(shape.num_elements(), value),
-                        requires_grad));
+  std::vector<float> values = AcquireBuffer(
+      static_cast<size_t>(shape.num_elements()), BufferFill::kUninit);
+  std::fill(values.begin(), values.end(), value);
+  return Tensor(NewNode(shape, std::move(values), requires_grad));
 }
 
 Tensor Tensor::FromVector(const Shape& shape, std::vector<float> values,
                           bool requires_grad) {
+  // Caller-allocated storage becomes pool-tracked on adoption so the live
+  // counters balance when ~TensorNode releases it.
+  NoteAdoptedBuffer(values.size());
   return Tensor(NewNode(shape, std::move(values), requires_grad));
 }
 
 Tensor Tensor::Scalar(float value, bool requires_grad) {
-  return Tensor(NewNode(Shape{}, {value}, requires_grad));
+  std::vector<float> values = AcquireBuffer(1, BufferFill::kUninit);
+  values[0] = value;
+  return Tensor(NewNode(Shape{}, std::move(values), requires_grad));
 }
 
 Tensor Tensor::XavierUniform(const Shape& shape, Rng* rng, bool requires_grad) {
@@ -54,7 +92,8 @@ Tensor Tensor::XavierUniform(const Shape& shape, Rng* rng, bool requires_grad) {
   int64_t fan_in = shape.rank() >= 2 ? shape.dim(0) : shape.num_elements();
   int64_t fan_out = shape.rank() >= 2 ? shape.dim(1) : shape.num_elements();
   double bound = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
-  std::vector<float> values(shape.num_elements());
+  std::vector<float> values = AcquireBuffer(
+      static_cast<size_t>(shape.num_elements()), BufferFill::kUninit);
   for (auto& v : values) v = static_cast<float>(rng->Uniform(-bound, bound));
   return Tensor(NewNode(shape, std::move(values), requires_grad));
 }
@@ -62,7 +101,8 @@ Tensor Tensor::XavierUniform(const Shape& shape, Rng* rng, bool requires_grad) {
 Tensor Tensor::RandomNormal(const Shape& shape, float stddev, Rng* rng,
                             bool requires_grad) {
   LOGCL_CHECK(rng != nullptr);
-  std::vector<float> values(shape.num_elements());
+  std::vector<float> values = AcquireBuffer(
+      static_cast<size_t>(shape.num_elements()), BufferFill::kUninit);
   for (auto& v : values) v = static_cast<float>(rng->Normal(0.0, stddev));
   return Tensor(NewNode(shape, std::move(values), requires_grad));
 }
@@ -106,7 +146,11 @@ std::vector<float>& Tensor::mutable_grad() {
 
 void Tensor::ZeroGrad() {
   LOGCL_CHECK(defined());
-  node_->grad.assign(node_->data.size(), 0.0f);
+  if (node_->grad.size() != node_->data.size()) {
+    node_->EnsureGrad();  // acquires an already-zeroed buffer
+    return;
+  }
+  std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
 }
 
 float Tensor::at(int64_t index) const {
@@ -128,7 +172,11 @@ float Tensor::at(int64_t row, int64_t col) const {
 
 Tensor Tensor::Clone() const {
   LOGCL_CHECK(defined());
-  return Tensor(NewNode(node_->shape, node_->data, /*requires_grad=*/false));
+  std::vector<float> values =
+      AcquireBuffer(node_->data.size(), BufferFill::kUninit);
+  std::copy(node_->data.begin(), node_->data.end(), values.begin());
+  return Tensor(NewNode(node_->shape, std::move(values),
+                        /*requires_grad=*/false));
 }
 
 std::string Tensor::ToString(int max_values) const {

@@ -6,8 +6,15 @@
 //    Copying a Tensor aliases the same storage (as in PyTorch).
 //  - Ops (tensor/ops.h) record a backward closure on the output node; calling
 //    Backward(loss) runs the tape in reverse topological order.
-//  - A global grad-mode flag (NoGradGuard) disables tape recording during
-//    evaluation so inference never retains graph memory.
+//  - A thread-local grad-mode flag (NoGradGuard) disables tape recording
+//    during evaluation so inference never retains graph memory. Thread-local
+//    because a NoGradGuard on one thread must not leak into concurrent tensor
+//    construction on another (ops always run on the thread that called them;
+//    pool workers only execute raw float kernels).
+//  - data/grad storage is recycled through the size-bucketed buffer pool
+//    (tensor/buffer_pool.h): factories acquire from it and ~TensorNode
+//    returns both buffers, so steady-state training stops hitting the
+//    general-purpose allocator. LOGCL_TENSOR_POOL=0 restores malloc-per-op.
 
 #ifndef LOGCL_TENSOR_TENSOR_H_
 #define LOGCL_TENSOR_TENSOR_H_
@@ -40,17 +47,21 @@ struct TensorNode {
   // Monotonic creation index; used for reverse-topological replay.
   uint64_t sequence = 0;
 
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  /// Returns data and grad storage to the buffer pool.
+  ~TensorNode();
+
+  /// Allocates grad (zeroed, same size as data) from the pool on demand.
+  void EnsureGrad();
 };
 
 }  // namespace internal_tensor
 
-/// True while gradients are being recorded (default). See NoGradGuard.
+/// True while gradients are being recorded on this thread (default). See
+/// NoGradGuard.
 bool GradModeEnabled();
 
-/// RAII scope that disables autograd recording (e.g. during evaluation).
+/// RAII scope that disables autograd recording on the current thread (e.g.
+/// during evaluation). Other threads' grad mode is unaffected.
 class NoGradGuard {
  public:
   NoGradGuard();
@@ -70,6 +81,11 @@ class Tensor {
 
   /// Factories. `requires_grad` marks the tensor as a trainable leaf.
   static Tensor Zeros(const Shape& shape, bool requires_grad = false);
+  /// Pool-recycled storage with UNSPECIFIED contents — for op outputs whose
+  /// kernel fully overwrites every element before any read. Reading an
+  /// element that was never written is a bug (LOGCL_POISON_UNINIT=1 makes it
+  /// fail loudly by poisoning with signalling NaNs).
+  static Tensor Uninitialized(const Shape& shape, bool requires_grad = false);
   static Tensor Full(const Shape& shape, float value, bool requires_grad = false);
   static Tensor FromVector(const Shape& shape, std::vector<float> values,
                            bool requires_grad = false);
