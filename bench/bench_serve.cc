@@ -1,0 +1,121 @@
+// Serving benchmark: sequential per-query ScoreQueries versus the
+// InferenceEngine with concurrent clients and micro-batching, on the
+// ICEWS14-like preset. Reports QPS, p50/p99 latency and the realised batch
+// size for a sweep of max_batch_size, plus the engine's own counters.
+//
+// The engine wins twice: the snapshot freezes the query-independent local
+// evolution (recomputed per call by ScoreQueries), and coalesced batches
+// amortise the query-subgraph encode + ConvTransE decode across clients.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+#include "serve/inference_engine.h"
+
+namespace logcl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[index];
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+void Run() {
+  TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
+  LogClConfig config;
+  config.embedding_dim = 32;
+  config.local.history_length = 5;
+  LogClModel model(&dataset, config);
+
+  // Serve the last horizon that still has a day of real queries behind it.
+  int64_t horizon = dataset.num_timestamps() - 2;
+  const std::vector<Quadruple>& day = dataset.FactsAt(horizon);
+  int64_t total = bench::FastMode() ? 64 : 512;
+  std::vector<ServeQuery> queries;
+  queries.reserve(total);
+  for (int64_t i = 0; i < total; ++i) {
+    const Quadruple& q = day[static_cast<size_t>(i) % day.size()];
+    queries.push_back({q.subject, q.relation});
+  }
+
+  bench::PrintSectionTitle("Serving on " + dataset.name() +
+                           " (horizon t=" + std::to_string(horizon) + ", " +
+                           std::to_string(total) + " queries)");
+
+  // --- Baseline: one offline ScoreQueries call per query, sequential. ---
+  Clock::time_point start = Clock::now();
+  for (const ServeQuery& q : queries) {
+    std::vector<Quadruple> single = {{q.subject, q.relation, 0, horizon}};
+    volatile float sink = model.ScoreQueries(single)[0][0];
+    (void)sink;
+  }
+  double baseline_seconds = SecondsSince(start);
+  double baseline_qps = static_cast<double>(total) / baseline_seconds;
+  std::printf("sequential ScoreQueries baseline: %8.1f QPS (%.3f s)\n\n",
+              baseline_qps, baseline_seconds);
+
+  // --- Engine sweep: concurrent clients, varying max_batch_size. ---
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "max_batch", "QPS",
+              "speedup", "p50 us", "p99 us", "mean_b");
+  std::printf("%s\n", std::string(66, '-').c_str());
+  constexpr int kClients = 32;  // enough concurrency to fill every batch size
+  for (int64_t max_batch : {int64_t{1}, int64_t{8}, int64_t{32}}) {
+    EngineOptions options;
+    options.max_batch_size = max_batch;
+    options.batch_deadline_us = 200;
+    InferenceEngine engine(&model, horizon, options);
+    std::vector<std::vector<double>> latencies(kClients);
+    start = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int64_t i = c; i < total; i += kClients) {
+          Clock::time_point sent = Clock::now();
+          engine.Score(queries[static_cast<size_t>(i)]);
+          latencies[c].push_back(SecondsSince(sent) * 1e6);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    double seconds = SecondsSince(start);
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    double qps = static_cast<double>(total) / seconds;
+    EngineStats stats = engine.Stats();
+    std::printf("%-12lld %10.1f %9.1fx %10.0f %10.0f %10.2f\n",
+                static_cast<long long>(max_batch), qps, qps / baseline_qps,
+                Percentile(all, 0.50), Percentile(all, 0.99),
+                stats.MeanBatchSize());
+    std::fflush(stdout);
+    if (max_batch == 32) {
+      std::printf("\nengine counters: %s\n", stats.ToString().c_str());
+    }
+  }
+  std::printf(
+      "\nExpected shape: QPS grows with max_batch; the batched engine beats\n"
+      "the sequential baseline well beyond 5x once batches amortise the\n"
+      "per-pass evolution and subgraph work.\n");
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::Run();
+  return 0;
+}

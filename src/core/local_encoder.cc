@@ -32,20 +32,40 @@ LocalEncoderOutput LocalEncoder::Encode(const TkgDataset& dataset, int64_t t,
                                         bool training, Rng* rng,
                                         int64_t history_length_override) const {
   LOGCL_CHECK_GE(t, 0);
+  int64_t history_length = history_length_override > 0
+                               ? history_length_override
+                               : options_.history_length;
+  int64_t start = std::max<int64_t>(0, t - history_length);
+  // Structure cache: the inverse-augmented snapshot graph (and its CSR
+  // layouts) is built once per timestamp for the dataset's lifetime.
+  std::vector<const SnapshotGraph*> graphs;
+  std::vector<int64_t> times;
+  graphs.reserve(static_cast<size_t>(t - start));
+  times.reserve(static_cast<size_t>(t - start));
+  for (int64_t s = start; s < t; ++s) {
+    graphs.push_back(&dataset.SnapshotGraphAt(s));
+    times.push_back(s);
+  }
+  return EncodeSequence(graphs, times, t, base_entities, base_relations,
+                        training, rng);
+}
+
+LocalEncoderOutput LocalEncoder::EncodeSequence(
+    const std::vector<const SnapshotGraph*>& graphs,
+    const std::vector<int64_t>& times, int64_t t,
+    const Tensor& base_entities, const Tensor& base_relations, bool training,
+    Rng* rng) const {
+  LOGCL_CHECK_EQ(graphs.size(), times.size());
   LocalEncoderOutput out;
   Tensor entities = base_entities;
   Tensor relations = base_relations;
   int64_t num_entities = base_entities.shape().rows();
   int64_t num_relations = base_relations.shape().rows();
 
-  int64_t history_length = history_length_override > 0
-                               ? history_length_override
-                               : options_.history_length;
-  int64_t start = std::max<int64_t>(0, t - history_length);
-  for (int64_t s = start; s < t; ++s) {
-    // Structure cache: the inverse-augmented snapshot graph (and its CSR
-    // layouts) is built once per timestamp for the dataset's lifetime.
-    const SnapshotGraph& graph = dataset.SnapshotGraphAt(s);
+  for (size_t i = 0; i < graphs.size(); ++i) {
+    int64_t s = times[i];
+    LOGCL_CHECK_LT(s, t);
+    const SnapshotGraph& graph = *graphs[i];
     LOGCL_CHECK_EQ(graph.num_nodes, num_entities);
 
     // Eq.2-3: fold the time interval into the entity features.

@@ -63,6 +63,17 @@ class LocalEncoder : public Module {
                             Rng* rng,
                             int64_t history_length_override = 0) const;
 
+  /// Evolution over an explicit snapshot-graph window: `graphs[i]` is the
+  /// snapshot at `times[i]` (ascending, all < t). This is the entry point of
+  /// the serving engine's Advance, whose newest snapshots are not part of
+  /// any TkgDataset; Encode delegates here, so both paths are bitwise
+  /// identical given identical graphs.
+  LocalEncoderOutput EncodeSequence(
+      const std::vector<const SnapshotGraph*>& graphs,
+      const std::vector<int64_t>& times, int64_t t,
+      const Tensor& base_entities, const Tensor& base_relations,
+      bool training, Rng* rng) const;
+
   /// Entity-aware attention (Eq.9-11): per-query local representation.
   /// Queries supply (subject, relation); rows of the result align with
   /// `queries`. With `use_attention` false the final evolved state is

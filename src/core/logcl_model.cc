@@ -47,8 +47,12 @@ LogClModel::LogClModel(const TkgDataset* dataset, LogClConfig config)
   AddChild(&decoder_);
 }
 
-Tensor LogClModel::BaseEntities() {
+Tensor LogClModel::BaseEntities(bool training) {
   if (config_.noise_stddev <= 0.0f) return base_entities_;
+  // Eval mode pins the evaluation inputs: noise contamination only applies
+  // to training forwards, so repeated identical eval calls are bitwise
+  // equal (and never advance the RNG stream).
+  if (eval_mode_ && !training) return base_entities_;
   Tensor noise = Tensor::RandomNormal(base_entities_.shape(),
                                       config_.noise_stddev, &rng_);
   return ops::Add(base_entities_, noise);
@@ -57,7 +61,7 @@ Tensor LogClModel::BaseEntities() {
 LogClModel::BatchOutput LogClModel::ForwardBatch(
     const std::vector<Quadruple>& queries, bool training) {
   int64_t t = BatchTime(queries);
-  Tensor h0 = BaseEntities();
+  Tensor h0 = BaseEntities(training);
   LocalEncoderOutput local;
   if (config_.use_local) {
     local = local_encoder_.Encode(dataset(), t, h0, base_relations_, training,
@@ -66,36 +70,39 @@ LogClModel::BatchOutput LogClModel::ForwardBatch(
   return ForwardPhase(queries, h0, local, training);
 }
 
-LogClModel::BatchOutput LogClModel::ForwardPhase(
+LogClModel::ScoreParts LogClModel::ScorePhase(
     const std::vector<Quadruple>& queries, const Tensor& h0,
-    const LocalEncoderOutput& local, bool training) {
+    const LocalEncoderOutput& local, const HistoryIndex& history,
+    bool training, bool use_subgraph_cache, Rng* rng) const {
+  BatchTime(queries);  // all queries must share one timestamp
   std::vector<int64_t> relation_ids;
-  std::vector<int64_t> targets;
   relation_ids.reserve(queries.size());
-  targets.reserve(queries.size());
-  for (const Quadruple& q : queries) {
-    relation_ids.push_back(q.relation);
-    targets.push_back(q.object);
-  }
+  for (const Quadruple& q : queries) relation_ids.push_back(q.relation);
+
+  ScoreParts parts;
 
   // --- Local branch (Eq.9-11; evolution shared across phases). ---
-  Tensor local_query;
   if (config_.use_local) {
-    local_query = local_encoder_.QueryRepresentations(
+    parts.local_query = local_encoder_.QueryRepresentations(
         local, queries, config_.use_entity_attention);
   }
 
   // --- Global branch (Eq.12-14). ---
   Tensor global_encoded;
-  Tensor global_query;
   if (config_.use_global) {
+    // The cross-epoch subgraph cache is single-threaded training state; the
+    // concurrent serving path builds the (identical) subgraph fresh.
     std::shared_ptr<const SnapshotGraph> subgraph =
-        global_encoder_.QuerySubgraph(history_, queries,
-                                      dataset().num_entities());
+        use_subgraph_cache
+            ? global_encoder_.QuerySubgraph(history, queries,
+                                            dataset().num_entities())
+            : std::make_shared<const SnapshotGraph>(
+                  global_encoder_.BuildQuerySubgraph(
+                      history, queries, dataset().num_entities()));
     global_encoded = global_encoder_.Encode(*subgraph, h0, base_relations_,
-                                            training, &rng_);
-    global_query = global_encoder_.QueryRepresentations(
-        global_encoded, h0, queries, history_, config_.use_entity_attention);
+                                            training, rng);
+    parts.global_query = global_encoder_.QueryRepresentations(
+        global_encoded, h0, queries, history, config_.use_entity_attention);
   }
 
   // --- Fusion (Eq.19). The lambda trade-off applies to the *query* vector
@@ -107,39 +114,102 @@ LogClModel::BatchOutput LogClModel::ForwardPhase(
   Tensor relation_matrix;
   if (config_.use_local && config_.use_global) {
     float lambda = config_.lambda;
-    fused_query = ops::Add(ops::Scale(local_query, lambda),
-                           ops::Scale(global_query, 1.0f - lambda));
+    fused_query = ops::Add(ops::Scale(parts.local_query, lambda),
+                           ops::Scale(parts.global_query, 1.0f - lambda));
     candidates = local.entities;
     relation_matrix = local.relations;
   } else if (config_.use_local) {
-    fused_query = local_query;
+    fused_query = parts.local_query;
     candidates = local.entities;
     relation_matrix = local.relations;
   } else {
-    fused_query = global_query;
+    fused_query = parts.global_query;
     candidates = global_encoded;
     relation_matrix = base_relations_;  // LogCL-G: static relation embedding
   }
-  Tensor query_relations =
-      ops::IndexSelectRows(relation_matrix, relation_ids);
+  parts.query_relations = ops::IndexSelectRows(relation_matrix, relation_ids);
 
-  // --- Decoding (Eq.18) + entity-prediction loss (Eq.20). ---
+  // --- Decoding (Eq.18). ---
+  parts.scores = decoder_.Score(fused_query, parts.query_relations,
+                                candidates, training, rng);
+  return parts;
+}
+
+LogClModel::BatchOutput LogClModel::ForwardPhase(
+    const std::vector<Quadruple>& queries, const Tensor& h0,
+    const LocalEncoderOutput& local, bool training) {
+  ScoreParts parts = ScorePhase(queries, h0, local, history_, training,
+                                /*use_subgraph_cache=*/true, &rng_);
+  std::vector<int64_t> targets;
+  targets.reserve(queries.size());
+  for (const Quadruple& q : queries) targets.push_back(q.object);
+
+  // --- Entity-prediction loss (Eq.20). ---
   BatchOutput out;
-  out.scores = decoder_.Score(fused_query, query_relations, candidates,
-                              training, &rng_);
+  out.scores = parts.scores;
   out.loss = ops::CrossEntropyWithLogits(out.scores, targets);
 
   // --- Local-global query contrast (Eq.15-17, Eq.21). ---
   if (training && config_.use_contrast && config_.use_local &&
       config_.use_global) {
-    Tensor local_features = ops::ConcatCols({local_query, query_relations});
+    std::vector<int64_t> relation_ids;
+    relation_ids.reserve(queries.size());
+    for (const Quadruple& q : queries) relation_ids.push_back(q.relation);
+    Tensor local_features =
+        ops::ConcatCols({parts.local_query, parts.query_relations});
     Tensor global_features = ops::ConcatCols(
-        {global_query, ops::IndexSelectRows(base_relations_, relation_ids)});
+        {parts.global_query,
+         ops::IndexSelectRows(base_relations_, relation_ids)});
     Tensor z_local = contrast_.Project(local_features);
     Tensor z_global = contrast_.Project(global_features);
     out.loss = ops::Add(out.loss, contrast_.Loss(z_local, z_global, targets));
   }
   return out;
+}
+
+LogClModel::EvolutionState LogClModel::PrecomputeEvolution(int64_t t) const {
+  LOGCL_CHECK(eval_mode_ || config_.noise_stddev <= 0.0f)
+      << "evolution precompute requires deterministic eval inputs; call "
+         "SetEvalMode(true) on models configured with noise injection";
+  NoGradGuard no_grad;
+  EvolutionState state;
+  state.time = t;
+  state.base_entities = base_entities_;
+  if (config_.use_local) {
+    state.local = local_encoder_.Encode(dataset(), t, base_entities_,
+                                        base_relations_, /*training=*/false,
+                                        /*rng=*/nullptr);
+  }
+  return state;
+}
+
+LogClModel::EvolutionState LogClModel::PrecomputeEvolution(
+    const std::vector<const SnapshotGraph*>& graphs,
+    const std::vector<int64_t>& times, int64_t t) const {
+  LOGCL_CHECK(eval_mode_ || config_.noise_stddev <= 0.0f)
+      << "evolution precompute requires deterministic eval inputs; call "
+         "SetEvalMode(true) on models configured with noise injection";
+  NoGradGuard no_grad;
+  EvolutionState state;
+  state.time = t;
+  state.base_entities = base_entities_;
+  if (config_.use_local) {
+    state.local = local_encoder_.EncodeSequence(
+        graphs, times, t, base_entities_, base_relations_,
+        /*training=*/false, /*rng=*/nullptr);
+  }
+  return state;
+}
+
+Tensor LogClModel::ScoreWithEvolution(const std::vector<Quadruple>& queries,
+                                      const EvolutionState& evolution,
+                                      const HistoryIndex& history) const {
+  NoGradGuard no_grad;
+  ScoreParts parts =
+      ScorePhase(queries, evolution.base_entities, evolution.local, history,
+                 /*training=*/false, /*use_subgraph_cache=*/false,
+                 /*rng=*/nullptr);
+  return parts.scores;
 }
 
 std::vector<std::vector<float>> LogClModel::ScoreQueries(
@@ -178,7 +248,7 @@ double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
   // entity-aware attention of one phase never observes the answer side of
   // the other. The query-independent snapshot evolution is shared between
   // the phases; both phase losses feed one optimization step.
-  Tensor h0 = BaseEntities();
+  Tensor h0 = BaseEntities(/*training=*/true);
   LocalEncoderOutput local;
   if (config_.use_local) {
     local = local_encoder_.Encode(dataset(), t, h0, base_relations_,
@@ -212,20 +282,10 @@ double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
 std::vector<std::pair<int64_t, float>> LogClModel::PredictTopK(
     const Quadruple& query, int64_t k) {
   std::vector<std::vector<float>> scores = ScoreQueries({query});
-  // Softmax to probabilities for the case-study rendering.
-  std::vector<float>& row = scores[0];
-  float max_logit = *std::max_element(row.begin(), row.end());
-  double sum = 0.0;
-  for (float& v : row) {
-    v = std::exp(v - max_logit);
-    sum += v;
-  }
-  for (float& v : row) v = static_cast<float>(v / sum);
-  std::vector<std::pair<int64_t, float>> result;
-  for (int64_t id : TopK(row, k)) {
-    result.emplace_back(id, row[static_cast<size_t>(id)]);
-  }
-  return result;
+  // Partial selection over the logits; probabilities match a full softmax
+  // bitwise for the selected k (see TopKSoftmax).
+  const std::vector<float>& row = scores[0];
+  return TopKSoftmax(row.data(), static_cast<int64_t>(row.size()), k);
 }
 
 }  // namespace logcl

@@ -74,9 +74,50 @@ class LogClModel : public TkgModel {
   double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
 
   /// Top-k (entity, probability) predictions for one query (case study,
-  /// Table VI). Probabilities are softmax over all entities.
+  /// Table VI). Probabilities equal softmax over all entities but are
+  /// computed via partial selection (eval/ranking.h TopKSoftmax): the full
+  /// softmax row is never materialised.
   std::vector<std::pair<int64_t, float>> PredictTopK(const Quadruple& query,
                                                      int64_t k);
+
+  /// Eval-mode switch. When set, evaluation-path forwards (ScoreQueries and
+  /// the serving entry points below) skip the configured noise injection so
+  /// repeated identical calls are bitwise equal; training forwards still
+  /// perturb. Off by default: the Fig.2/5 noise-robustness experiments rely
+  /// on contaminated *evaluation* inputs. The serving engine always sets it.
+  void SetEvalMode(bool eval_mode) { eval_mode_ = eval_mode; }
+  bool eval_mode() const { return eval_mode_; }
+
+  /// The query-independent half of a forward pass, frozen for serving: the
+  /// base entity matrix plus the local evolution at time `time` (Eq.2-8 and
+  /// the per-snapshot attention inputs of Eq.9-11). Const and deterministic;
+  /// requires eval mode when noise injection is configured.
+  struct EvolutionState {
+    int64_t time = -1;
+    Tensor base_entities;      // H_0 [E, d]
+    LocalEncoderOutput local;  // empty when the local branch is disabled
+  };
+
+  /// Runs the evolution over the dataset's snapshots preceding `t` (exactly
+  /// what ScoreQueries does internally for a batch at `t`).
+  EvolutionState PrecomputeEvolution(int64_t t) const;
+
+  /// Same over an explicit snapshot window (`graphs[i]` at `times[i]`, all
+  /// < t) — the serving engine's Advance path, whose newest snapshots are
+  /// not part of the model's dataset.
+  EvolutionState PrecomputeEvolution(
+      const std::vector<const SnapshotGraph*>& graphs,
+      const std::vector<int64_t>& times, int64_t t) const;
+
+  /// Scores one batch of same-timestamp queries against every entity given a
+  /// precomputed evolution and a history index; returns logits [B, E],
+  /// bitwise identical to ScoreQueries on the same state. Const and safe to
+  /// call from concurrent threads (it bypasses the global encoder's subgraph
+  /// cache); `history` substitutes for the model's own index so serving can
+  /// extend history online.
+  Tensor ScoreWithEvolution(const std::vector<Quadruple>& queries,
+                            const EvolutionState& evolution,
+                            const HistoryIndex& history) const;
 
   const LogClConfig& config() const { return config_; }
 
@@ -85,6 +126,26 @@ class LogClModel : public TkgModel {
     Tensor scores;  // [B, E] logits
     Tensor loss;    // scalar: L_tkg + L_cl
   };
+
+  /// Everything ScorePhase produces: the logits plus the intermediate query
+  /// representations the contrastive loss consumes during training.
+  struct ScoreParts {
+    Tensor scores;           // [B, E] logits
+    Tensor local_query;      // [B, d] when use_local
+    Tensor global_query;     // [B, d] when use_global
+    Tensor query_relations;  // [B, d] rows of the fused relation matrix
+  };
+
+  /// The shared scoring pipeline (Eq.9-19) for one batch of same-timestamp
+  /// queries: query representations, lambda-fusion, ConvTransE decode.
+  /// Const — every mutable interaction is parameterised: `history` supplies
+  /// the historical answer sets, `use_subgraph_cache` selects the cached vs
+  /// thread-safe subgraph path, and `rng` is only consumed when training.
+  ScoreParts ScorePhase(const std::vector<Quadruple>& queries,
+                        const Tensor& base_entities,
+                        const LocalEncoderOutput& local,
+                        const HistoryIndex& history, bool training,
+                        bool use_subgraph_cache, Rng* rng) const;
 
   /// One propagation phase for a batch of same-timestamp queries. The
   /// (query-independent) local evolution is computed by the caller and
@@ -99,10 +160,12 @@ class LogClModel : public TkgModel {
   BatchOutput ForwardBatch(const std::vector<Quadruple>& queries,
                            bool training);
 
-  /// Base entity matrix, noise-injected when configured.
-  Tensor BaseEntities();
+  /// Base entity matrix, noise-injected when configured (skipped for
+  /// non-training forwards in eval mode).
+  Tensor BaseEntities(bool training);
 
   LogClConfig config_;
+  bool eval_mode_ = false;
   Rng rng_;
   HistoryIndex history_;
   Tensor base_entities_;   // H_0 [E, d]

@@ -1,6 +1,7 @@
 #include "eval/ranking.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -48,6 +49,45 @@ std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k) {
                     });
   indices.resize(static_cast<size_t>(k));
   return indices;
+}
+
+std::vector<int64_t> TopKPartial(const float* scores, int64_t n, int64_t k) {
+  LOGCL_CHECK(scores != nullptr || n == 0);
+  k = std::min<int64_t>(k, n);
+  if (k <= 0) return {};
+  std::vector<int64_t> indices(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) indices[static_cast<size_t>(i)] = i;
+  auto better = [scores](int64_t a, int64_t b) {
+    float sa = scores[a];
+    float sb = scores[b];
+    return sa != sb ? sa > sb : a < b;
+  };
+  std::nth_element(indices.begin(), indices.begin() + (k - 1), indices.end(),
+                   better);
+  indices.resize(static_cast<size_t>(k));
+  std::sort(indices.begin(), indices.end(), better);
+  return indices;
+}
+
+std::vector<std::pair<int64_t, float>> TopKSoftmax(const float* logits,
+                                                   int64_t n, int64_t k) {
+  std::vector<int64_t> top = TopKPartial(logits, n, k);
+  if (top.empty()) return {};
+  float max_logit = logits[top.front()];  // top-1 is the row max
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    // The float cast before accumulating matches what a materialised
+    // softmax row would sum, keeping probabilities bitwise identical.
+    float e = std::exp(logits[i] - max_logit);
+    sum += e;
+  }
+  std::vector<std::pair<int64_t, float>> result;
+  result.reserve(top.size());
+  for (int64_t id : top) {
+    float e = std::exp(logits[id] - max_logit);
+    result.emplace_back(id, static_cast<float>(e / sum));
+  }
+  return result;
 }
 
 void AccumulateRanks(const std::vector<std::vector<float>>& scores,

@@ -4,6 +4,7 @@
 #define LOGCL_EVAL_RANKING_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "eval/metrics.h"
@@ -26,6 +27,25 @@ int64_t RankOfTarget(const std::vector<float>& scores, int64_t target);
 
 /// Indices of the top-k scores, descending (for the case study output).
 std::vector<int64_t> TopK(const std::vector<float>& scores, int64_t k);
+
+/// TopK over a raw score row via partial selection: an std::nth_element
+/// partition followed by a sort of the selected block — O(n + k log k)
+/// instead of partial_sort's O(n log k), and no per-element comparator churn
+/// past the partition point. Ties break toward the lower index, exactly as
+/// TopK, so the two agree element-for-element.
+std::vector<int64_t> TopKPartial(const float* scores, int64_t n, int64_t k);
+
+/// One (entity, softmax probability) pair per top-k logit WITHOUT
+/// materialising the full softmax: one pass finds the max, one pass folds
+/// the normaliser, and probabilities are evaluated only for the k selected
+/// ids. The returned probabilities are bitwise identical to indexing a full
+/// softmax over `logits` (same max-shift, same float exp, same accumulation
+/// order of the double normaliser). Selection happens on the raw logits;
+/// exp() is strictly increasing, so the selected set matches a full-softmax
+/// TopK whenever probabilities that round to equal floats come from equal
+/// logits (always true in practice).
+std::vector<std::pair<int64_t, float>> TopKSoftmax(const float* logits,
+                                                   int64_t n, int64_t k);
 
 /// Scores one batch of queries: for query i, the row `scores[i]` ranks all
 /// entities; applies the time-aware filter and accumulates into `metrics`.

@@ -1,0 +1,114 @@
+#include "serve/engine_snapshot.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/logging.h"
+
+namespace logcl {
+
+namespace {
+
+// Non-owning alias for graphs whose lifetime is managed elsewhere (the
+// model's dataset caches).
+std::shared_ptr<const SnapshotGraph> Unowned(const SnapshotGraph* graph) {
+  return std::shared_ptr<const SnapshotGraph>(graph,
+                                              [](const SnapshotGraph*) {});
+}
+
+}  // namespace
+
+std::shared_ptr<const EngineSnapshot> EngineSnapshot::Build(
+    const LogClModel* model, int64_t time) {
+  LOGCL_CHECK(model != nullptr);
+  LOGCL_CHECK_GE(time, 0);
+  LOGCL_CHECK(model->eval_mode() || model->config().noise_stddev <= 0.0f)
+      << "serving snapshots require deterministic eval inputs; call "
+         "SetEvalMode(true) first";
+  const TkgDataset& dataset = model->dataset();
+  auto snapshot = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snapshot->model_ = model;
+  snapshot->time_ = time;
+  snapshot->history_ = std::make_shared<const HistoryIndex>(
+      dataset, /*max_time_exclusive=*/time);
+
+  int64_t history_length = model->config().local.history_length;
+  int64_t start = std::max<int64_t>(0, time - history_length);
+  std::vector<const SnapshotGraph*> graphs;
+  std::vector<int64_t> times;
+  for (int64_t s = start; s < time; ++s) {
+    const SnapshotGraph& graph = dataset.SnapshotGraphAt(s);
+    snapshot->window_.emplace_back(s, Unowned(&graph));
+    graphs.push_back(&graph);
+    times.push_back(s);
+  }
+  snapshot->evolution_ = model->PrecomputeEvolution(graphs, times, time);
+  return snapshot;
+}
+
+Tensor EngineSnapshot::ScoreBatch(
+    const std::vector<ServeQuery>& queries) const {
+  LOGCL_CHECK(!queries.empty());
+  std::vector<Quadruple> quads;
+  quads.reserve(queries.size());
+  for (const ServeQuery& q : queries) {
+    quads.push_back(Quadruple{q.subject, q.relation, /*object=*/0, time_});
+  }
+  return model_->ScoreWithEvolution(quads, evolution_, *history_);
+}
+
+std::shared_ptr<const EngineSnapshot> EngineSnapshot::Advance(
+    std::vector<Quadruple> new_facts) const {
+  const TkgDataset& dataset = model_->dataset();
+  for (const Quadruple& q : new_facts) {
+    LOGCL_CHECK_EQ(q.time, time_) << "Advance expects the completed horizon "
+                                     "snapshot (facts at time() exactly)";
+    LOGCL_CHECK_GE(q.subject, 0);
+    LOGCL_CHECK_LT(q.subject, dataset.num_entities());
+    LOGCL_CHECK_GE(q.object, 0);
+    LOGCL_CHECK_LT(q.object, dataset.num_entities());
+    LOGCL_CHECK_GE(q.relation, 0);
+    LOGCL_CHECK_LT(q.relation, dataset.num_base_relations());
+  }
+  // Canonical (time, s, r, o) dataset order, so the extended index and the
+  // horizon graph are bit-for-bit what a from-scratch dataset build yields.
+  std::sort(new_facts.begin(), new_facts.end(),
+            [](const Quadruple& a, const Quadruple& b) {
+              return std::tie(a.subject, a.relation, a.object) <
+                     std::tie(b.subject, b.relation, b.object);
+            });
+
+  auto next = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  next->model_ = model_;
+  next->time_ = time_ + 1;
+
+  auto extended = std::make_shared<HistoryIndex>(*history_);
+  extended->AddFacts(new_facts);
+  next->history_ = std::move(extended);
+
+  // Rotate the evolution window: drop timestamps that fall out of
+  // [time_ + 1 - m, time_ + 1), append the completed horizon snapshot.
+  int64_t history_length = model_->config().local.history_length;
+  int64_t start = std::max<int64_t>(0, next->time_ - history_length);
+  for (const auto& [s, graph] : window_) {
+    if (s >= start) next->window_.emplace_back(s, graph);
+  }
+  next->window_.emplace_back(
+      time_, std::make_shared<const SnapshotGraph>(
+                 SnapshotGraph::FromFactsWithInverses(
+                     new_facts, dataset.num_entities(),
+                     dataset.num_base_relations())));
+
+  std::vector<const SnapshotGraph*> graphs;
+  std::vector<int64_t> times;
+  graphs.reserve(next->window_.size());
+  times.reserve(next->window_.size());
+  for (const auto& [s, graph] : next->window_) {
+    graphs.push_back(graph.get());
+    times.push_back(s);
+  }
+  next->evolution_ = model_->PrecomputeEvolution(graphs, times, next->time_);
+  return next;
+}
+
+}  // namespace logcl

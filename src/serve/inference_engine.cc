@@ -1,0 +1,194 @@
+#include "serve/inference_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+#include "tensor/serialization.h"
+
+namespace logcl {
+
+namespace {
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - since)
+          .count());
+}
+
+}  // namespace
+
+std::string EngineStats::ToString() const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "requests=%llu batches=%llu advances=%llu "
+                "mean_batch=%.2f max_batch=%llu peak_queue=%llu "
+                "mean_latency_us=%.1f max_latency_us=%llu",
+                static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(advances), MeanBatchSize(),
+                static_cast<unsigned long long>(max_batch),
+                static_cast<unsigned long long>(peak_queue_depth),
+                MeanLatencyUs(),
+                static_cast<unsigned long long>(max_latency_us));
+  return buffer;
+}
+
+InferenceEngine::InferenceEngine(LogClModel* model, int64_t time,
+                                 EngineOptions options)
+    : model_(model), options_(options) {
+  LOGCL_CHECK(model != nullptr);
+  LOGCL_CHECK_GE(options_.max_batch_size, 1);
+  LOGCL_CHECK_GE(options_.batch_deadline_us, 0);
+  model_->SetEvalMode(true);
+  snapshot_ = EngineSnapshot::Build(model_, time);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+InferenceEngine::~InferenceEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  dispatcher_.join();
+}
+
+std::future<InferenceEngine::RequestResult> InferenceEngine::Submit(
+    const ServeQuery& query, int64_t k) {
+  const TkgDataset& dataset = model_->dataset();
+  LOGCL_CHECK_GE(query.subject, 0);
+  LOGCL_CHECK_LT(query.subject, dataset.num_entities());
+  LOGCL_CHECK_GE(query.relation, 0);
+  LOGCL_CHECK_LT(query.relation, dataset.num_relations_with_inverse());
+  Request request;
+  request.query = query;
+  request.k = k;
+  request.enqueued = std::chrono::steady_clock::now();
+  std::future<RequestResult> future = request.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    LOGCL_CHECK(!stopping_) << "Submit after engine shutdown";
+    queue_.push_back(std::move(request));
+    stats_.peak_queue_depth =
+        std::max<uint64_t>(stats_.peak_queue_depth, queue_.size());
+    queue_cv_.notify_all();
+  }
+  return future;
+}
+
+std::vector<float> InferenceEngine::Score(const ServeQuery& query) {
+  return Submit(query, /*k=*/0).get().row;
+}
+
+std::vector<std::pair<int64_t, float>> InferenceEngine::TopK(
+    const ServeQuery& query, int64_t k) {
+  LOGCL_CHECK_GE(k, 1);
+  return Submit(query, k).get().topk;
+}
+
+void InferenceEngine::Advance(std::vector<Quadruple> new_facts) {
+  // Serialise builders so every Advance extends the latest published
+  // snapshot; readers are never blocked by the (expensive) build.
+  std::lock_guard<std::mutex> advance_lock(advance_mu_);
+  std::shared_ptr<const EngineSnapshot> current = snapshot();
+  std::shared_ptr<const EngineSnapshot> next =
+      current->Advance(std::move(new_facts));
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot_ = std::move(next);  // in-flight batches hold the old shared_ptr
+  ++stats_.advances;
+}
+
+std::shared_ptr<const EngineSnapshot> InferenceEngine::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+EngineStats InferenceEngine::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void InferenceEngine::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    // Deadline-bounded coalescing: hold the batch open for stragglers until
+    // the oldest request ages out or the batch fills. Shutdown flushes
+    // immediately.
+    size_t target = static_cast<size_t>(options_.max_batch_size);
+    auto deadline = queue_.front().enqueued +
+                    std::chrono::microseconds(options_.batch_deadline_us);
+    while (!stopping_ && queue_.size() < target &&
+           std::chrono::steady_clock::now() < deadline) {
+      queue_cv_.wait_until(lock, deadline, [&] {
+        return stopping_ || queue_.size() >= target;
+      });
+    }
+    std::vector<Request> batch;
+    size_t take = std::min(queue_.size(), target);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    std::shared_ptr<const EngineSnapshot> snapshot = snapshot_;
+    lock.unlock();
+    ProcessBatch(std::move(batch), snapshot);
+    lock.lock();
+  }
+}
+
+void InferenceEngine::ProcessBatch(
+    std::vector<Request> batch,
+    const std::shared_ptr<const EngineSnapshot>& snapshot) {
+  std::vector<ServeQuery> queries;
+  queries.reserve(batch.size());
+  for (const Request& r : batch) queries.push_back(r.query);
+  Tensor scores = snapshot->ScoreBatch(queries);
+  int64_t num_entities = scores.shape().cols();
+  const float* data = scores.data().data();
+
+  std::vector<RequestResult> results(batch.size());
+  uint64_t batch_latency_total = 0;
+  uint64_t batch_latency_max = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const float* row = data + static_cast<int64_t>(i) * num_entities;
+    if (batch[i].k > 0) {
+      results[i].topk = TopKSoftmax(row, num_entities, batch[i].k);
+    } else {
+      results[i].row.assign(row, row + num_entities);
+    }
+    uint64_t latency = ElapsedUs(batch[i].enqueued);
+    batch_latency_total += latency;
+    batch_latency_max = std::max(batch_latency_max, latency);
+  }
+
+  // Account before fulfilling the promises so a requester that reads Stats()
+  // right after its answer arrives always sees its own request counted.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches;
+    stats_.requests += batch.size();
+    stats_.max_batch = std::max<uint64_t>(stats_.max_batch, batch.size());
+    stats_.total_latency_us += batch_latency_total;
+    stats_.max_latency_us = std::max(stats_.max_latency_us, batch_latency_max);
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(results[i]));
+  }
+}
+
+Status LoadModelCheckpoint(Module* model, const std::string& path) {
+  LOGCL_CHECK(model != nullptr);
+  std::vector<Tensor> parameters = model->Parameters();
+  return LoadParameters(path, &parameters);
+}
+
+}  // namespace logcl

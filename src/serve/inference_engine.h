@@ -1,0 +1,147 @@
+// InferenceEngine: a thread-safe serving front-end over EngineSnapshot.
+//
+// Concurrently submitted queries are coalesced by a micro-batcher: a
+// dedicated dispatcher thread collects pending requests until either
+// `max_batch_size` are waiting or the oldest request has waited
+// `batch_deadline_us`, then scores the whole batch as ONE decoder pass on
+// the shared compute thread pool (one query-subgraph encode and one
+// ConvTransE decode amortised over the batch). Submitters block on a
+// per-request future.
+//
+// Top-k requests never materialise the full softmax (eval/ranking.h
+// TopKSoftmax); full-row requests copy the logits row out of the batch.
+//
+// Advance(new_facts) builds the successor snapshot copy-on-write and
+// publishes it with an atomic shared_ptr swap: batches already scoring keep
+// the snapshot they started with, later batches see the new horizon.
+// Counters (requests, batches, batch sizes, queue depth, latency) follow the
+// BufferPool::PoolStats() observability style.
+
+#ifndef LOGCL_SERVE_INFERENCE_ENGINE_H_
+#define LOGCL_SERVE_INFERENCE_ENGINE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+#include "serve/engine_snapshot.h"
+
+namespace logcl {
+
+struct EngineOptions {
+  /// Flush a batch as soon as this many requests are pending.
+  int64_t max_batch_size = 32;
+  /// How long the batcher holds an incomplete batch open for stragglers,
+  /// measured from the oldest pending request's submission. 0 disables
+  /// coalescing (every request is its own batch).
+  int64_t batch_deadline_us = 200;
+};
+
+/// Snapshot of the engine's counters (monotonic since construction).
+struct EngineStats {
+  uint64_t requests = 0;        // queries submitted
+  uint64_t batches = 0;         // decoder passes executed
+  uint64_t advances = 0;        // snapshot swaps
+  uint64_t max_batch = 0;       // largest coalesced batch
+  uint64_t peak_queue_depth = 0;  // most requests pending at once
+  uint64_t total_latency_us = 0;  // submit -> answer, summed
+  uint64_t max_latency_us = 0;
+
+  double MeanBatchSize() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(requests) /
+                              static_cast<double>(batches);
+  }
+  double MeanLatencyUs() const {
+    return requests == 0 ? 0.0
+                         : static_cast<double>(total_latency_us) /
+                               static_cast<double>(requests);
+  }
+
+  /// One-line rendering for logs/benchmarks.
+  std::string ToString() const;
+};
+
+class InferenceEngine {
+ public:
+  /// Builds the initial snapshot of `model` at horizon `time` and starts the
+  /// dispatcher. Forces eval mode on the model so serving is deterministic.
+  /// The model must outlive the engine and must not train while serving.
+  InferenceEngine(LogClModel* model, int64_t time, EngineOptions options = {});
+
+  /// Drains pending requests, then joins the dispatcher.
+  ~InferenceEngine();
+
+  InferenceEngine(const InferenceEngine&) = delete;
+  InferenceEngine& operator=(const InferenceEngine&) = delete;
+
+  /// Blocking: the full logits row over all entities for one query,
+  /// answered by whichever snapshot is current when its batch executes.
+  std::vector<float> Score(const ServeQuery& query);
+
+  /// Blocking: top-k (entity, probability) without a full softmax.
+  std::vector<std::pair<int64_t, float>> TopK(const ServeQuery& query,
+                                              int64_t k);
+
+  /// Folds the completed horizon snapshot into a successor (copy-on-write;
+  /// see EngineSnapshot::Advance) and atomically publishes it. Safe to call
+  /// concurrently with Submit; concurrent Advance calls serialise, each
+  /// building on the previously published snapshot.
+  void Advance(std::vector<Quadruple> new_facts);
+
+  /// The currently published snapshot / its horizon.
+  std::shared_ptr<const EngineSnapshot> snapshot() const;
+  int64_t time() const { return snapshot()->time(); }
+
+  EngineStats Stats() const;
+
+ private:
+  struct RequestResult {
+    std::vector<float> row;                       // k == 0
+    std::vector<std::pair<int64_t, float>> topk;  // k > 0
+  };
+  struct Request {
+    ServeQuery query;
+    int64_t k = 0;  // 0 = full row
+    std::chrono::steady_clock::time_point enqueued;
+    std::promise<RequestResult> promise;
+  };
+
+  std::future<RequestResult> Submit(const ServeQuery& query, int64_t k);
+  void DispatcherLoop();
+  void ProcessBatch(std::vector<Request> batch,
+                    const std::shared_ptr<const EngineSnapshot>& snapshot);
+
+  LogClModel* model_;
+  EngineOptions options_;
+
+  mutable std::mutex mu_;  // guards queue_, snapshot_, stats_, stopping_
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  EngineStats stats_;
+  bool stopping_ = false;
+
+  std::mutex advance_mu_;  // serialises copy-on-write snapshot builds
+  std::thread dispatcher_;
+};
+
+/// Restores a model's parameters from a tensor/serialization.h checkpoint
+/// (shapes must match the model's configuration) — the serving deploy path:
+/// construct the model from config, load the trained weights, wrap in an
+/// InferenceEngine.
+Status LoadModelCheckpoint(Module* model, const std::string& path);
+
+}  // namespace logcl
+
+#endif  // LOGCL_SERVE_INFERENCE_ENGINE_H_

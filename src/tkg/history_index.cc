@@ -1,6 +1,7 @@
 #include "tkg/history_index.h"
 
 #include <algorithm>
+#include <limits>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -17,6 +18,10 @@ uint64_t HistoryIndex::PairKey(int64_t subject, int64_t relation) {
 }
 
 HistoryIndex::HistoryIndex(const TkgDataset& dataset)
+    : HistoryIndex(dataset, std::numeric_limits<int64_t>::max()) {}
+
+HistoryIndex::HistoryIndex(const TkgDataset& dataset,
+                           int64_t max_time_exclusive)
     : num_base_relations_(dataset.num_base_relations()) {
   by_entity_.resize(static_cast<size_t>(dataset.num_entities()));
   auto add = [this](const Quadruple& q) {
@@ -27,6 +32,7 @@ HistoryIndex::HistoryIndex(const TkgDataset& dataset)
   };
   for (Split split : {Split::kTrain, Split::kValid, Split::kTest}) {
     for (const Quadruple& q : dataset.split(split)) {
+      if (q.time >= max_time_exclusive) continue;
       add(q);
       add(InverseOf(q, num_base_relations_));
     }
@@ -37,6 +43,33 @@ HistoryIndex::HistoryIndex(const TkgDataset& dataset)
   }
   for (auto& edges : by_entity_) {
     std::stable_sort(edges.begin(), edges.end(), by_time);
+  }
+}
+
+void HistoryIndex::AddFacts(const std::vector<Quadruple>& facts) {
+  auto by_time = [](const auto& a, const auto& b) { return a.time < b.time; };
+  auto add = [&](const Quadruple& q) {
+    LOGCL_CHECK_GE(q.subject, 0);
+    LOGCL_CHECK_LT(q.subject, static_cast<int64_t>(by_entity_.size()));
+    std::vector<Posting>& postings =
+        by_subject_relation_[PairKey(q.subject, q.relation)];
+    postings.push_back(Posting{q.time, q.object});
+    // Appends at/after the tail keep the list sorted for free; a stable
+    // sort repairs the (rare) out-of-order insertion without reordering
+    // equal-time postings already in place.
+    if (postings.size() > 1 && postings[postings.size() - 2].time > q.time) {
+      std::stable_sort(postings.begin(), postings.end(), by_time);
+    }
+    std::vector<HistoryEdge>& edges =
+        by_entity_[static_cast<size_t>(q.subject)];
+    edges.push_back(HistoryEdge{q.relation, q.object, q.time});
+    if (edges.size() > 1 && edges[edges.size() - 2].time > q.time) {
+      std::stable_sort(edges.begin(), edges.end(), by_time);
+    }
+  };
+  for (const Quadruple& q : facts) {
+    add(q);
+    add(InverseOf(q, num_base_relations_));
   }
 }
 

@@ -35,6 +35,20 @@ class HistoryIndex {
   /// is always observable).
   explicit HistoryIndex(const TkgDataset& dataset);
 
+  /// Indexes only facts with time < `max_time_exclusive`. The serving
+  /// engine's snapshots never observe the horizon, so they drop the future
+  /// up front; "before t" queries with t <= max_time_exclusive answer
+  /// identically to the full index (same postings in the same order).
+  HistoryIndex(const TkgDataset& dataset, int64_t max_time_exclusive);
+
+  /// Extends the index with `facts` plus their inverses — the copy-on-write
+  /// step behind the serving engine's Advance. Appending facts at or beyond
+  /// the current maximum time (the only case Advance produces) yields an
+  /// index identical to rebuilding from the union, including posting order;
+  /// older facts are merged time-sorted but land after same-time postings
+  /// already present.
+  void AddFacts(const std::vector<Quadruple>& facts);
+
   /// Distinct objects o with (s, r, o, t') for some t' < t, in first-seen
   /// order. (The repetition candidate set.)
   std::vector<int64_t> ObjectsBefore(int64_t subject, int64_t relation,
