@@ -11,9 +11,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
+#include "common/observability.h"
 #include "core/trainer.h"
 #include "eval/metrics.h"
 #include "synth/presets.h"
@@ -85,6 +87,54 @@ inline bool EnablePoolStatsDump() {
     });
   }
   return true;
+}
+
+/// One-call observability setup for experiment binaries: arms the
+/// LOGCL_METRICS_DUMP at-exit exporter (common/observability.h) next to the
+/// legacy LOGCL_POOL_STATS dump. Call once near the top of main().
+inline void InitObservability() {
+  EnableMetricsDumpAtExit();
+  EnablePoolStatsDump();
+}
+
+/// RAII bench phase timer: records elapsed microseconds into the registry
+/// histogram `logcl.bench.<name>_us` so every binary reports through one
+/// path (DumpMetrics) instead of hand-rolled clocks. `name` must be a
+/// literal or otherwise outlive the process.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(const std::string& name)
+      : histogram_(Metrics().GetHistogram("logcl.bench." + name + "_us")),
+        start_ns_(MonotonicNowNs()) {}
+  ~PhaseTimer() { Stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  /// Stops early and returns the elapsed seconds (also what the histogram
+  /// records, in microseconds). Idempotent.
+  double Stop() {
+    if (histogram_ == nullptr) return seconds_;
+    uint64_t elapsed_ns = MonotonicNowNs() - start_ns_;
+    histogram_->Record(elapsed_ns / 1000);
+    seconds_ = static_cast<double>(elapsed_ns) * 1e-9;
+    histogram_ = nullptr;
+    return seconds_;
+  }
+
+ private:
+  Histogram* histogram_;
+  uint64_t start_ns_;
+  double seconds_ = 0.0;
+};
+
+/// Prints the merged registry snapshot (text format) under a section title —
+/// the shared reporting path for per-phase timings, pool pressure and
+/// serving latencies.
+inline void PrintMetrics(const std::string& title) {
+  PrintSectionTitle(title);
+  DumpMetrics(std::cout, MetricsFormat::kText);
+  std::cout.flush();
 }
 
 /// Datasets used by two-dataset experiments (the paper sweeps ICEWS14/18).

@@ -39,16 +39,17 @@ class NoisyWrapper : public TkgModel {
     return inner_->ScoreQueries(queries);
   }
 
-  double TrainEpoch(AdamOptimizer* optimizer) override {
-    // Per-timestamp noise: delegate through TrainOnTimestamp.
-    double total = 0.0;
-    int64_t steps = 0;
+  EpochStats TrainEpoch(AdamOptimizer* optimizer) override {
+    // Per-timestamp noise: delegate through TrainOnTimestamp (the wrapper
+    // only observes the scalar loss, so the breakdown fields stay zero).
+    EpochStats epoch;
     for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
       if (t == 0) continue;
-      total += TrainOnTimestamp(t, optimizer);
-      ++steps;
+      epoch.loss += TrainOnTimestamp(t, optimizer);
+      ++epoch.steps;
     }
-    return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+    epoch.FinalizeMeans();
+    return epoch;
   }
 
   double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override {

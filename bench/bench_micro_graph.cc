@@ -35,6 +35,11 @@ void BM_LayerForward(benchmark::State& state) {
   SnapshotGraph g = RandomGraph(256, 2048, 16, &rng);
   Tensor nodes = Tensor::RandomNormal(Shape{256, 32}, 1.0f, &rng);
   Tensor rels = Tensor::RandomNormal(Shape{16, 32}, 1.0f, &rng);
+  // Warm the graph's lazily built aggregation layout (CSR) and any per-layer
+  // one-off setup outside the timed loop; cold structure cost is measured
+  // separately by BM_SnapshotStructureEpoch.
+  g.DstCsr();
+  layer->Forward(g, nodes, rels, /*training=*/false, nullptr);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         layer->Forward(g, nodes, rels, /*training=*/false, nullptr));
@@ -109,6 +114,10 @@ void BM_LocalEncode(benchmark::State& state) {
   Tensor h0 = Tensor::XavierUniform(Shape{dataset->num_entities(), 32}, &rng);
   Tensor r0 = Tensor::XavierUniform(
       Shape{dataset->num_relations_with_inverse(), 32}, &rng);
+  // Warm-up pass: the first encode over a window populates the dataset's
+  // snapshot-graph/CSR caches, which would otherwise be billed to the first
+  // timed iteration only (cold cost is BM_SnapshotStructureEpoch's job).
+  encoder.Encode(*dataset, 50, h0, r0, /*training=*/false, nullptr);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         encoder.Encode(*dataset, 50, h0, r0, /*training=*/false, nullptr));
@@ -143,6 +152,7 @@ void BM_GlobalEncode(benchmark::State& state) {
       dataset->WithInverses(dataset->FactsAt(60));
   SnapshotGraph graph = encoder.BuildQuerySubgraph(*history, queries,
                                                    dataset->num_entities());
+  graph.DstCsr();  // structure built once, outside the timed loop
   Tensor h0 = Tensor::XavierUniform(Shape{dataset->num_entities(), 32}, &rng);
   Tensor r0 = Tensor::XavierUniform(
       Shape{dataset->num_relations_with_inverse(), 32}, &rng);

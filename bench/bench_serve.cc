@@ -3,6 +3,11 @@
 // ICEWS14-like preset. Reports QPS, p50/p99 latency and the realised batch
 // size for a sweep of max_batch_size, plus the engine's own counters.
 //
+// Latency is reported twice on purpose: from the clients' own clocks and
+// from the registry histogram `logcl.serve.request_us` the engine feeds
+// (common/observability.h) — the two must reconcile within the histogram's
+// 12.5% bucket resolution.
+//
 // The engine wins twice: the snapshot freezes the query-independent local
 // evolution (recomputed per call by ScoreQueries), and coalesced batches
 // amortise the query-subgraph encode + ConvTransE decode across clients.
@@ -33,6 +38,20 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+// Per-sweep view of a cumulative registry histogram: bucket-wise difference
+// against the snapshot taken before the sweep (max is not diffable; the
+// current max is an upper bound).
+HistogramSnapshot SinceBaseline(const HistogramSnapshot& now,
+                                const HistogramSnapshot& before) {
+  HistogramSnapshot out = now;
+  out.count -= before.count;
+  out.sum -= before.sum;
+  for (size_t i = 0; i < before.buckets.size() && i < out.buckets.size(); ++i) {
+    out.buckets[i] -= before.buckets[i];
+  }
+  return out;
+}
+
 void Run() {
   TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
   LogClConfig config;
@@ -56,29 +75,36 @@ void Run() {
                            std::to_string(total) + " queries)");
 
   // --- Baseline: one offline ScoreQueries call per query, sequential. ---
-  Clock::time_point start = Clock::now();
-  for (const ServeQuery& q : queries) {
-    std::vector<Quadruple> single = {{q.subject, q.relation, 0, horizon}};
-    volatile float sink = model.ScoreQueries(single)[0][0];
-    (void)sink;
+  double baseline_seconds;
+  {
+    bench::PhaseTimer timer("serve_baseline");
+    for (const ServeQuery& q : queries) {
+      std::vector<Quadruple> single = {{q.subject, q.relation, 0, horizon}};
+      volatile float sink = model.ScoreQueries(single)[0][0];
+      (void)sink;
+    }
+    baseline_seconds = timer.Stop();
   }
-  double baseline_seconds = SecondsSince(start);
   double baseline_qps = static_cast<double>(total) / baseline_seconds;
   std::printf("sequential ScoreQueries baseline: %8.1f QPS (%.3f s)\n\n",
               baseline_qps, baseline_seconds);
 
   // --- Engine sweep: concurrent clients, varying max_batch_size. ---
-  std::printf("%-12s %10s %10s %10s %10s %10s\n", "max_batch", "QPS",
-              "speedup", "p50 us", "p99 us", "mean_b");
-  std::printf("%s\n", std::string(66, '-').c_str());
+  std::printf("%-12s %10s %10s %10s %10s %10s %10s %10s\n", "max_batch",
+              "QPS", "speedup", "p50 us", "p99 us", "reg_p50", "reg_p99",
+              "mean_b");
+  std::printf("%s\n", std::string(88, '-').c_str());
   constexpr int kClients = 32;  // enough concurrency to fill every batch size
   for (int64_t max_batch : {int64_t{1}, int64_t{8}, int64_t{32}}) {
     EngineOptions options;
     options.max_batch_size = max_batch;
     options.batch_deadline_us = 200;
+    HistogramSnapshot before =
+        Metrics().Snapshot().HistogramValue("logcl.serve.request_us");
     InferenceEngine engine(&model, horizon, options);
     std::vector<std::vector<double>> latencies(kClients);
-    start = Clock::now();
+    bench::PhaseTimer timer("serve_sweep");
+    Clock::time_point start = Clock::now();
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
       clients.emplace_back([&, c] {
@@ -91,31 +117,41 @@ void Run() {
     }
     for (std::thread& t : clients) t.join();
     double seconds = SecondsSince(start);
+    timer.Stop();
     std::vector<double> all;
     for (const auto& per_client : latencies) {
       all.insert(all.end(), per_client.begin(), per_client.end());
     }
     double qps = static_cast<double>(total) / seconds;
-    EngineStats stats = engine.Stats();
-    std::printf("%-12lld %10.1f %9.1fx %10.0f %10.0f %10.2f\n",
+    EngineStats stats = engine.Snapshot();
+    HistogramSnapshot served = SinceBaseline(
+        Metrics().Snapshot().HistogramValue("logcl.serve.request_us"), before);
+    std::printf("%-12lld %10.1f %9.1fx %10.0f %10.0f %10.0f %10.0f %10.2f\n",
                 static_cast<long long>(max_batch), qps, qps / baseline_qps,
                 Percentile(all, 0.50), Percentile(all, 0.99),
+                served.Percentile(0.50), served.Percentile(0.99),
                 stats.MeanBatchSize());
     std::fflush(stdout);
     if (max_batch == 32) {
       std::printf("\nengine counters: %s\n", stats.ToString().c_str());
     }
   }
+  if (ObservabilityEnabled()) {
+    bench::PrintMetrics("Registry metrics (logcl.serve.* / logcl.bench.*)");
+  }
   std::printf(
       "\nExpected shape: QPS grows with max_batch; the batched engine beats\n"
       "the sequential baseline well beyond 5x once batches amortise the\n"
-      "per-pass evolution and subgraph work.\n");
+      "per-pass evolution and subgraph work. reg_p50/p99 come from the\n"
+      "logcl.serve.request_us histogram and must track the client-side\n"
+      "columns within bucket resolution.\n");
 }
 
 }  // namespace
 }  // namespace logcl
 
 int main() {
+  logcl::bench::InitObservability();
   logcl::Run();
   return 0;
 }

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "baselines/model_zoo.h"
+#include "common/observability.h"
 #include "core/trainer.h"
 #include "synth/presets.h"
 #include "tensor/serialization.h"
@@ -44,6 +45,7 @@ void Usage() {
 
 int main(int argc, char** argv) {
   using namespace logcl;  // NOLINT: tool brevity
+  EnableMetricsDumpAtExit();  // honour LOGCL_METRICS_DUMP[_FILE]
 
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {

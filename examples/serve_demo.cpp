@@ -87,6 +87,6 @@ int main() {
     std::printf("   (actual: e%lld)\n", static_cast<long long>(fact.object));
   }
 
-  std::printf("engine counters: %s\n", engine.Stats().ToString().c_str());
+  std::printf("engine counters: %s\n", engine.Snapshot().ToString().c_str());
   return 0;
 }

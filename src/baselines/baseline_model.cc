@@ -1,6 +1,7 @@
 #include "baselines/baseline_model.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 
 namespace logcl {
 
@@ -32,29 +33,55 @@ std::vector<std::vector<float>> EmbeddingModel::ScoreQueries(
 }
 
 double EmbeddingModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
-  std::vector<Quadruple> facts = dataset().FactsAt(t);
-  if (facts.empty()) return 0.0;
-  std::vector<Quadruple> batch = dataset().WithInverses(facts);
-  optimizer->ZeroGrad();
-  Tensor scores = ScoreBatch(batch, /*training=*/true);
-  Tensor loss = ops::CrossEntropyWithLogits(scores, Targets(batch));
-  Tensor aux = AuxiliaryLoss(batch);
-  if (aux.defined()) loss = ops::Add(loss, aux);
-  double value = loss.at(0);
-  Backward(loss);
-  optimizer->ClipGradNorm(grad_clip_norm_);
-  optimizer->Step();
-  return value;
+  return TrainStep(t, optimizer).loss;
 }
 
-double EmbeddingModel::TrainEpoch(AdamOptimizer* optimizer) {
-  double total = 0.0;
-  int64_t steps = 0;
-  for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
-    total += TrainOnTimestamp(t, optimizer);
-    ++steps;
+EpochStats EmbeddingModel::TrainStep(int64_t t, AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_step");
+  EpochStats step;
+  step.steps = 1;
+  std::vector<Quadruple> facts = dataset().FactsAt(t);
+  if (facts.empty()) return step;
+  uint64_t step_start = MonotonicNowNs();
+  std::vector<Quadruple> batch = dataset().WithInverses(facts);
+  optimizer->ZeroGrad();
+  uint64_t forward_start = MonotonicNowNs();
+  Tensor scores = ScoreBatch(batch, /*training=*/true);
+  Tensor loss = ops::CrossEntropyWithLogits(scores, Targets(batch));
+  step.loss_task = loss.at(0);
+  Tensor aux = AuxiliaryLoss(batch);
+  if (aux.defined()) {
+    step.loss_aux = aux.at(0);
+    loss = ops::Add(loss, aux);
   }
-  return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+  step.loss = loss.at(0);
+  step.seconds_forward =
+      static_cast<double>(MonotonicNowNs() - forward_start) * 1e-9;
+  uint64_t backward_start = MonotonicNowNs();
+  Backward(loss);
+  step.seconds_backward =
+      static_cast<double>(MonotonicNowNs() - backward_start) * 1e-9;
+  uint64_t optimizer_start = MonotonicNowNs();
+  step.grad_norm = optimizer->ClipGradNorm(grad_clip_norm_);
+  optimizer->Step();
+  step.seconds_optimizer =
+      static_cast<double>(MonotonicNowNs() - optimizer_start) * 1e-9;
+  step.seconds_total =
+      static_cast<double>(MonotonicNowNs() - step_start) * 1e-9;
+  return step;
+}
+
+EpochStats EmbeddingModel::TrainEpoch(AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_epoch");
+  uint64_t epoch_start = MonotonicNowNs();
+  EpochStats epoch;
+  for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
+    epoch.AccumulateStep(TrainStep(t, optimizer));
+  }
+  epoch.FinalizeMeans();
+  epoch.seconds_total =
+      static_cast<double>(MonotonicNowNs() - epoch_start) * 1e-9;
+  return epoch;
 }
 
 Tensor EmbeddingModel::SubjectEmbeddings(

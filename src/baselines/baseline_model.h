@@ -32,7 +32,7 @@ class EmbeddingModel : public TkgModel {
   std::vector<std::vector<float>> ScoreQueries(
       const std::vector<Quadruple>& queries) override;
 
-  double TrainEpoch(AdamOptimizer* optimizer) override;
+  EpochStats TrainEpoch(AdamOptimizer* optimizer) override;
 
   double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
 
@@ -59,6 +59,12 @@ class EmbeddingModel : public TkgModel {
   Tensor entity_embeddings_;    // [E, d]
   Tensor relation_embeddings_;  // [2R, d]
   float grad_clip_norm_ = 1.0f;
+
+ private:
+  /// One optimizer step on timestamp `t` with component losses, grad norm
+  /// and timings (steps = 1 even when the timestamp is empty, matching the
+  /// historical epoch-mean denominator).
+  EpochStats TrainStep(int64_t t, AdamOptimizer* optimizer);
 };
 
 /// Ranking-equivalent negative squared L2 distance from each decoded query

@@ -1,6 +1,7 @@
 #include "baselines/recurrent_base.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "tensor/ops.h"
 
 namespace logcl {
@@ -61,32 +62,54 @@ std::vector<std::vector<float>> RecurrentModel::ScoreQueries(
 }
 
 double RecurrentModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+  return TrainStep(t, optimizer).loss;
+}
+
+EpochStats RecurrentModel::TrainStep(int64_t t, AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_step");
+  EpochStats step;
+  step.steps = 1;
   std::vector<Quadruple> facts = dataset().FactsAt(t);
-  if (facts.empty()) return 0.0;
+  if (facts.empty()) return step;
+  uint64_t step_start = MonotonicNowNs();
   std::vector<Quadruple> batch = dataset().WithInverses(facts);
   std::vector<int64_t> targets;
   targets.reserve(batch.size());
   for (const Quadruple& q : batch) targets.push_back(q.object);
   optimizer->ZeroGrad();
+  uint64_t forward_start = MonotonicNowNs();
   Tensor loss =
       ops::CrossEntropyWithLogits(ScoreBatch(batch, /*training=*/true),
                                   targets);
-  double value = loss.at(0);
+  step.loss = step.loss_task = loss.at(0);
+  step.seconds_forward =
+      static_cast<double>(MonotonicNowNs() - forward_start) * 1e-9;
+  uint64_t backward_start = MonotonicNowNs();
   Backward(loss);
-  optimizer->ClipGradNorm(grad_clip_norm_);
+  step.seconds_backward =
+      static_cast<double>(MonotonicNowNs() - backward_start) * 1e-9;
+  uint64_t optimizer_start = MonotonicNowNs();
+  step.grad_norm = optimizer->ClipGradNorm(grad_clip_norm_);
   optimizer->Step();
-  return value;
+  step.seconds_optimizer =
+      static_cast<double>(MonotonicNowNs() - optimizer_start) * 1e-9;
+  step.seconds_total =
+      static_cast<double>(MonotonicNowNs() - step_start) * 1e-9;
+  return step;
 }
 
-double RecurrentModel::TrainEpoch(AdamOptimizer* optimizer) {
-  double total = 0.0;
-  int64_t steps = 0;
+EpochStats RecurrentModel::TrainEpoch(AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_epoch");
+  uint64_t epoch_start = MonotonicNowNs();
+  EpochStats epoch;
   for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
     if (t == 0) continue;  // no history yet
-    total += TrainOnTimestamp(t, optimizer);
-    ++steps;
+    epoch.AccumulateStep(TrainStep(t, optimizer));
   }
-  return steps > 0 ? total / static_cast<double>(steps) : 0.0;
+  epoch.FinalizeMeans();
+  epoch.seconds_total =
+      static_cast<double>(MonotonicNowNs() - epoch_start) * 1e-9;
+  return epoch;
 }
 
 }  // namespace logcl

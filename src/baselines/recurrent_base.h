@@ -20,7 +20,7 @@ class RecurrentModel : public TkgModel {
   std::vector<std::vector<float>> ScoreQueries(
       const std::vector<Quadruple>& queries) override;
 
-  double TrainEpoch(AdamOptimizer* optimizer) override;
+  EpochStats TrainEpoch(AdamOptimizer* optimizer) override;
 
   double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
 
@@ -45,6 +45,11 @@ class RecurrentModel : public TkgModel {
   LocalEncoder local_encoder_;
   ConvTransE decoder_;
   float grad_clip_norm_ = 1.0f;
+
+ private:
+  /// One optimizer step on timestamp `t` with component losses, grad norm
+  /// and timings (steps = 1 even when the timestamp is empty).
+  EpochStats TrainStep(int64_t t, AdamOptimizer* optimizer);
 };
 
 }  // namespace logcl

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/logging.h"
+#include "common/observability.h"
 
 namespace logcl {
 namespace {
@@ -151,6 +152,16 @@ class ThreadPool {
   std::shared_ptr<Job> current_job_;
 };
 
+// Registry counters for dispatched parallel work (regions that actually hit
+// the pool; inline/nested fast paths are not counted — they are the cases
+// the runtime avoided dispatching).
+void NoteParallelRegion(int64_t num_chunks) {
+  static Counter* regions = Metrics().GetCounter("logcl.parallel.regions");
+  static Counter* chunks = Metrics().GetCounter("logcl.parallel.chunks");
+  regions->Increment();
+  chunks->Add(static_cast<uint64_t>(num_chunks));
+}
+
 }  // namespace
 
 int GetNumThreads() { return ThreadPool::Instance().num_threads(); }
@@ -166,6 +177,7 @@ void RunChunks(int64_t num_chunks,
     for (int64_t c = 0; c < num_chunks; ++c) chunk_fn(c);
     return;
   }
+  NoteParallelRegion(num_chunks);
   ThreadPool::Instance().Run(num_chunks, chunk_fn);
 }
 

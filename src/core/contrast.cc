@@ -1,6 +1,7 @@
 #include "core/contrast.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "tensor/ops.h"
 
 namespace logcl {
@@ -65,38 +66,47 @@ Tensor ContrastModule::Project(const Tensor& features) const {
   return projection_.Forward(features, /*normalize=*/true);
 }
 
-Tensor ContrastModule::Loss(const Tensor& local_projected,
-                            const Tensor& global_projected,
-                            const std::vector<int64_t>& labels) const {
+ContrastTerms ContrastModule::LossTerms(
+    const Tensor& local_projected, const Tensor& global_projected,
+    const std::vector<int64_t>& labels) const {
+  LOGCL_TRACE_SCOPE("contrast_loss");
+  ContrastTerms terms;
   Tensor total = Tensor::Scalar(0.0f);
   int active = 0;
   if (options_.use_lg) {
-    total = ops::Add(total, SupervisedInfoNce(local_projected, global_projected,
-                                              labels, options_.tau,
-                                              /*exclude_self=*/false));
+    terms.lg = SupervisedInfoNce(local_projected, global_projected, labels,
+                                 options_.tau, /*exclude_self=*/false);
+    total = ops::Add(total, terms.lg);
     ++active;
   }
   if (options_.use_gl) {
-    total = ops::Add(total, SupervisedInfoNce(global_projected, local_projected,
-                                              labels, options_.tau,
-                                              /*exclude_self=*/false));
+    terms.gl = SupervisedInfoNce(global_projected, local_projected, labels,
+                                 options_.tau, /*exclude_self=*/false);
+    total = ops::Add(total, terms.gl);
     ++active;
   }
   if (options_.use_ll) {
-    total = ops::Add(total, SupervisedInfoNce(local_projected, local_projected,
-                                              labels, options_.tau,
-                                              /*exclude_self=*/true));
+    terms.ll = SupervisedInfoNce(local_projected, local_projected, labels,
+                                 options_.tau, /*exclude_self=*/true);
+    total = ops::Add(total, terms.ll);
     ++active;
   }
   if (options_.use_gg) {
-    total = ops::Add(total, SupervisedInfoNce(global_projected,
-                                              global_projected, labels,
-                                              options_.tau,
-                                              /*exclude_self=*/true));
+    terms.gg = SupervisedInfoNce(global_projected, global_projected, labels,
+                                 options_.tau, /*exclude_self=*/true);
+    total = ops::Add(total, terms.gg);
     ++active;
   }
-  if (active == 0) return Tensor::Scalar(0.0f);
-  return ops::Scale(total, 1.0f / static_cast<float>(active));
+  terms.total = active == 0
+                    ? Tensor::Scalar(0.0f)
+                    : ops::Scale(total, 1.0f / static_cast<float>(active));
+  return terms;
+}
+
+Tensor ContrastModule::Loss(const Tensor& local_projected,
+                            const Tensor& global_projected,
+                            const std::vector<int64_t>& labels) const {
+  return LossTerms(local_projected, global_projected, labels).total;
 }
 
 }  // namespace logcl

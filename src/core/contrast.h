@@ -40,6 +40,18 @@ Tensor SupervisedInfoNce(const Tensor& anchors, const Tensor& contrasts,
                          const std::vector<int64_t>& labels, float tau,
                          bool exclude_self);
 
+/// The combined contrastive loss plus its four raw components. `total` is
+/// the graph node to backpropagate (mean of the active terms); the per-term
+/// tensors are defined only for active terms and exist for reporting
+/// (EpochStats) — they share subgraphs with `total`.
+struct ContrastTerms {
+  Tensor total;  // L_cl
+  Tensor lg;     // L_lg (Eq.17)
+  Tensor gl;     // L_gl
+  Tensor ll;     // L_ll
+  Tensor gg;     // L_gg
+};
+
 class ContrastModule : public Module {
  public:
   /// `feature_dim` is the size of the raw query feature [h || r] (2d);
@@ -50,8 +62,14 @@ class ContrastModule : public Module {
   /// Projects raw features (Eq.15-16). Rows are unit-normalised.
   Tensor Project(const Tensor& features) const;
 
-  /// Combined loss L_cl = mean of the active terms over projected views.
-  /// `labels` are the queries' ground-truth object ids.
+  /// Combined loss L_cl = mean of the active terms over projected views,
+  /// with the raw per-term values alongside. `labels` are the queries'
+  /// ground-truth object ids.
+  ContrastTerms LossTerms(const Tensor& local_projected,
+                          const Tensor& global_projected,
+                          const std::vector<int64_t>& labels) const;
+
+  /// Just the combined loss (LossTerms().total).
   Tensor Loss(const Tensor& local_projected, const Tensor& global_projected,
               const std::vector<int64_t>& labels) const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "tensor/ops.h"
 
 namespace logcl {
@@ -39,6 +40,7 @@ constexpr uint64_t kPackMask = (uint64_t{1} << 40) - 1;
 SnapshotGraph GlobalEncoder::BuildQuerySubgraph(
     const HistoryIndex& history, const std::vector<Quadruple>& queries,
     int64_t num_entities) const {
+  LOGCL_TRACE_SCOPE("global_subgraph_build");
   LOGCL_CHECK(!queries.empty());
   SnapshotGraph graph;
   graph.num_nodes = num_entities;
@@ -134,6 +136,7 @@ Tensor GlobalEncoder::Encode(const SnapshotGraph& graph,
                              const Tensor& base_entities,
                              const Tensor& base_relations, bool training,
                              Rng* rng) const {
+  LOGCL_TRACE_SCOPE("global_encoder");
   return aggregator_.Forward(graph, base_entities, base_relations, training,
                              rng);
 }
@@ -142,6 +145,7 @@ Tensor GlobalEncoder::QueryRepresentations(
     const Tensor& encoded, const Tensor& base_entities,
     const std::vector<Quadruple>& queries, const HistoryIndex& history,
     bool use_attention) const {
+  LOGCL_TRACE_SCOPE("global_attention");
   LOGCL_CHECK(!queries.empty());
   int64_t batch = static_cast<int64_t>(queries.size());
   std::vector<int64_t> subjects;

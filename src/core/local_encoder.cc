@@ -1,6 +1,7 @@
 #include "core/local_encoder.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "graph/snapshot_graph.h"
 #include "tensor/ops.h"
 
@@ -55,6 +56,7 @@ LocalEncoderOutput LocalEncoder::EncodeSequence(
     const std::vector<int64_t>& times, int64_t t,
     const Tensor& base_entities, const Tensor& base_relations, bool training,
     Rng* rng) const {
+  LOGCL_TRACE_SCOPE("local_encoder");
   LOGCL_CHECK_EQ(graphs.size(), times.size());
   LocalEncoderOutput out;
   Tensor entities = base_entities;

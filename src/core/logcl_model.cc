@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "eval/ranking.h"
 #include "tensor/ops.h"
 
@@ -148,6 +149,7 @@ LogClModel::BatchOutput LogClModel::ForwardPhase(
   BatchOutput out;
   out.scores = parts.scores;
   out.loss = ops::CrossEntropyWithLogits(out.scores, targets);
+  if (training) out.task = out.loss.at(0);
 
   // --- Local-global query contrast (Eq.15-17, Eq.21). ---
   if (training && config_.use_contrast && config_.use_local &&
@@ -162,7 +164,13 @@ LogClModel::BatchOutput LogClModel::ForwardPhase(
          ops::IndexSelectRows(base_relations_, relation_ids)});
     Tensor z_local = contrast_.Project(local_features);
     Tensor z_global = contrast_.Project(global_features);
-    out.loss = ops::Add(out.loss, contrast_.Loss(z_local, z_global, targets));
+    ContrastTerms terms = contrast_.LossTerms(z_local, z_global, targets);
+    out.loss = ops::Add(out.loss, terms.total);
+    out.contrast = terms.total.at(0);
+    if (terms.lg.defined()) out.lg = terms.lg.at(0);
+    if (terms.gl.defined()) out.gl = terms.gl.at(0);
+    if (terms.ll.defined()) out.ll = terms.ll.at(0);
+    if (terms.gg.defined()) out.gg = terms.gg.at(0);
   }
   return out;
 }
@@ -227,20 +235,31 @@ std::vector<std::vector<float>> LogClModel::ScoreQueries(
   return scores;
 }
 
-double LogClModel::TrainEpoch(AdamOptimizer* optimizer) {
-  double total_loss = 0.0;
-  int64_t steps = 0;
+EpochStats LogClModel::TrainEpoch(AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_epoch");
+  uint64_t epoch_start = MonotonicNowNs();
+  EpochStats epoch;
   for (int64_t t : dataset().SplitTimestamps(Split::kTrain)) {
     if (t == 0) continue;  // no history yet
-    total_loss += TrainOnTimestamp(t, optimizer);
-    ++steps;
+    epoch.AccumulateStep(TrainStep(t, optimizer));
   }
-  return steps > 0 ? total_loss / static_cast<double>(steps) : 0.0;
+  epoch.FinalizeMeans();
+  epoch.seconds_total =
+      static_cast<double>(MonotonicNowNs() - epoch_start) * 1e-9;
+  return epoch;
 }
 
 double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+  return TrainStep(t, optimizer).loss;
+}
+
+EpochStats LogClModel::TrainStep(int64_t t, AdamOptimizer* optimizer) {
+  LOGCL_TRACE_SCOPE("train_step");
+  EpochStats step;
+  step.steps = 1;  // every visited timestamp counts toward the epoch mean
   const std::vector<Quadruple>& facts = dataset().FactsAt(t);
-  if (facts.empty()) return 0.0;
+  if (facts.empty()) return step;
+  uint64_t step_start = MonotonicNowNs();
   optimizer->ZeroGrad();
 
   // Two-phase propagation (Section III.F): the original query set and the
@@ -251,17 +270,31 @@ double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
   Tensor h0 = BaseEntities(/*training=*/true);
   LocalEncoderOutput local;
   if (config_.use_local) {
+    LOGCL_TRACE_SCOPE("local_evolution");
+    uint64_t local_start = MonotonicNowNs();
     local = local_encoder_.Encode(dataset(), t, h0, base_relations_,
                                   /*training=*/true, &rng_);
+    step.seconds_local =
+        static_cast<double>(MonotonicNowNs() - local_start) * 1e-9;
   }
   Tensor loss;
   int phases = 0;
+  double task = 0.0, contrast = 0.0, lg = 0.0, gl = 0.0, ll = 0.0, gg = 0.0;
+  uint64_t forward_start = MonotonicNowNs();
   if (config_.propagation != QueryDirection::kInverseOnly) {
+    LOGCL_TRACE_SCOPE("forward_phase");
     BatchOutput out = ForwardPhase(facts, h0, local, /*training=*/true);
     loss = out.loss;
+    task += out.task;
+    contrast += out.contrast;
+    lg += out.lg;
+    gl += out.gl;
+    ll += out.ll;
+    gg += out.gg;
     ++phases;
   }
   if (config_.propagation != QueryDirection::kForwardOnly) {
+    LOGCL_TRACE_SCOPE("forward_phase");
     std::vector<Quadruple> inverse;
     inverse.reserve(facts.size());
     for (const Quadruple& q : facts) {
@@ -269,14 +302,43 @@ double LogClModel::TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
     }
     BatchOutput out = ForwardPhase(inverse, h0, local, /*training=*/true);
     loss = loss.defined() ? ops::Add(loss, out.loss) : out.loss;
+    task += out.task;
+    contrast += out.contrast;
+    lg += out.lg;
+    gl += out.gl;
+    ll += out.ll;
+    gg += out.gg;
     ++phases;
   }
-  if (phases == 0) return 0.0;
-  double value = loss.at(0) / phases;
-  Backward(loss);
-  optimizer->ClipGradNorm(config_.grad_clip_norm);
-  optimizer->Step();
-  return value;
+  if (phases == 0) return step;
+  step.seconds_forward =
+      static_cast<double>(MonotonicNowNs() - forward_start) * 1e-9;
+  double inv_phases = 1.0 / static_cast<double>(phases);
+  step.loss = loss.at(0) * inv_phases;
+  step.loss_task = task * inv_phases;
+  step.loss_contrast = contrast * inv_phases;
+  step.loss_lg = lg * inv_phases;
+  step.loss_gl = gl * inv_phases;
+  step.loss_ll = ll * inv_phases;
+  step.loss_gg = gg * inv_phases;
+  {
+    LOGCL_TRACE_SCOPE("backward");
+    uint64_t backward_start = MonotonicNowNs();
+    Backward(loss);
+    step.seconds_backward =
+        static_cast<double>(MonotonicNowNs() - backward_start) * 1e-9;
+  }
+  {
+    LOGCL_TRACE_SCOPE("optimizer");
+    uint64_t optimizer_start = MonotonicNowNs();
+    step.grad_norm = optimizer->ClipGradNorm(config_.grad_clip_norm);
+    optimizer->Step();
+    step.seconds_optimizer =
+        static_cast<double>(MonotonicNowNs() - optimizer_start) * 1e-9;
+  }
+  step.seconds_total =
+      static_cast<double>(MonotonicNowNs() - step_start) * 1e-9;
+  return step;
 }
 
 std::vector<std::pair<int64_t, float>> LogClModel::PredictTopK(

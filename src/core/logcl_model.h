@@ -69,7 +69,7 @@ class LogClModel : public TkgModel {
   std::vector<std::vector<float>> ScoreQueries(
       const std::vector<Quadruple>& queries) override;
 
-  double TrainEpoch(AdamOptimizer* optimizer) override;
+  EpochStats TrainEpoch(AdamOptimizer* optimizer) override;
 
   double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) override;
 
@@ -125,6 +125,11 @@ class LogClModel : public TkgModel {
   struct BatchOutput {
     Tensor scores;  // [B, E] logits
     Tensor loss;    // scalar: L_tkg + L_cl
+    // Component values of `loss` for EpochStats (read off the graph nodes;
+    // filled only by training forwards).
+    double task = 0.0;      // L_tkg (Eq.20)
+    double contrast = 0.0;  // combined L_cl
+    double lg = 0.0, gl = 0.0, ll = 0.0, gg = 0.0;  // raw Eq.17 terms
   };
 
   /// Everything ScorePhase produces: the logits plus the intermediate query
@@ -159,6 +164,12 @@ class LogClModel : public TkgModel {
   /// phase); used by scoring.
   BatchOutput ForwardBatch(const std::vector<Quadruple>& queries,
                            bool training);
+
+  /// One optimizer step on the facts of timestamp `t`, with per-component
+  /// losses, grad-norm and phase timings. `steps` is 1 even when the
+  /// timestamp is empty (TrainEpoch's historical mean denominator counts
+  /// every visited timestamp).
+  EpochStats TrainStep(int64_t t, AdamOptimizer* optimizer);
 
   /// Base entity matrix, noise-injected when configured (skipped for
   /// non-training forwards in eval mode).

@@ -1,9 +1,56 @@
 #include "core/tkg_model.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
+#include "common/stringpiece.h"
 #include "eval/ranking.h"
 
 namespace logcl {
+
+void EpochStats::AccumulateStep(const EpochStats& step) {
+  steps += step.steps;
+  loss += step.loss;
+  loss_task += step.loss_task;
+  loss_contrast += step.loss_contrast;
+  loss_aux += step.loss_aux;
+  loss_lg += step.loss_lg;
+  loss_gl += step.loss_gl;
+  loss_ll += step.loss_ll;
+  loss_gg += step.loss_gg;
+  grad_norm += step.grad_norm;
+  seconds_total += step.seconds_total;
+  seconds_local += step.seconds_local;
+  seconds_forward += step.seconds_forward;
+  seconds_backward += step.seconds_backward;
+  seconds_optimizer += step.seconds_optimizer;
+}
+
+void EpochStats::FinalizeMeans() {
+  if (steps == 0) return;
+  double inv = 1.0 / static_cast<double>(steps);
+  loss *= inv;
+  loss_task *= inv;
+  loss_contrast *= inv;
+  loss_aux *= inv;
+  loss_lg *= inv;
+  loss_gl *= inv;
+  loss_ll *= inv;
+  loss_gg *= inv;
+  grad_norm *= inv;
+}
+
+std::string EpochStats::ToString() const {
+  std::string out = StrFormat(
+      "loss=%.4f (task=%.4f contrast=%.4f", loss, loss_task, loss_contrast);
+  if (loss_aux != 0.0) out += StrFormat(" aux=%.4f", loss_aux);
+  out += StrFormat(") |g|=%.3f %.2fs", grad_norm, seconds_total);
+  if (seconds_local > 0.0 || seconds_backward > 0.0) {
+    out += StrFormat(" [local=%.2fs fwd=%.2fs bwd=%.2fs opt=%.2fs]",
+                     seconds_local, seconds_forward, seconds_backward,
+                     seconds_optimizer);
+  }
+  return out;
+}
 
 TkgModel::TkgModel(const TkgDataset* dataset) : dataset_(dataset) {
   LOGCL_CHECK(dataset != nullptr);
@@ -11,6 +58,7 @@ TkgModel::TkgModel(const TkgDataset* dataset) : dataset_(dataset) {
 
 EvalResult TkgModel::Evaluate(Split split, const TimeAwareFilter* filter,
                               QueryDirection direction) {
+  LOGCL_TRACE_SCOPE("evaluate");
   MetricsAccumulator metrics;
   for (int64_t t : dataset_->SplitTimestamps(split)) {
     std::vector<Quadruple> facts = dataset_->SplitFactsAt(split, t);
@@ -52,10 +100,10 @@ void FitModel(TkgModel* model, int64_t epochs, float learning_rate,
   options.learning_rate = learning_rate;
   AdamOptimizer optimizer(model->Parameters(), options);
   for (int64_t epoch = 0; epoch < epochs; ++epoch) {
-    double loss = model->TrainEpoch(&optimizer);
+    EpochStats stats = model->TrainEpoch(&optimizer);
     if (verbose) {
       LOGCL_LOG(Info) << model->name() << " epoch " << epoch + 1 << "/"
-                      << epochs << " loss=" << loss;
+                      << epochs << " " << stats.ToString();
     }
   }
 }

@@ -17,6 +17,45 @@
 
 namespace logcl {
 
+/// Structured result of one training epoch (or one accumulated step).
+/// `loss` is the scalar the old `double TrainEpoch` returned; the remaining
+/// fields break it down by component and phase. Models fill what applies to
+/// them (baselines leave the contrast terms zero); for every model
+/// loss ≈ loss_task + loss_contrast + loss_aux within fp tolerance.
+struct EpochStats {
+  int64_t steps = 0;  // optimizer steps taken (timestamps visited)
+
+  // Mean per-step loss components.
+  double loss = 0.0;           // total objective (the old scalar)
+  double loss_task = 0.0;      // cross-entropy L_tkg (Eq.20)
+  double loss_contrast = 0.0;  // combined L_cl (Eq.17/21), mean of active
+  double loss_aux = 0.0;       // model-specific extras (e.g. CENET term)
+  // Raw (undivided) contrast terms of Eq.17: L_lg, L_gl, L_ll, L_gg.
+  // loss_contrast is their mean over the *active* terms.
+  double loss_lg = 0.0;
+  double loss_gl = 0.0;
+  double loss_ll = 0.0;
+  double loss_gg = 0.0;
+
+  /// Mean pre-clip global gradient norm (AdamOptimizer::ClipGradNorm).
+  double grad_norm = 0.0;
+
+  // Wall-time totals for the epoch, by phase. seconds_total covers the whole
+  // epoch; the phase entries only the instrumented spans inside it.
+  double seconds_total = 0.0;
+  double seconds_local = 0.0;      // local evolution (Eq.2-11)
+  double seconds_forward = 0.0;    // scoring + loss forward phases
+  double seconds_backward = 0.0;   // autograd tape walk
+  double seconds_optimizer = 0.0;  // clip + Adam step
+
+  /// Adds one step's stats (losses accumulate as sums until FinalizeMeans).
+  void AccumulateStep(const EpochStats& step);
+  /// Divides the accumulated loss/grad-norm sums by `steps`.
+  void FinalizeMeans();
+  /// One-line human-readable summary (used by FitModel's verbose logging).
+  std::string ToString() const;
+};
+
 /// Which query sets the evaluation (and two-phase training) covers.
 enum class QueryDirection {
   kBoth,         // original + inverse query sets (standard protocol)
@@ -37,8 +76,15 @@ class TkgModel : public Module {
   virtual std::vector<std::vector<float>> ScoreQueries(
       const std::vector<Quadruple>& queries) = 0;
 
-  /// One pass over the training split; returns the mean loss.
-  virtual double TrainEpoch(AdamOptimizer* optimizer) = 0;
+  /// One pass over the training split; returns per-component losses,
+  /// grad-norm and per-phase timings. `EpochStats::loss` is the mean total
+  /// loss the pre-redesign `double TrainEpoch` returned.
+  virtual EpochStats TrainEpoch(AdamOptimizer* optimizer) = 0;
+
+  /// Deprecation shim for callers that only want the scalar mean loss.
+  double TrainEpochLoss(AdamOptimizer* optimizer) {
+    return TrainEpoch(optimizer).loss;
+  }
 
   /// Online-learning hook (Section IV.H): one gradient update on the facts
   /// of timestamp `t` after it has been evaluated. Models that do not

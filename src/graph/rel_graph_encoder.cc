@@ -1,6 +1,7 @@
 #include "graph/rel_graph_encoder.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "graph/compgcn_layer.h"
 #include "graph/kbgat_layer.h"
 #include "graph/rgcn_layer.h"
@@ -62,6 +63,7 @@ RelGraphEncoder::RelGraphEncoder(GcnKind kind, int64_t num_layers, int64_t dim,
 Tensor RelGraphEncoder::Forward(const SnapshotGraph& graph, const Tensor& nodes,
                                 const Tensor& relations, bool training,
                                 Rng* rng) const {
+  LOGCL_TRACE_SCOPE("gcn");
   Tensor h = nodes;
   for (size_t i = 0; i < layers_.size(); ++i) {
     h = layers_[i]->Forward(graph, h, relations, training, rng);

@@ -1,6 +1,7 @@
 #include "nn/convtranse.h"
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "tensor/ops.h"
 
 namespace logcl {
@@ -25,6 +26,7 @@ Tensor ConvTransE::Decode(const Tensor& h, const Tensor& r, bool training,
 Tensor ConvTransE::Score(const Tensor& h, const Tensor& r,
                          const Tensor& entities, bool training,
                          Rng* rng) const {
+  LOGCL_TRACE_SCOPE("decoder");
   Tensor decoded = Decode(h, r, training, rng);
   return ops::MatMul(decoded, ops::Transpose(entities));
 }

@@ -38,7 +38,16 @@ std::string EngineStats::ToString() const {
 
 InferenceEngine::InferenceEngine(LogClModel* model, int64_t time,
                                  EngineOptions options)
-    : model_(model), options_(options) {
+    : model_(model),
+      options_(options),
+      requests_counter_(Metrics().GetCounter("logcl.serve.requests")),
+      batches_counter_(Metrics().GetCounter("logcl.serve.batches")),
+      advances_counter_(Metrics().GetCounter("logcl.serve.advances")),
+      batch_size_hist_(Metrics().GetHistogram("logcl.serve.batch_size")),
+      queue_wait_us_hist_(Metrics().GetHistogram("logcl.serve.queue_wait_us")),
+      score_us_hist_(Metrics().GetHistogram("logcl.serve.score_us")),
+      request_us_hist_(Metrics().GetHistogram("logcl.serve.request_us")),
+      queue_depth_gauge_(Metrics().GetGauge("logcl.serve.queue_depth")) {
   LOGCL_CHECK(model != nullptr);
   LOGCL_CHECK_GE(options_.max_batch_size, 1);
   LOGCL_CHECK_GE(options_.batch_deadline_us, 0);
@@ -74,6 +83,7 @@ std::future<InferenceEngine::RequestResult> InferenceEngine::Submit(
     queue_.push_back(std::move(request));
     stats_.peak_queue_depth =
         std::max<uint64_t>(stats_.peak_queue_depth, queue_.size());
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     queue_cv_.notify_all();
   }
   return future;
@@ -99,6 +109,7 @@ void InferenceEngine::Advance(std::vector<Quadruple> new_facts) {
   std::lock_guard<std::mutex> lock(mu_);
   snapshot_ = std::move(next);  // in-flight batches hold the old shared_ptr
   ++stats_.advances;
+  advances_counter_->Increment();
 }
 
 std::shared_ptr<const EngineSnapshot> InferenceEngine::snapshot() const {
@@ -106,7 +117,7 @@ std::shared_ptr<const EngineSnapshot> InferenceEngine::snapshot() const {
   return snapshot_;
 }
 
-EngineStats InferenceEngine::Stats() const {
+EngineStats InferenceEngine::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
 }
@@ -138,6 +149,7 @@ void InferenceEngine::DispatcherLoop() {
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     std::shared_ptr<const EngineSnapshot> snapshot = snapshot_;
     lock.unlock();
     ProcessBatch(std::move(batch), snapshot);
@@ -150,8 +162,15 @@ void InferenceEngine::ProcessBatch(
     const std::shared_ptr<const EngineSnapshot>& snapshot) {
   std::vector<ServeQuery> queries;
   queries.reserve(batch.size());
-  for (const Request& r : batch) queries.push_back(r.query);
+  for (const Request& r : batch) {
+    // Time spent coalescing before scoring starts.
+    queue_wait_us_hist_->Record(ElapsedUs(r.enqueued));
+    queries.push_back(r.query);
+  }
+  batch_size_hist_->Record(batch.size());
+  uint64_t score_start = MonotonicNowNs();
   Tensor scores = snapshot->ScoreBatch(queries);
+  score_us_hist_->Record((MonotonicNowNs() - score_start) / 1000);
   int64_t num_entities = scores.shape().cols();
   const float* data = scores.data().data();
 
@@ -166,12 +185,16 @@ void InferenceEngine::ProcessBatch(
       results[i].row.assign(row, row + num_entities);
     }
     uint64_t latency = ElapsedUs(batch[i].enqueued);
+    request_us_hist_->Record(latency);
     batch_latency_total += latency;
     batch_latency_max = std::max(batch_latency_max, latency);
   }
+  requests_counter_->Add(batch.size());
+  batches_counter_->Increment();
 
-  // Account before fulfilling the promises so a requester that reads Stats()
-  // right after its answer arrives always sees its own request counted.
+  // Account before fulfilling the promises so a requester that reads
+  // Snapshot() right after its answer arrives always sees its own request
+  // counted.
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.batches;

@@ -14,8 +14,10 @@
 // Advance(new_facts) builds the successor snapshot copy-on-write and
 // publishes it with an atomic shared_ptr swap: batches already scoring keep
 // the snapshot they started with, later batches see the new horizon.
-// Counters (requests, batches, batch sizes, queue depth, latency) follow the
-// BufferPool::PoolStats() observability style.
+// Observability: per-engine counters are available via Snapshot(); the same
+// activity feeds the process-wide metrics registry as `logcl.serve.*`
+// counters, latency/batch-size histograms and a queue-depth gauge
+// (common/observability.h, DESIGN.md §12).
 
 #ifndef LOGCL_SERVE_INFERENCE_ENGINE_H_
 #define LOGCL_SERVE_INFERENCE_ENGINE_H_
@@ -32,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/observability.h"
 #include "common/status.h"
 #include "nn/module.h"
 #include "serve/engine_snapshot.h"
@@ -103,7 +106,12 @@ class InferenceEngine {
   std::shared_ptr<const EngineSnapshot> snapshot() const;
   int64_t time() const { return snapshot()->time(); }
 
-  EngineStats Stats() const;
+  /// Point-in-time view of this engine's counters (the registry Snapshot()
+  /// convention; the same activity surfaces process-wide as `logcl.serve.*`
+  /// counters/histograms in MetricsRegistry::Snapshot(), see DESIGN.md §12).
+  EngineStats Snapshot() const;
+  /// Deprecated alias for Snapshot() (pre-observability name).
+  EngineStats Stats() const { return Snapshot(); }
 
  private:
   struct RequestResult {
@@ -134,6 +142,16 @@ class InferenceEngine {
 
   std::mutex advance_mu_;  // serialises copy-on-write snapshot builds
   std::thread dispatcher_;
+
+  // Registry handles (shared across engine instances; interned once).
+  Counter* requests_counter_;
+  Counter* batches_counter_;
+  Counter* advances_counter_;
+  Histogram* batch_size_hist_;
+  Histogram* queue_wait_us_hist_;
+  Histogram* score_us_hist_;
+  Histogram* request_us_hist_;
+  Gauge* queue_depth_gauge_;
 };
 
 /// Restores a model's parameters from a tensor/serialization.h checkpoint

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "common/observability.h"
 #include "common/stringpiece.h"
 
 namespace logcl {
@@ -159,9 +160,44 @@ struct ThreadCache {
   std::shared_ptr<StatBlock> stats;
 
   ThreadCache() : stats(std::make_shared<StatBlock>()) {
-    StatRegistry& registry = Registry();
-    std::lock_guard<std::mutex> lock(registry.mu);
-    registry.blocks.push_back(stats);
+    {
+      StatRegistry& registry = Registry();
+      std::lock_guard<std::mutex> lock(registry.mu);
+      registry.blocks.push_back(stats);
+    }
+    // First pool touch process-wide: publish the pool counters into metric
+    // snapshots under the logcl.pool.* schema (DESIGN.md §12).
+    static std::once_flag metrics_once;
+    std::call_once(metrics_once, [] {
+      Metrics().RegisterSource([](std::vector<MetricValue>* out) {
+        BufferPoolStats s = PoolSnapshot();
+        auto counter = [out](const char* name, uint64_t value) {
+          MetricValue m;
+          m.name = name;
+          m.kind = MetricKind::kCounter;
+          m.value = value;
+          out->push_back(std::move(m));
+        };
+        auto gauge = [out](const char* name, uint64_t value) {
+          MetricValue m;
+          m.name = name;
+          m.kind = MetricKind::kGauge;
+          m.gauge = static_cast<int64_t>(value);
+          out->push_back(std::move(m));
+        };
+        counter("logcl.pool.acquires", s.acquires);
+        counter("logcl.pool.hits", s.hits);
+        counter("logcl.pool.misses", s.misses);
+        counter("logcl.pool.releases", s.releases);
+        counter("logcl.pool.adoptions", s.adoptions);
+        counter("logcl.pool.bytes_requested", s.bytes_requested);
+        gauge("logcl.pool.live_bytes", s.live_bytes);
+        gauge("logcl.pool.peak_live_bytes", s.peak_live_bytes);
+        gauge("logcl.pool.outstanding_buffers", s.outstanding_buffers);
+        gauge("logcl.pool.pooled_buffers", s.pooled_buffers);
+        gauge("logcl.pool.pooled_bytes", s.pooled_bytes);
+      });
+    });
   }
 
   static size_t SlotIndex(size_t num_elements) {
@@ -326,7 +362,7 @@ void NoteAdoptedBuffer(size_t num_elements) {
   NoteLiveDelta(static_cast<int64_t>(num_elements * sizeof(float)));
 }
 
-BufferPoolStats PoolStats() {
+BufferPoolStats PoolSnapshot() {
   BufferPoolStats out;
   int64_t outstanding = 0;
   int64_t pooled_buffers = 0;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/observability.h"
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
 
@@ -439,6 +440,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
+  LOGCL_TRACE_SCOPE("matmul");
   LOGCL_CHECK(a.defined());
   LOGCL_CHECK(b.defined());
   LOGCL_CHECK_EQ(a.shape().rank(), 2);
@@ -1319,6 +1321,7 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
                               const std::vector<int64_t>& dst,
                               const EdgeCsrPtr& dst_csr,
                               EdgeCompose compose) {
+  LOGCL_TRACE_SCOPE("fused_mp");
   LOGCL_CHECK(nodes.defined());
   LOGCL_CHECK(relations.defined());
   LOGCL_CHECK(weight.defined());

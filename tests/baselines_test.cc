@@ -77,9 +77,9 @@ TEST_P(ZooModelTest, ConstructScoreAndTrain) {
   for (float v : scores[0]) EXPECT_FALSE(std::isnan(v));
 
   AdamOptimizer optimizer(model->Parameters(), {});
-  double first = model->TrainEpoch(&optimizer);
-  double second = model->TrainEpoch(&optimizer);
-  double third = model->TrainEpoch(&optimizer);
+  double first = model->TrainEpoch(&optimizer).loss;
+  double second = model->TrainEpoch(&optimizer).loss;
+  double third = model->TrainEpoch(&optimizer).loss;
   EXPECT_LT(std::min(second, third), first) << "loss did not decrease";
 }
 

@@ -280,7 +280,7 @@ EpochResult RunEpoch(const TkgDataset& d, bool pooled) {
   LogClModel model(&d, config);
   AdamOptimizer optimizer(model.Parameters(), {});
   EpochResult r;
-  r.loss = model.TrainEpoch(&optimizer);
+  r.loss = model.TrainEpoch(&optimizer).loss;
   r.scores = model.ScoreQueries({{0, 0, 1, 13}, {2, 1, 3, 13}});
   for (const Tensor& p : model.Parameters()) {
     r.params.push_back(p.data());

@@ -295,9 +295,11 @@ TEST(LogClModelTest, TrainingReducesLoss) {
   TkgDataset data = SmallData();
   LogClModel model(&data, FastConfig());
   AdamOptimizer optimizer(model.Parameters(), {});
-  double first = model.TrainEpoch(&optimizer);
+  double first = model.TrainEpoch(&optimizer).loss;
   double last = first;
-  for (int epoch = 0; epoch < 4; ++epoch) last = model.TrainEpoch(&optimizer);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    last = model.TrainEpoch(&optimizer).loss;
+  }
   EXPECT_LT(last, first);
 }
 
@@ -344,8 +346,8 @@ TEST(LogClModelTest, ContrastSwitchChangesTrainingLoss) {
   AdamOptimizer opt_b(b.Parameters(), {});
   // Same seed/initialisation: the contrast term makes the loss strictly
   // larger on the very first step.
-  double loss_a = a.TrainEpoch(&opt_a);
-  double loss_b = b.TrainEpoch(&opt_b);
+  double loss_a = a.TrainEpoch(&opt_a).loss;
+  double loss_b = b.TrainEpoch(&opt_b).loss;
   EXPECT_GT(loss_a, loss_b);
 }
 

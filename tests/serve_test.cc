@@ -285,7 +285,7 @@ TEST(ServeEngineTest, SingleQueryBatchesMatchScoreQueries) {
     std::vector<float> row = engine.Score({q.subject, q.relation});
     EXPECT_EQ(row, model.ScoreQueries({q})[0]);
   }
-  EngineStats stats = engine.Stats();
+  EngineStats stats = engine.Snapshot();
   EXPECT_EQ(stats.requests, 4u);
   EXPECT_EQ(stats.batches, 4u);
   EXPECT_EQ(stats.max_batch, 1u);
@@ -325,7 +325,7 @@ TEST(ServeEngineTest, AdvancePublishesNewHorizon) {
   for (int64_t e = 0; e < data.num_entities(); ++e) {
     EXPECT_EQ(row[e], fresh.data()[e]);
   }
-  EXPECT_EQ(engine.Stats().advances, 1u);
+  EXPECT_EQ(engine.Snapshot().advances, 1u);
 }
 
 // TSan target: concurrent submitters racing one Advance. Correctness of the
@@ -362,7 +362,7 @@ TEST(ServeEngineTest, ConcurrentSubmitAndAdvance) {
 
   EXPECT_EQ(full_rows.load(), kThreads * kPerThread);
   EXPECT_EQ(engine.time(), horizon + 1);
-  EngineStats stats = engine.Stats();
+  EngineStats stats = engine.Snapshot();
   EXPECT_EQ(stats.requests, static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_GE(stats.batches, 1u);
   EXPECT_LE(stats.batches, stats.requests);
