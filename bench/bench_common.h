@@ -69,7 +69,7 @@ inline void PrintSectionTitle(const std::string& title) {
 /// Dumps the tensor buffer-pool counters (see tensor/buffer_pool.h) with a
 /// label, e.g. after an epoch to inspect hit rate and peak live bytes.
 inline void PrintPoolStats(const std::string& label) {
-  std::printf("[pool] %s: %s\n", label.c_str(), PoolStats().ToString().c_str());
+  std::printf("[pool] %s: %s\n", label.c_str(), PoolSnapshot().ToString().c_str());
   std::fflush(stdout);
 }
 
@@ -83,7 +83,7 @@ inline bool EnablePoolStatsDump() {
   if (!registered) {
     registered = true;
     std::atexit([] {
-      std::printf("[pool] at exit: %s\n", PoolStats().ToString().c_str());
+      std::printf("[pool] at exit: %s\n", PoolSnapshot().ToString().c_str());
     });
   }
   return true;

@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/logcl_model.h"
 #include "serve/inference_engine.h"
+#include "serve/quant.h"
+#include "tensor/simd.h"
 
 namespace logcl {
 namespace {
@@ -147,11 +150,107 @@ void Run() {
       "columns within bucket resolution.\n");
 }
 
+// --precision_sweep: fp32 vs bf16 vs int8 snapshot scoring at a fixed batch
+// size (serve/quant.h). The fp32 row is the reference; the reduced-precision
+// rows trade the fused fp32 score for a per-row quantized dot against the
+// frozen candidate matrix, and are gated elsewhere by the Spearman/MRR
+// parity tests (tests/quant_test.cc) — this sweep measures the throughput
+// side of that trade for EXPERIMENTS.md.
+void RunPrecisionSweep() {
+  TkgDataset dataset = MakePaperDataset(PaperDataset::kIcews14Like);
+  LogClConfig config;
+  config.embedding_dim = 32;
+  config.local.history_length = 5;
+  LogClModel model(&dataset, config);
+
+  int64_t horizon = dataset.num_timestamps() - 2;
+  const std::vector<Quadruple>& day = dataset.FactsAt(horizon);
+  int64_t total = bench::FastMode() ? 64 : 512;
+  std::vector<ServeQuery> queries;
+  queries.reserve(total);
+  for (int64_t i = 0; i < total; ++i) {
+    const Quadruple& q = day[static_cast<size_t>(i) % day.size()];
+    queries.push_back({q.subject, q.relation});
+  }
+
+  bench::PrintSectionTitle(
+      "Precision sweep on " + dataset.name() + " (horizon t=" +
+      std::to_string(horizon) + ", " + std::to_string(total) +
+      " queries, max_batch=32, simd=" +
+      simd::IsaName(simd::ActiveIsa()) + ")");
+  std::printf("%-10s %10s %10s %10s %10s %10s %10s %10s\n", "precision",
+              "QPS", "speedup", "p50 us", "p99 us", "reg_p50", "reg_p99",
+              "score_p50");
+  std::printf("%s\n", std::string(87, '-').c_str());
+
+  constexpr int kClients = 32;
+  double fp32_qps = 0.0;
+  for (ScorePrecision precision :
+       {ScorePrecision::kFp32, ScorePrecision::kBf16, ScorePrecision::kInt8}) {
+    EngineOptions options;
+    options.max_batch_size = 32;
+    options.batch_deadline_us = 200;
+    options.precision = precision;
+    MetricsSnapshot baseline = Metrics().Snapshot();
+    HistogramSnapshot before =
+        baseline.HistogramValue("logcl.serve.request_us");
+    HistogramSnapshot score_before =
+        baseline.HistogramValue("logcl.serve.score_us");
+    InferenceEngine engine(&model, horizon, options);
+    std::vector<std::vector<double>> latencies(kClients);
+    bench::PhaseTimer timer("serve_precision_sweep");
+    Clock::time_point start = Clock::now();
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int64_t i = c; i < total; i += kClients) {
+          Clock::time_point sent = Clock::now();
+          engine.Score(queries[static_cast<size_t>(i)]);
+          latencies[c].push_back(SecondsSince(sent) * 1e6);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    double seconds = SecondsSince(start);
+    timer.Stop();
+    std::vector<double> all;
+    for (const auto& per_client : latencies) {
+      all.insert(all.end(), per_client.begin(), per_client.end());
+    }
+    double qps = static_cast<double>(total) / seconds;
+    if (precision == ScorePrecision::kFp32) fp32_qps = qps;
+    MetricsSnapshot after = Metrics().Snapshot();
+    HistogramSnapshot served = SinceBaseline(
+        after.HistogramValue("logcl.serve.request_us"), before);
+    HistogramSnapshot scored = SinceBaseline(
+        after.HistogramValue("logcl.serve.score_us"), score_before);
+    std::printf("%-10s %10.1f %9.2fx %10.0f %10.0f %10.0f %10.0f %10.0f\n",
+                PrecisionName(engine.snapshot()->precision()), qps,
+                fp32_qps > 0.0 ? qps / fp32_qps : 1.0, Percentile(all, 0.50),
+                Percentile(all, 0.99), served.Percentile(0.50),
+                served.Percentile(0.99), scored.Percentile(0.50));
+    std::fflush(stdout);
+  }
+  std::printf(
+      "\nExpected shape: bf16 and int8 beat fp32 on the scoring half (the\n"
+      "decode is fp32 in every row, so end-to-end speedups are bounded by\n"
+      "the score fraction). Accuracy gating lives in tests/quant_test.cc\n"
+      "(per-query Spearman >= 0.99, |delta MRR| <= 0.005).\n");
+}
+
 }  // namespace
 }  // namespace logcl
 
-int main() {
+int main(int argc, char** argv) {
   logcl::bench::InitObservability();
-  logcl::Run();
+  bool precision_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--precision_sweep") == 0) precision_sweep = true;
+  }
+  if (precision_sweep) {
+    logcl::RunPrecisionSweep();
+  } else {
+    logcl::Run();
+  }
   return 0;
 }

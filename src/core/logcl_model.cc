@@ -74,7 +74,8 @@ LogClModel::BatchOutput LogClModel::ForwardBatch(
 LogClModel::ScoreParts LogClModel::ScorePhase(
     const std::vector<Quadruple>& queries, const Tensor& h0,
     const LocalEncoderOutput& local, const HistoryIndex& history,
-    bool training, bool use_subgraph_cache, Rng* rng) const {
+    bool training, bool use_subgraph_cache, Rng* rng,
+    bool decode_only) const {
   BatchTime(queries);  // all queries must share one timestamp
   std::vector<int64_t> relation_ids;
   relation_ids.reserve(queries.size());
@@ -131,6 +132,13 @@ LogClModel::ScoreParts LogClModel::ScorePhase(
   parts.query_relations = ops::IndexSelectRows(relation_matrix, relation_ids);
 
   // --- Decoding (Eq.18). ---
+  if (decode_only) {
+    // ConvTransE::Score is exactly Decode + candidate dot products, so the
+    // decoded vectors here match the ones inside a full Score bitwise.
+    parts.decoded =
+        decoder_.Decode(fused_query, parts.query_relations, training, rng);
+    return parts;
+  }
   parts.scores = decoder_.Score(fused_query, parts.query_relations,
                                 candidates, training, rng);
   return parts;
@@ -218,6 +226,17 @@ Tensor LogClModel::ScoreWithEvolution(const std::vector<Quadruple>& queries,
                  /*training=*/false, /*use_subgraph_cache=*/false,
                  /*rng=*/nullptr);
   return parts.scores;
+}
+
+Tensor LogClModel::DecodeWithEvolution(const std::vector<Quadruple>& queries,
+                                       const EvolutionState& evolution,
+                                       const HistoryIndex& history) const {
+  NoGradGuard no_grad;
+  ScoreParts parts =
+      ScorePhase(queries, evolution.base_entities, evolution.local, history,
+                 /*training=*/false, /*use_subgraph_cache=*/false,
+                 /*rng=*/nullptr, /*decode_only=*/true);
+  return parts.decoded;
 }
 
 std::vector<std::vector<float>> LogClModel::ScoreQueries(

@@ -119,6 +119,16 @@ class LogClModel : public TkgModel {
                             const EvolutionState& evolution,
                             const HistoryIndex& history) const;
 
+  /// The decode-only prefix of ScoreWithEvolution: the [B, d] decoded query
+  /// representations that Score dot-products against the candidate entity
+  /// matrix (ConvTransE::Decode output). Bitwise identical to the decode
+  /// stage inside ScoreWithEvolution — eval-mode ConvTransE is
+  /// deterministic — so reduced-precision serving (serve/quant.h) can score
+  /// these against quantized candidates while fp32 keeps the fused path.
+  Tensor DecodeWithEvolution(const std::vector<Quadruple>& queries,
+                             const EvolutionState& evolution,
+                             const HistoryIndex& history) const;
+
   const LogClConfig& config() const { return config_; }
 
  private:
@@ -135,7 +145,8 @@ class LogClModel : public TkgModel {
   /// Everything ScorePhase produces: the logits plus the intermediate query
   /// representations the contrastive loss consumes during training.
   struct ScoreParts {
-    Tensor scores;           // [B, E] logits
+    Tensor scores;           // [B, E] logits (unset when decode_only)
+    Tensor decoded;          // [B, d] decoder output (decode_only runs)
     Tensor local_query;      // [B, d] when use_local
     Tensor global_query;     // [B, d] when use_global
     Tensor query_relations;  // [B, d] rows of the fused relation matrix
@@ -146,11 +157,14 @@ class LogClModel : public TkgModel {
   /// Const — every mutable interaction is parameterised: `history` supplies
   /// the historical answer sets, `use_subgraph_cache` selects the cached vs
   /// thread-safe subgraph path, and `rng` is only consumed when training.
+  /// `decode_only` stops after ConvTransE::Decode (fills `decoded`, leaves
+  /// `scores` unset) — the reduced-precision serving path's entry.
   ScoreParts ScorePhase(const std::vector<Quadruple>& queries,
                         const Tensor& base_entities,
                         const LocalEncoderOutput& local,
                         const HistoryIndex& history, bool training,
-                        bool use_subgraph_cache, Rng* rng) const;
+                        bool use_subgraph_cache, Rng* rng,
+                        bool decode_only = false) const;
 
   /// One propagation phase for a batch of same-timestamp queries. The
   /// (query-independent) local evolution is computed by the caller and

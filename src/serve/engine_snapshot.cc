@@ -4,6 +4,7 @@
 #include <tuple>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace logcl {
 
@@ -19,7 +20,7 @@ std::shared_ptr<const SnapshotGraph> Unowned(const SnapshotGraph* graph) {
 }  // namespace
 
 std::shared_ptr<const EngineSnapshot> EngineSnapshot::Build(
-    const LogClModel* model, int64_t time) {
+    const LogClModel* model, int64_t time, ScorePrecision precision) {
   LOGCL_CHECK(model != nullptr);
   LOGCL_CHECK_GE(time, 0);
   LOGCL_CHECK(model->eval_mode() || model->config().noise_stddev <= 0.0f)
@@ -43,6 +44,14 @@ std::shared_ptr<const EngineSnapshot> EngineSnapshot::Build(
     times.push_back(s);
   }
   snapshot->evolution_ = model->PrecomputeEvolution(graphs, times, time);
+  // Quantize the frozen candidate matrix. Only the local evolution yields a
+  // query-independent candidate set; global-only models score against a
+  // per-batch encode, so they fall back to fp32.
+  if (precision != ScorePrecision::kFp32 && model->config().use_local) {
+    snapshot->quant_ =
+        BuildQuantizedCandidates(snapshot->evolution_.local.entities,
+                                 precision);
+  }
   return snapshot;
 }
 
@@ -55,6 +64,38 @@ Tensor EngineSnapshot::ScoreBatch(
     quads.push_back(Quadruple{q.subject, q.relation, /*object=*/0, time_});
   }
   return model_->ScoreWithEvolution(quads, evolution_, *history_);
+}
+
+std::vector<std::vector<float>> EngineSnapshot::ScoreBatchQuantized(
+    const std::vector<ServeQuery>& queries) const {
+  LOGCL_CHECK(!queries.empty());
+  LOGCL_CHECK(precision() != ScorePrecision::kFp32)
+      << "ScoreBatchQuantized requires a quantized snapshot (precision() != "
+         "kFp32); use ScoreBatch";
+  std::vector<Quadruple> quads;
+  quads.reserve(queries.size());
+  for (const ServeQuery& q : queries) {
+    quads.push_back(Quadruple{q.subject, q.relation, /*object=*/0, time_});
+  }
+  Tensor decoded = model_->DecodeWithEvolution(quads, evolution_, *history_);
+  const int64_t batch = decoded.shape().rows();
+  const int64_t dim = decoded.shape().cols();
+  const int64_t num_entities = quant_.rows();
+  const float* dd = decoded.data().data();
+  std::vector<std::vector<float>> scores(static_cast<size_t>(batch));
+  // Rows are independent; each worker writes its own preallocated slots.
+  // Grain keeps small batches serial (the per-row work is num_entities
+  // short dot products — far below a shard's worth at serving scale).
+  int64_t grain = std::max<int64_t>(
+      1, (int64_t{1} << 15) / std::max<int64_t>(1, num_entities * dim));
+  ParallelFor(0, batch, grain, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      auto& row = scores[static_cast<size_t>(b)];
+      row.resize(static_cast<size_t>(num_entities));
+      ScoreQuantizedRow(quant_, dd + b * dim, dim, row.data());
+    }
+  });
+  return scores;
 }
 
 std::shared_ptr<const EngineSnapshot> EngineSnapshot::Advance(
@@ -108,6 +149,12 @@ std::shared_ptr<const EngineSnapshot> EngineSnapshot::Advance(
     times.push_back(s);
   }
   next->evolution_ = model_->PrecomputeEvolution(graphs, times, next->time_);
+  // The candidate matrix changed with the window: requantize at the same
+  // precision this snapshot serves.
+  if (quant_.precision != ScorePrecision::kFp32) {
+    next->quant_ = BuildQuantizedCandidates(next->evolution_.local.entities,
+                                            quant_.precision);
+  }
   return next;
 }
 

@@ -24,6 +24,7 @@
 
 #include "core/logcl_model.h"
 #include "graph/snapshot_graph.h"
+#include "serve/quant.h"
 #include "tkg/history_index.h"
 #include "tkg/quadruple.h"
 
@@ -47,8 +48,15 @@ class EngineSnapshot {
   /// not train while snapshots built from it are serving. Single-threaded:
   /// call before concurrent serving starts (it may lazily build dataset
   /// structure caches).
-  static std::shared_ptr<const EngineSnapshot> Build(const LogClModel* model,
-                                                     int64_t time);
+  ///
+  /// `precision` selects the reduced-precision scoring bundle quantized at
+  /// freeze time (default from LOGCL_QUANT). Non-fp32 precisions require a
+  /// query-independent candidate matrix — the local evolution's entity
+  /// embeddings — so global-only configurations silently fall back to fp32
+  /// (precision() reports the effective value).
+  static std::shared_ptr<const EngineSnapshot> Build(
+      const LogClModel* model, int64_t time,
+      ScorePrecision precision = ScorePrecisionFromEnv());
 
   /// Scores each query against every entity at the snapshot horizon;
   /// returns logits [B, E], bitwise identical to model->ScoreQueries on the
@@ -57,6 +65,19 @@ class EngineSnapshot {
   /// core/global_encoder.h), so scores — like ScoreQueries' — depend on the
   /// batch composition.
   Tensor ScoreBatch(const std::vector<ServeQuery>& queries) const;
+
+  /// Reduced-precision scoring: decodes the batch in fp32 (bitwise the
+  /// decode stage of ScoreBatch), then dot-products each decoded row
+  /// against the quantized candidate bundle (serve/quant.h). Row i holds
+  /// query i's approximate logits over all entities. Requires
+  /// precision() != kFp32. Const and safe from concurrent threads.
+  std::vector<std::vector<float>> ScoreBatchQuantized(
+      const std::vector<ServeQuery>& queries) const;
+
+  /// Effective scoring precision (kFp32 when quantization was not
+  /// requested or not applicable to this model configuration).
+  ScorePrecision precision() const { return quant_.precision; }
+  const QuantizedCandidates& quantized_candidates() const { return quant_; }
 
   /// Copy-on-write successor: `new_facts` (all at this snapshot's horizon)
   /// complete the horizon snapshot, so the result serves horizon time()+1
@@ -87,6 +108,10 @@ class EngineSnapshot {
   // graphs created by Advance are owned here.
   std::vector<std::pair<int64_t, std::shared_ptr<const SnapshotGraph>>>
       window_;
+  // Reduced-precision candidate bundle, rebuilt by every Advance (the
+  // candidate matrix changes with the evolution window). precision kFp32
+  // when serving full precision.
+  QuantizedCandidates quant_;
 };
 
 }  // namespace logcl

@@ -48,6 +48,12 @@ struct EngineOptions {
   /// measured from the oldest pending request's submission. 0 disables
   /// coalescing (every request is its own batch).
   int64_t batch_deadline_us = 200;
+  /// Scoring precision for the engine's snapshots (defaults from
+  /// LOGCL_QUANT; see serve/quant.h). Non-fp32 decodes in fp32, then scores
+  /// against the candidate matrix quantized at snapshot build time. Falls
+  /// back to fp32 when the model has no query-independent candidates
+  /// (global-only configurations).
+  ScorePrecision precision = ScorePrecisionFromEnv();
 };
 
 /// Snapshot of the engine's counters (monotonic since construction).
@@ -110,8 +116,6 @@ class InferenceEngine {
   /// convention; the same activity surfaces process-wide as `logcl.serve.*`
   /// counters/histograms in MetricsRegistry::Snapshot(), see DESIGN.md §12).
   EngineStats Snapshot() const;
-  /// Deprecated alias for Snapshot() (pre-observability name).
-  EngineStats Stats() const { return Snapshot(); }
 
  private:
   struct RequestResult {

@@ -42,7 +42,7 @@ std::atomic<bool>& PoisonFlag() {
 // Per-thread statistics block. Only the owning thread writes, so updates are
 // single-writer relaxed load+store pairs — an ordinary increment, no lock
 // prefix — which keeps stat upkeep near-free on the acquire/release hot
-// path. PoolStats() sums every registered block: exact once writers are
+// path. PoolSnapshot() sums every registered block: exact once writers are
 // quiescent (which is when tests and benchmarks read it). Blocks are held
 // alive by the registry after their thread exits so no counts are lost.
 // Gauges (outstanding, pooled_*) can go negative in one block when a buffer

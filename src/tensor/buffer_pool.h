@@ -99,8 +99,6 @@ struct BufferPoolStats {
 /// surface as `logcl.pool.*` in MetricsRegistry::Snapshot() / DumpMetrics
 /// via a registered source (see common/observability.h and DESIGN.md §12).
 BufferPoolStats PoolSnapshot();
-/// Deprecated alias for PoolSnapshot() (pre-observability name).
-inline BufferPoolStats PoolStats() { return PoolSnapshot(); }
 void ResetPoolStats();
 
 /// Drops every buffer in the global free lists and the calling thread's

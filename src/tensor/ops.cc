@@ -10,6 +10,7 @@
 #include "common/observability.h"
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/simd.h"
 
 namespace logcl {
 namespace ops {
@@ -82,123 +83,30 @@ inline int64_t BroadcastIndex(BroadcastMode mode, int64_t i, int64_t cols) {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked accumulate-matmul kernels (C += op(A) * op(B)).
-//
-// Each kernel tiles the output: a micro-tile of accumulators sweeps the full
-// reduction dimension before touching C once, which cuts C traffic and keeps
-// the per-element accumulation order a function of the loop structure alone.
-// Parallelism is over contiguous output-row shards, so results are identical
-// for any thread count.
+// Blocked accumulate-matmul kernels (C += op(A) * op(B)) live in
+// tensor/simd.{h,cc} behind runtime ISA dispatch; the scalar variants there
+// are the tiled kernels that used to live here, so the per-element
+// accumulation orders (and thread-count invariance) are unchanged. Aliases
+// keep the call sites below reading as before.
 // ---------------------------------------------------------------------------
 
-// Output rows per register/L1 tile (axpy-style kernels).
-constexpr int64_t kTileRows = 4;
-// Output columns per tile; 64 floats stay resident in L1.
-constexpr int64_t kTileCols = 64;
-// Square micro-tile for the dot-product (NT) kernel.
-constexpr int64_t kDotTile = 4;
-// Do not split a matmul into shards below this many multiply-accumulates.
-constexpr int64_t kMatMulShardFlops = int64_t{1} << 15;
+using simd::kTileCols;
+using simd::MatMulAccumNN;
+using simd::MatMulAccumNT;
+using simd::MatMulAccumTN;
+using simd::MatMulRowGrain;
 
-// Row grain so one shard performs at least kMatMulShardFlops MACs, where
-// each output row costs `flops_per_row` MACs.
-inline int64_t MatMulRowGrain(int64_t flops_per_row) {
-  return std::max<int64_t>(
-      kTileRows, kMatMulShardFlops / std::max<int64_t>(1, flops_per_row));
-}
-
-// C(m x n) += A(m x k) * B(k x n)
-void MatMulAccumNN(const float* a, const float* b, float* c, int64_t m,
-                   int64_t k, int64_t n) {
-  ParallelFor(0, m, MatMulRowGrain(k * n), [&](int64_t r0, int64_t r1) {
-    float acc[kTileRows][kTileCols];
-    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
-      const int64_t jn = std::min(kTileCols, n - j0);
-      for (int64_t i0 = r0; i0 < r1; i0 += kTileRows) {
-        const int64_t im = std::min(kTileRows, r1 - i0);
-        for (int64_t r = 0; r < im; ++r) {
-          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
-        }
-        for (int64_t l = 0; l < k; ++l) {
-          const float* brow = b + l * n + j0;
-          for (int64_t r = 0; r < im; ++r) {
-            float av = a[(i0 + r) * k + l];
-            float* arow = acc[r];
-            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
-          }
-        }
-        for (int64_t r = 0; r < im; ++r) {
-          float* crow = c + (i0 + r) * n + j0;
-          for (int64_t j = 0; j < jn; ++j) crow[j] += acc[r][j];
-        }
-      }
-    }
-  });
-}
-
-// C(m x k) += A(m x n) * B(k x n)^T
-void MatMulAccumNT(const float* a, const float* b, float* c, int64_t m,
-                   int64_t n, int64_t k) {
-  ParallelFor(0, m, MatMulRowGrain(n * k), [&](int64_t r0, int64_t r1) {
-    float acc[kDotTile][kDotTile];
-    for (int64_t i0 = r0; i0 < r1; i0 += kDotTile) {
-      const int64_t im = std::min(kDotTile, r1 - i0);
-      for (int64_t j0 = 0; j0 < k; j0 += kDotTile) {
-        const int64_t jm = std::min(kDotTile, k - j0);
-        for (int64_t r = 0; r < im; ++r) {
-          for (int64_t s = 0; s < jm; ++s) acc[r][s] = 0.0f;
-        }
-        for (int64_t l = 0; l < n; ++l) {
-          for (int64_t s = 0; s < jm; ++s) {
-            float bv = b[(j0 + s) * n + l];
-            for (int64_t r = 0; r < im; ++r) {
-              acc[r][s] += a[(i0 + r) * n + l] * bv;
-            }
-          }
-        }
-        for (int64_t r = 0; r < im; ++r) {
-          float* crow = c + (i0 + r) * k + j0;
-          for (int64_t s = 0; s < jm; ++s) crow[s] += acc[r][s];
-        }
-      }
-    }
-  });
-}
-
-// C(k x n) += A(m x k)^T * B(m x n)
-void MatMulAccumTN(const float* a, const float* b, float* c, int64_t m,
-                   int64_t k, int64_t n) {
-  ParallelFor(0, k, MatMulRowGrain(m * n), [&](int64_t r0, int64_t r1) {
-    float acc[kTileRows][kTileCols];
-    for (int64_t j0 = 0; j0 < n; j0 += kTileCols) {
-      const int64_t jn = std::min(kTileCols, n - j0);
-      for (int64_t i0 = r0; i0 < r1; i0 += kTileRows) {
-        const int64_t im = std::min(kTileRows, r1 - i0);
-        for (int64_t r = 0; r < im; ++r) {
-          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
-        }
-        for (int64_t l = 0; l < m; ++l) {
-          const float* brow = b + l * n + j0;
-          const float* acol = a + l * k + i0;
-          for (int64_t r = 0; r < im; ++r) {
-            float av = acol[r];
-            float* arow = acc[r];
-            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
-          }
-        }
-        for (int64_t r = 0; r < im; ++r) {
-          float* crow = c + (i0 + r) * n + j0;
-          for (int64_t j = 0; j < jn; ++j) crow[j] += acc[r][j];
-        }
-      }
-    }
-  });
-}
+// Which arithmetic op an ElementwiseBinary call is, when it is one the SIMD
+// layer has a dedicated kernel for. The same-shape fast paths dispatch on
+// this instead of the lambdas; the SIMD kernels are bitwise-equal to the
+// per-element loops (see tensor/simd.h).
+enum class BinOpKind { kGeneric, kAdd, kSub, kMul };
 
 // Shared implementation for Add/Sub/Mul.
 template <typename ForwardFn, typename BackwardFn>
 Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
-                         BackwardFn bwd) {
+                         BackwardFn bwd,
+                         BinOpKind kind = BinOpKind::kGeneric) {
   LOGCL_CHECK(a.defined());
   LOGCL_CHECK(b.defined());
   BroadcastMode mode = ResolveBroadcast(a.shape(), b.shape());
@@ -209,12 +117,24 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
   std::vector<float> out = UninitOut(n);
   float* od = out.data();
   if (mode == BroadcastMode::kSame) {
-    // Dedicated same-shape loop: no per-element index translation, so the
-    // compiler can vectorise it. This is the dominant case on the autograd
-    // hot path and the arithmetic is per-element identical to the general
-    // loop below.
+    // Dedicated same-shape path: the dominant case on the autograd hot path.
+    // Known arithmetic kinds go through the dispatched SIMD kernels; both
+    // are per-element identical to the general loop below.
     ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) od[i] = fwd(av[i], bv[i]);
+      switch (kind) {
+        case BinOpKind::kAdd:
+          simd::Add(av + i0, bv + i0, od + i0, i1 - i0);
+          break;
+        case BinOpKind::kSub:
+          simd::Sub(av + i0, bv + i0, od + i0, i1 - i0);
+          break;
+        case BinOpKind::kMul:
+          simd::Mul(av + i0, bv + i0, od + i0, i1 - i0);
+          break;
+        case BinOpKind::kGeneric:
+          for (int64_t i = i0; i < i1; ++i) od[i] = fwd(av[i], bv[i]);
+          break;
+      }
     });
   } else {
     ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
@@ -225,7 +145,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
   }
   return Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a, b},
-      [mode, n, cols, bwd](Node& node) {
+      [mode, n, cols, bwd, kind](Node& node) {
         const auto& pa = node.parents[0];
         const auto& pb = node.parents[1];
         const float* g = node.grad.data();
@@ -242,6 +162,37 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
           gb = pb->grad.data();
         }
         if (mode == BroadcastMode::kSame) {
+          if (kind != BinOpKind::kGeneric) {
+            // SIMD grad accumulation. Each kernel call is per-element
+            // identical to the generic loop: Add/Sub propagate g (Sub's b
+            // side as the exact negation (-1)*g), Mul cross-multiplies by
+            // the co-factor with mul-then-add rounding, same as `da = g*y;
+            // ga[i] += da`.
+            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+              const int64_t len = i1 - i0;
+              switch (kind) {
+                case BinOpKind::kAdd:
+                  if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
+                  if (gb != nullptr) simd::Accumulate(g + i0, gb + i0, len);
+                  break;
+                case BinOpKind::kSub:
+                  if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
+                  if (gb != nullptr) simd::Axpy(-1.0f, g + i0, gb + i0, len);
+                  break;
+                case BinOpKind::kMul:
+                  if (ga != nullptr) {
+                    simd::MulAccumulate(g + i0, bd + i0, ga + i0, len);
+                  }
+                  if (gb != nullptr) {
+                    simd::MulAccumulate(g + i0, ad + i0, gb + i0, len);
+                  }
+                  break;
+                case BinOpKind::kGeneric:
+                  break;
+              }
+            });
+            return;
+          }
           // No accumulation aliasing: one pass handles both sides. The
           // null checks are hoisted out of the loops so each variant stays
           // branch-free (and vectorisable) per element.
@@ -349,7 +300,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       [](float g, float, float, float* da, float* db) {
         *da = g;
         *db = g;
-      });
+      },
+      BinOpKind::kAdd);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
@@ -358,7 +310,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
       [](float g, float, float, float* da, float* db) {
         *da = g;
         *db = -g;
-      });
+      },
+      BinOpKind::kSub);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
@@ -367,7 +320,8 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       [](float g, float x, float y, float* da, float* db) {
         *da = g * y;
         *db = g * x;
-      });
+      },
+      BinOpKind::kMul);
 }
 
 Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
@@ -430,13 +384,47 @@ Tensor Neg(const Tensor& a) {
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return ElementwiseUnary(
-      a, [s](float x) { return s * x; }, [s](float, float) { return s; });
+  LOGCL_CHECK(a.defined());
+  int64_t n = a.num_elements();
+  const float* av = a.data().data();
+  std::vector<float> out = UninitOut(n);
+  float* od = out.data();
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    simd::Scale(av + i0, s, od + i0, i1 - i0);
+  });
+  return Tensor::MakeOpOutput(
+      a.shape(), std::move(out), {a}, [n, s](Node& node) {
+        const auto& pa = node.parents[0];
+        if (!pa->requires_grad) return;
+        pa->EnsureGrad();
+        const float* g = node.grad.data();
+        float* ga = pa->grad.data();
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          simd::Axpy(s, g + i0, ga + i0, i1 - i0);
+        });
+      });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return ElementwiseUnary(
-      a, [s](float x) { return x + s; }, [](float, float) { return 1.0f; });
+  LOGCL_CHECK(a.defined());
+  int64_t n = a.num_elements();
+  const float* av = a.data().data();
+  std::vector<float> out = UninitOut(n);
+  float* od = out.data();
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    simd::AddScalar(av + i0, s, od + i0, i1 - i0);
+  });
+  return Tensor::MakeOpOutput(
+      a.shape(), std::move(out), {a}, [n](Node& node) {
+        const auto& pa = node.parents[0];
+        if (!pa->requires_grad) return;
+        pa->EnsureGrad();
+        const float* g = node.grad.data();
+        float* ga = pa->grad.data();
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          simd::Accumulate(g + i0, ga + i0, i1 - i0);
+        });
+      });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -917,6 +905,23 @@ inline float ComposeValue(EdgeCompose compose, float a, float b) {
 // Fills out[e - e0, :] = compose(nodes[src[e], :], rels[rel[e], :]) for
 // e in [e0, e1). Matches the composed gather + elementwise ops bitwise
 // (one arithmetic op per element).
+// Row-sized SIMD compose (one arithmetic op per element, same rounding as
+// ComposeValue).
+inline void ComposeRow(EdgeCompose compose, const float* nrow,
+                       const float* rrow, float* orow, int64_t d_in) {
+  switch (compose) {
+    case EdgeCompose::kAdd:
+      simd::Add(nrow, rrow, orow, d_in);
+      break;
+    case EdgeCompose::kSubtract:
+      simd::Sub(nrow, rrow, orow, d_in);
+      break;
+    case EdgeCompose::kMultiply:
+      simd::Mul(nrow, rrow, orow, d_in);
+      break;
+  }
+}
+
 void ComposeRows(const float* nodes, const float* rels,
                  const std::vector<int64_t>& src,
                  const std::vector<int64_t>& rel, EdgeCompose compose,
@@ -924,10 +929,7 @@ void ComposeRows(const float* nodes, const float* rels,
   for (int64_t e = e0; e < e1; ++e) {
     const float* nrow = nodes + src[static_cast<size_t>(e)] * d_in;
     const float* rrow = rels + rel[static_cast<size_t>(e)] * d_in;
-    float* orow = out + (e - e0) * d_in;
-    for (int64_t l = 0; l < d_in; ++l) {
-      orow[l] = ComposeValue(compose, nrow[l], rrow[l]);
-    }
+    ComposeRow(compose, nrow, rrow, out + (e - e0) * d_in, d_in);
   }
 }
 
@@ -980,15 +982,13 @@ void AccumulateWeightGrad(const float* nodes, const float* rels,
         float* srow = scratch.data() + (l - l0) * d_out;
         for (int64_t r = 0; r < en; ++r) {
           float av = ablock[static_cast<size_t>(r * d_in + l)];
-          const float* grow = g + (e0 + r) * d_out;
-          for (int64_t j = 0; j < d_out; ++j) srow[j] += av * grow[j];
+          simd::Axpy(av, g + (e0 + r) * d_out, srow, d_out);
         }
       }
     }
     for (int64_t l = l0; l < l1; ++l) {
-      const float* srow = scratch.data() + (l - l0) * d_out;
-      float* grow = gw + l * d_out;
-      for (int64_t j = 0; j < d_out; ++j) grow[j] += srow[j];
+      simd::Accumulate(scratch.data() + (l - l0) * d_out, gw + l * d_out,
+                       d_out);
     }
   });
 }
@@ -1253,17 +1253,8 @@ Tensor EdgeMessages(const Tensor& nodes, const Tensor& relations,
       ComposeRows(nd, rd, src, rel, compose, d_in, t0, t0 + tn, a.data());
       for (int64_t j0 = 0; j0 < d_out; j0 += kTileCols) {
         const int64_t jn = std::min(kTileCols, d_out - j0);
-        for (int64_t r = 0; r < tn; ++r) {
-          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
-        }
-        for (int64_t l = 0; l < d_in; ++l) {
-          const float* brow = wd + l * d_out + j0;
-          for (int64_t r = 0; r < tn; ++r) {
-            float av = a[static_cast<size_t>(r * d_in + l)];
-            float* arow = acc[r];
-            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
-          }
-        }
+        simd::MatMulTile(a.data(), d_in, wd + j0, d_out, &acc[0][0],
+                         kTileCols, tn, d_in, jn);
         for (int64_t r = 0; r < tn; ++r) {
           float* orow = od + (t0 + r) * d_out + j0;
           for (int64_t j = 0; j < jn; ++j) orow[j] = acc[r][j];
@@ -1366,31 +1357,18 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
         int64_t e = csr.edge_order[static_cast<size_t>(t0 + r)];
         const float* nrow = nd + src[static_cast<size_t>(e)] * d_in;
         const float* rrow = rd + rel[static_cast<size_t>(e)] * d_in;
-        float* arow = a.data() + r * d_in;
-        for (int64_t l = 0; l < d_in; ++l) {
-          arow[l] = ComposeValue(compose, nrow[l], rrow[l]);
-        }
+        ComposeRow(compose, nrow, rrow, a.data() + r * d_in, d_in);
       }
       for (int64_t j0 = 0; j0 < d_out; j0 += kTileCols) {
         const int64_t jn = std::min(kTileCols, d_out - j0);
-        for (int64_t r = 0; r < tn; ++r) {
-          for (int64_t j = 0; j < jn; ++j) acc[r][j] = 0.0f;
-        }
-        for (int64_t l = 0; l < d_in; ++l) {
-          const float* brow = wd + l * d_out + j0;
-          for (int64_t r = 0; r < tn; ++r) {
-            float av = a[static_cast<size_t>(r * d_in + l)];
-            float* arow = acc[r];
-            for (int64_t j = 0; j < jn; ++j) arow[j] += av * brow[j];
-          }
-        }
+        simd::MatMulTile(a.data(), d_in, wd + j0, d_out, &acc[0][0],
+                         kTileCols, tn, d_in, jn);
         // Mean-scatter the finished message tile, still in CSR order.
         for (int64_t r = 0; r < tn; ++r) {
           int64_t e = csr.edge_order[static_cast<size_t>(t0 + r)];
           int64_t drow = dst[static_cast<size_t>(e)];
           float w = csr.inv_in_degree[static_cast<size_t>(drow)];
-          float* orow = od + drow * d_out + j0;
-          for (int64_t j = 0; j < jn; ++j) orow[j] += w * acc[r][j];
+          simd::Axpy(w, acc[r], od + drow * d_out + j0, jn);
         }
       }
     }
@@ -1419,12 +1397,12 @@ Tensor FusedRelMessagePassing(const Tensor& nodes, const Tensor& relations,
                         for (int64_t p = csr.offsets[static_cast<size_t>(r)];
                              p < csr.offsets[static_cast<size_t>(r) + 1];
                              ++p) {
-                          float* gmrow =
+                          simd::Scale(
+                              grow, w,
                               gm.data() +
-                              csr.edge_order[static_cast<size_t>(p)] * d_out;
-                          for (int64_t j = 0; j < d_out; ++j) {
-                            gmrow[j] = w * grow[j];
-                          }
+                                  csr.edge_order[static_cast<size_t>(p)] *
+                                      d_out,
+                              d_out);
                         }
                       }
                     });
@@ -1478,8 +1456,10 @@ Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
   ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
     for (int64_t i = r0; i < r1; ++i) {
       const float* row = xd + i * cols;
-      float m = -std::numeric_limits<float>::infinity();
-      for (int64_t j = 0; j < cols; ++j) m = std::max(m, row[j]);
+      // Max and normalise passes are SIMD; the exp/sum sweep stays a serial
+      // scalar chain (a float sum is not exact under lane reordering, and
+      // the bitwise contract pins today's accumulation order).
+      float m = simd::RowMax(row, cols);
       float sum = 0.0f;
       for (int64_t j = 0; j < cols; ++j) sum += std::exp(row[j] - m);
       float lse = m + std::log(sum);
@@ -1489,8 +1469,15 @@ Tensor RowwiseSoftmaxImpl(const Tensor& x, bool log_space) {
       // lse = m + log(sum) absorbs the log(sum) term in float32 and exp(x-lse)
       // collapses to 1 instead of 1/cols.
       float inv_sum = 1.0f / sum;
-      for (int64_t j = 0; j < cols; ++j) {
-        orow[j] = log_space ? row[j] - lse : std::exp(row[j] - m) * inv_sum;
+      if (log_space) {
+        // row[j] + (-lse) is IEEE-identical to row[j] - lse.
+        simd::AddScalar(row, -lse, orow, cols);
+      } else {
+        // Store the rounded exp first, then scale in place: exp(x-m) and
+        // exp(x-m)*inv_sum round through the same two operations as the
+        // fused expression (multiplication commutes bitwise).
+        for (int64_t j = 0; j < cols; ++j) orow[j] = std::exp(row[j] - m);
+        simd::Scale(orow, inv_sum, orow, cols);
       }
     }
   });
@@ -1552,9 +1539,26 @@ Tensor Tanh(const Tensor& x) {
 }
 
 Tensor Relu(const Tensor& x) {
-  return ElementwiseUnary(
-      x, [](float v) { return v > 0.0f ? v : 0.0f; },
-      [](float v, float) { return v > 0.0f ? 1.0f : 0.0f; });
+  LOGCL_CHECK(x.defined());
+  int64_t n = x.num_elements();
+  const float* xv = x.data().data();
+  std::vector<float> out = UninitOut(n);
+  float* od = out.data();
+  ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+    simd::Relu(xv + i0, od + i0, i1 - i0);
+  });
+  return Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [n](Node& node) {
+        const auto& px = node.parents[0];
+        if (!px->requires_grad) return;
+        px->EnsureGrad();
+        const float* g = node.grad.data();
+        const float* xd = px->data.data();
+        float* gx = px->grad.data();
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          simd::ReluBackward(xd + i0, g + i0, gx + i0, i1 - i0);
+        });
+      });
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {

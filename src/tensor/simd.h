@@ -1,0 +1,153 @@
+// Explicitly vectorized CPU kernels behind one-time runtime dispatch.
+//
+// Every fp32 entry point here is implemented twice (or three times): a
+// portable scalar variant and an AVX2 variant on x86-64 (NEON on aarch64).
+// The active variant is chosen once per process from CPUID (and the
+// LOGCL_SIMD env toggle) and cached in a kernel table; callers pay one
+// indirect call per kernel invocation, which the row/tile granularity of the
+// call sites amortises away.
+//
+// Bitwise-parity contract (fp32): for identical inputs, the SIMD and scalar
+// variants of every fp32 kernel return bit-identical outputs. This is the
+// property the LOGCL_SIMD=0 escape hatch and the Simd*Parity tests pin. It
+// holds because vector lanes only ever carry *independent* output elements:
+//  - elementwise kernels round exactly like the scalar loop (one IEEE op per
+//    element, no FMA — simd.cc is compiled with -ffp-contract=off),
+//  - the matmul kernels keep one accumulator per output element sweeping the
+//    reduction dimension in ascending order (lanes span output columns, so
+//    each element's accumulation chain is the scalar chain),
+//  - the NT (A * B^T) kernel transposes B into scratch and runs the NN
+//    kernel: per output element that is the identical product sequence in
+//    the identical order (the trick ops.cc's fused backward already relies
+//    on, now vectorised),
+//  - reductions that are not exact under reordering (e.g. float dot
+//    products) are simply not offered as fp32 SIMD kernels.
+// Integer kernels (the int8 dot product) are exact under any summation
+// order, so they vectorise freely.
+//
+// Threading: kernels here are serial. Callers shard work with ParallelFor
+// and invoke kernels per shard, so the existing thread-count-invariance
+// contracts are untouched.
+
+#ifndef LOGCL_TENSOR_SIMD_H_
+#define LOGCL_TENSOR_SIMD_H_
+
+#include <cstdint>
+
+namespace logcl {
+namespace simd {
+
+/// Instruction set the dispatcher selected at process start.
+enum class SimdIsa { kScalar, kAvx2, kNeon };
+
+/// The ISA the kernel table would use when SIMD is enabled (CPUID probe;
+/// never affected by LOGCL_SIMD).
+SimdIsa DetectedIsa();
+
+/// The ISA actually in use: DetectedIsa() when enabled, kScalar otherwise.
+SimdIsa ActiveIsa();
+
+const char* IsaName(SimdIsa isa);
+
+/// True unless LOGCL_SIMD=0/false/off (or SetSimdEnabled(false)).
+bool SimdEnabled();
+/// Test/bench override of the env default. Swaps the whole kernel table, so
+/// do not call concurrently with running kernels.
+void SetSimdEnabled(bool enabled);
+
+// --- fp32 elementwise kernels (bitwise-equal across variants) --------------
+
+/// out[i] = a[i] + b[i]
+void Add(const float* a, const float* b, float* out, int64_t n);
+/// out[i] = a[i] - b[i]
+void Sub(const float* a, const float* b, float* out, int64_t n);
+/// out[i] = a[i] * b[i]
+void Mul(const float* a, const float* b, float* out, int64_t n);
+/// y[i] += x[i]
+void Accumulate(const float* x, float* y, int64_t n);
+/// y[i] += a[i] * b[i]  (product rounded, then accumulated — two IEEE ops,
+/// exactly like the scalar backward loops; never fused)
+void MulAccumulate(const float* a, const float* b, float* y, int64_t n);
+/// y[i] += s * x[i]  (same two-op rounding contract)
+void Axpy(float s, const float* x, float* y, int64_t n);
+/// out[i] = s * x[i]
+void Scale(const float* x, float s, float* out, int64_t n);
+/// out[i] = x[i] + s
+void AddScalar(const float* x, float s, float* out, int64_t n);
+/// out[i] = max(x[i], 0)
+void Relu(const float* x, float* out, int64_t n);
+/// gx[i] += x[i] > 0 ? g[i] : +0.0f
+void ReluBackward(const float* x, const float* g, float* gx, int64_t n);
+/// max over x[0..n); -inf for n == 0. Exact under lane reordering for the
+/// finite inputs the softmax path feeds it.
+float RowMax(const float* x, int64_t n);
+
+// --- fp32 matmul kernels (accumulate into C) -------------------------------
+//
+// Tile geometry shared by every variant (and by ops.cc's fused
+// message-passing tiles): kTileRows x kTileCols output tiles swept by an
+// axpy over the reduction dimension.
+inline constexpr int64_t kTileRows = 4;
+inline constexpr int64_t kTileCols = 64;
+/// Do not split a matmul into shards below this many multiply-accumulates.
+inline constexpr int64_t kMatMulShardFlops = int64_t{1} << 15;
+/// Row grain so one shard performs at least kMatMulShardFlops MACs, where
+/// each output row costs `flops_per_row` MACs.
+int64_t MatMulRowGrain(int64_t flops_per_row);
+
+/// C(m x n) += A(m x k) * B(k x n), output rows [r0, r1) only.
+void MatMulRowsNN(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, int64_t r0, int64_t r1);
+/// C(k x n) += A(m x k)^T * B(m x n), output rows [r0, r1) only.
+void MatMulRowsTN(const float* a, const float* b, float* c, int64_t m,
+                  int64_t k, int64_t n, int64_t r0, int64_t r1);
+
+/// C(m x n) += A(m x k) * B(k x n), sharded internally with ParallelFor.
+void MatMulAccumNN(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+/// C(m x k) += A(m x n) * B(k x n)^T. The SIMD path transposes B into pooled
+/// scratch once and runs the NN kernel (bitwise-equal per element); the
+/// scalar path keeps the direct dot-product tile. Sharded internally.
+void MatMulAccumNT(const float* a, const float* b, float* c, int64_t m,
+                   int64_t n, int64_t k);
+/// C(k x n) += A(m x k)^T * B(m x n). Sharded internally.
+void MatMulAccumTN(const float* a, const float* b, float* c, int64_t m,
+                   int64_t k, int64_t n);
+
+/// Small-tile matmul into caller-owned accumulators:
+///   acc[r * acc_stride + j] = sum_l a[r * lda + l] * b[l * ldb + j]
+/// for r in [0, rows), j in [0, cols), l ascending with one accumulator per
+/// element (zero-initialised here). `cols` must be <= kTileCols. This is the
+/// inner tile of the fused message-passing kernels.
+void MatMulTile(const float* a, int64_t lda, const float* b, int64_t ldb,
+                float* acc, int64_t acc_stride, int64_t rows, int64_t k,
+                int64_t cols);
+
+// --- reduced-precision kernels (serving; no bitwise contract) --------------
+
+/// Exact int32 dot product of two int8 vectors (integer addition is
+/// associative, so every variant returns the same value).
+int32_t DotI8(const int8_t* a, const int8_t* b, int64_t n);
+
+/// fp32 dot of a bf16 row (high 16 bits of each float) against an fp32
+/// query. Lane-partial accumulation; NOT bitwise-stable across variants —
+/// callers gate it with rank-correlation tests, not equality.
+float DotBf16(const uint16_t* a, const float* q, int64_t n);
+
+/// Batched int8 scoring: out[e] = qscale * scales[e] * dot_i8(m row e, q)
+/// for e in [0, rows), rows of length `dim`. One dispatch for the whole
+/// candidate matrix — at serving dims each dot is a handful of vector ops,
+/// so a per-row indirect call would dominate. Same exactness as DotI8 (the
+/// float scaling is two IEEE multiplies per row in every variant).
+void ScoreRowsI8(const int8_t* m, const float* scales, const int8_t* q,
+                 float qscale, int64_t rows, int64_t dim, float* out);
+
+/// Batched bf16 scoring: out[e] = DotBf16(m row e, q). Same statistical
+/// (non-bitwise) contract as DotBf16.
+void ScoreRowsBf16(const uint16_t* m, const float* q, int64_t rows,
+                   int64_t dim, float* out);
+
+}  // namespace simd
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_SIMD_H_

@@ -89,7 +89,7 @@ TEST(BufferPoolTest, DisabledPoolFreesInsteadOfRecycling) {
   std::vector<float> buffer = AcquireBuffer(64, BufferFill::kZero);
   ReleaseBuffer(std::move(buffer));
   EXPECT_TRUE(buffer.empty());
-  BufferPoolStats stats = PoolStats();
+  BufferPoolStats stats = PoolSnapshot();
   EXPECT_EQ(stats.pooled_buffers, 0u);
   EXPECT_EQ(stats.pooled_bytes, 0u);
 }
@@ -101,10 +101,10 @@ TEST(BufferPoolTest, StatsAccountForHitsMissesAndLiveBytes) {
   TrimBufferPool();
   ResetPoolStats();
   constexpr size_t kSize = 54321;
-  BufferPoolStats before = PoolStats();
+  BufferPoolStats before = PoolSnapshot();
 
   std::vector<float> a = AcquireBuffer(kSize, BufferFill::kZero);
-  BufferPoolStats live = PoolStats();
+  BufferPoolStats live = PoolSnapshot();
   EXPECT_EQ(live.acquires - before.acquires, 1u);
   EXPECT_EQ(live.misses - before.misses, 1u);  // cold: fresh allocation
   EXPECT_EQ(live.live_bytes - before.live_bytes, kSize * sizeof(float));
@@ -113,7 +113,7 @@ TEST(BufferPoolTest, StatsAccountForHitsMissesAndLiveBytes) {
 
   ReleaseBuffer(std::move(a));
   std::vector<float> b = AcquireBuffer(kSize, BufferFill::kUninit);
-  BufferPoolStats after = PoolStats();
+  BufferPoolStats after = PoolSnapshot();
   EXPECT_EQ(after.hits - before.hits, 1u);  // warm: served from the bucket
   EXPECT_EQ(after.releases - before.releases, 1u);
   EXPECT_EQ(after.bytes_requested - before.bytes_requested,
@@ -124,16 +124,16 @@ TEST(BufferPoolTest, StatsAccountForHitsMissesAndLiveBytes) {
 TEST(BufferPoolTest, AdoptedBuffersBalanceTheLiveCounters) {
   PoolModeGuard pool(true);
   ResetPoolStats();
-  BufferPoolStats before = PoolStats();
+  BufferPoolStats before = PoolSnapshot();
   {
     // FromVector adopts caller storage; destruction releases it. The live
     // gauges must return exactly to their starting point.
     Tensor t = Tensor::FromVector(Shape{8, 4}, std::vector<float>(32, 1.0f));
-    BufferPoolStats mid = PoolStats();
+    BufferPoolStats mid = PoolSnapshot();
     EXPECT_EQ(mid.adoptions - before.adoptions, 1u);
     EXPECT_EQ(mid.live_bytes - before.live_bytes, 32 * sizeof(float));
   }
-  BufferPoolStats after = PoolStats();
+  BufferPoolStats after = PoolSnapshot();
   EXPECT_EQ(after.live_bytes, before.live_bytes);
   EXPECT_EQ(after.outstanding_buffers, before.outstanding_buffers);
 }
@@ -177,7 +177,7 @@ TEST(BufferPoolThreadsTest, ConcurrentAcquireReleaseIsRaceFree) {
     });
   }
   for (std::thread& t : threads) t.join();
-  BufferPoolStats stats = PoolStats();
+  BufferPoolStats stats = PoolSnapshot();
   EXPECT_GE(stats.acquires, static_cast<uint64_t>(kThreads * kRounds));
 }
 
@@ -316,7 +316,7 @@ TEST(PoolEpochParityTest, SteadyStateHitRateIsAtLeast95Percent) {
   RunEpoch(d, /*pooled=*/true);  // warm the buckets
   ResetPoolStats();
   RunEpoch(d, /*pooled=*/true);
-  BufferPoolStats stats = PoolStats();
+  BufferPoolStats stats = PoolSnapshot();
   EXPECT_GT(stats.acquires, 1000u) << "epoch unexpectedly small";
   EXPECT_GE(stats.HitRate(), 0.95)
       << "hit rate " << stats.HitRate() << " — " << stats.ToString();

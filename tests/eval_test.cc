@@ -1,6 +1,9 @@
 // Tests for ranking and metric accumulation, including the time-aware
 // filtered protocol semantics.
 
+#include <cmath>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
@@ -42,6 +45,84 @@ TEST(RankingTest, TopKOrdersDescending) {
 
 TEST(RankingTest, TopKClampsToSize) {
   EXPECT_EQ(TopK({1.0f, 2.0f}, 10).size(), 2u);
+}
+
+TEST(RankingTest, TopKPartialMatchesTopKExactly) {
+  std::vector<float> scores = {0.2f, 0.9f, 0.5f, 0.7f, 0.1f, 0.9f};
+  for (int64_t k = 1; k <= 8; ++k) {
+    EXPECT_EQ(TopKPartial(scores.data(), scores.size(), k), TopK(scores, k))
+        << "k=" << k;
+  }
+}
+
+TEST(RankingTest, TopKPartialKAtLeastN) {
+  // k == n and k > n both return the full descending order.
+  std::vector<float> scores = {0.3f, 0.1f, 0.8f};
+  std::vector<int64_t> expect = {2, 0, 1};
+  EXPECT_EQ(TopKPartial(scores.data(), 3, 3), expect);
+  EXPECT_EQ(TopKPartial(scores.data(), 3, 100), expect);
+}
+
+TEST(RankingTest, TopKPartialTiesBreakTowardLowerIndex) {
+  // All-equal scores: selection order must be index order, for every k
+  // (including a partition boundary inside the tie run).
+  std::vector<float> scores(7, 1.5f);
+  for (int64_t k = 1; k <= 7; ++k) {
+    std::vector<int64_t> top = TopKPartial(scores.data(), 7, k);
+    ASSERT_EQ(top.size(), static_cast<size_t>(k));
+    for (int64_t i = 0; i < k; ++i) EXPECT_EQ(top[i], i);
+  }
+  // Tie run not at the front: {9, 5, 5, 5, 2} with k splitting the 5s.
+  std::vector<float> mixed = {9.0f, 5.0f, 5.0f, 5.0f, 2.0f};
+  EXPECT_EQ(TopKPartial(mixed.data(), 5, 2),
+            (std::vector<int64_t>{0, 1}));
+  EXPECT_EQ(TopKPartial(mixed.data(), 5, 3),
+            (std::vector<int64_t>{0, 1, 2}));
+}
+
+TEST(RankingTest, TopKPartialKOne) {
+  std::vector<float> scores = {0.2f, 0.9f, 0.5f};
+  EXPECT_EQ(TopKPartial(scores.data(), 3, 1),
+            (std::vector<int64_t>{1}));
+  // Single-element row.
+  float one = 42.0f;
+  EXPECT_EQ(TopKPartial(&one, 1, 1), (std::vector<int64_t>{0}));
+}
+
+TEST(RankingTest, TopKSoftmaxKAtLeastNSumsToOne) {
+  std::vector<float> logits = {1.0f, -2.0f, 0.5f, 3.0f};
+  for (int64_t k : {static_cast<int64_t>(4), static_cast<int64_t>(50)}) {
+    auto top = TopKSoftmax(logits.data(), 4, k);
+    ASSERT_EQ(top.size(), 4u);
+    EXPECT_EQ(top[0].first, 3);  // highest logit first
+    double sum = 0.0;
+    for (const auto& [id, p] : top) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(RankingTest, TopKSoftmaxTiedLogitsTieBreakAndEqualProbability) {
+  std::vector<float> logits = {2.0f, 2.0f, 2.0f, 0.0f};
+  auto top = TopKSoftmax(logits.data(), 4, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 0);
+  EXPECT_EQ(top[1].first, 1);
+  // Equal logits produce bitwise-equal probabilities.
+  EXPECT_EQ(top[0].second, top[1].second);
+}
+
+TEST(RankingTest, TopKSoftmaxKOneMatchesFullSoftmax) {
+  std::vector<float> logits = {0.1f, 1.2f, -3.0f};
+  auto top = TopKSoftmax(logits.data(), 3, 1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 1);
+  // Reference full softmax with the same max-shift, float exp terms, and
+  // double normaliser (the bitwise contract documented in ranking.h).
+  float mx = 1.2f;
+  double z = 0.0;
+  for (float l : logits) z += static_cast<float>(std::exp(l - mx));
+  float e1 = static_cast<float>(std::exp(logits[1] - mx));
+  EXPECT_EQ(top[0].second, static_cast<float>(e1 / z));
 }
 
 TEST(MetricsTest, SingleRankValues) {

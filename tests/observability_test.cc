@@ -201,8 +201,6 @@ TEST_F(ObservabilityTest, PoolSourcePublishesUnderRegistryNames) {
   MetricsSnapshot snap = Metrics().Snapshot();
   EXPECT_GE(snap.CounterValue("logcl.pool.acquires"), pool.acquires);
   EXPECT_NE(snap.Find("logcl.pool.live_bytes"), nullptr);
-  // The deprecated PoolStats() alias still answers with the same view.
-  EXPECT_GE(PoolStats().acquires, pool.acquires);
 }
 
 TEST_F(ObservabilityTest, DumpMetricsTextAndJsonShapes) {

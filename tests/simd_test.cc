@@ -1,0 +1,364 @@
+// Tests pinning the SIMD layer's bitwise-parity contract (tensor/simd.h):
+// every fp32 kernel returns bit-identical outputs whether the scalar or the
+// vectorized variant runs, over shapes that exercise vector bodies, scalar
+// tails, and the register-panel remainders. The end-to-end half trains a
+// full epoch under both kernel tables (and at 1 and 4 threads) and demands
+// bitwise-equal scores.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "core/logcl_model.h"
+#include "synth/generator.h"
+#include "tensor/optimizer.h"
+#include "tensor/simd.h"
+#include "tkg/dataset.h"
+
+namespace logcl {
+namespace {
+
+// Deterministic fill with awkward float values (mixed signs, magnitudes,
+// exact and inexact fractions) — enough entropy that a rounding-order
+// difference between kernel variants cannot cancel out.
+std::vector<float> Fill(int64_t n, uint64_t seed) {
+  std::vector<float> out(static_cast<size_t>(n));
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int64_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint32_t r = static_cast<uint32_t>(state >> 33);
+    float v = static_cast<float>(static_cast<int32_t>(r % 2001) - 1000) /
+              147.0f;
+    out[static_cast<size_t>(i)] = v;
+  }
+  return out;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at " << i << ": " << a[i]
+                      << " vs " << b[i];
+  }
+}
+
+// Restores the kernel table on scope exit.
+class SimdGuard {
+ public:
+  SimdGuard() : previous_(simd::SimdEnabled()) {}
+  ~SimdGuard() { simd::SetSimdEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ThreadCountGuard() { SetNumThreads(previous_); }
+
+ private:
+  int previous_;
+};
+
+// Runs `op` (writing `out_size` floats into its argument) under both kernel
+// tables and asserts bitwise-equal results.
+template <typename Op>
+void ExpectVariantParity(int64_t out_size, const char* what, Op op) {
+  SimdGuard guard;
+  std::vector<float> scalar_out(static_cast<size_t>(out_size));
+  std::vector<float> simd_out(static_cast<size_t>(out_size));
+  simd::SetSimdEnabled(false);
+  op(scalar_out.data());
+  simd::SetSimdEnabled(true);
+  op(simd_out.data());
+  ExpectBitwiseEqual(scalar_out, simd_out, what);
+}
+
+// Sizes hitting: empty, below one vector, exactly one vector, vector + tail,
+// several vectors, and a large run.
+const int64_t kSizes[] = {0, 1, 3, 7, 8, 9, 15, 16, 31, 64, 100, 1027};
+
+TEST(SimdDispatchTest, ActiveIsaFollowsEnable) {
+  SimdGuard guard;
+  simd::SetSimdEnabled(false);
+  EXPECT_EQ(simd::ActiveIsa(), simd::SimdIsa::kScalar);
+  EXPECT_FALSE(simd::SimdEnabled());
+  simd::SetSimdEnabled(true);
+  EXPECT_EQ(simd::ActiveIsa(), simd::DetectedIsa());
+  EXPECT_TRUE(simd::SimdEnabled());
+  EXPECT_NE(simd::IsaName(simd::ActiveIsa()), nullptr);
+}
+
+TEST(SimdParityTest, ElementwiseBinary) {
+  for (int64_t n : kSizes) {
+    std::vector<float> a = Fill(n, 11), b = Fill(n, 22);
+    ExpectVariantParity(n, "add", [&](float* out) {
+      simd::Add(a.data(), b.data(), out, n);
+    });
+    ExpectVariantParity(n, "sub", [&](float* out) {
+      simd::Sub(a.data(), b.data(), out, n);
+    });
+    ExpectVariantParity(n, "mul", [&](float* out) {
+      simd::Mul(a.data(), b.data(), out, n);
+    });
+  }
+}
+
+TEST(SimdParityTest, AccumulatingKernels) {
+  for (int64_t n : kSizes) {
+    std::vector<float> a = Fill(n, 33), b = Fill(n, 44), init = Fill(n, 55);
+    ExpectVariantParity(n, "accumulate", [&](float* out) {
+      std::copy(init.begin(), init.end(), out);
+      simd::Accumulate(a.data(), out, n);
+    });
+    ExpectVariantParity(n, "mul_accumulate", [&](float* out) {
+      std::copy(init.begin(), init.end(), out);
+      simd::MulAccumulate(a.data(), b.data(), out, n);
+    });
+    ExpectVariantParity(n, "axpy", [&](float* out) {
+      std::copy(init.begin(), init.end(), out);
+      simd::Axpy(-0.37f, a.data(), out, n);
+    });
+  }
+}
+
+TEST(SimdParityTest, ScaleAddScalarRelu) {
+  for (int64_t n : kSizes) {
+    std::vector<float> a = Fill(n, 66);
+    if (n > 0) a[static_cast<size_t>(n / 2)] = -0.0f;  // relu(-0) corner
+    ExpectVariantParity(n, "scale", [&](float* out) {
+      simd::Scale(a.data(), 1.0f / 3.0f, out, n);
+    });
+    ExpectVariantParity(n, "add_scalar", [&](float* out) {
+      simd::AddScalar(a.data(), -2.75f, out, n);
+    });
+    ExpectVariantParity(n, "relu", [&](float* out) {
+      simd::Relu(a.data(), out, n);
+    });
+    std::vector<float> g = Fill(n, 77), init = Fill(n, 88);
+    ExpectVariantParity(n, "relu_backward", [&](float* out) {
+      std::copy(init.begin(), init.end(), out);
+      simd::ReluBackward(a.data(), g.data(), out, n);
+    });
+  }
+}
+
+TEST(SimdParityTest, RowMax) {
+  SimdGuard guard;
+  for (int64_t n : kSizes) {
+    if (n == 0) continue;
+    std::vector<float> a = Fill(n, 99);
+    simd::SetSimdEnabled(false);
+    float scalar = simd::RowMax(a.data(), n);
+    simd::SetSimdEnabled(true);
+    float vectored = simd::RowMax(a.data(), n);
+    EXPECT_EQ(scalar, vectored) << "n=" << n;
+    // All-negative row: the max must not be polluted by a zero identity.
+    for (float& v : a) v = -std::fabs(v) - 1.0f;
+    simd::SetSimdEnabled(false);
+    scalar = simd::RowMax(a.data(), n);
+    simd::SetSimdEnabled(true);
+    EXPECT_EQ(scalar, simd::RowMax(a.data(), n)) << "all-negative n=" << n;
+  }
+  EXPECT_EQ(simd::RowMax(nullptr, 0),
+            -std::numeric_limits<float>::infinity());
+}
+
+// Shapes crossing every panel/vector boundary: rows hit the R=4 main loop
+// plus 1/2/3-row remainders, columns hit full 8-lane vectors plus tails.
+const struct {
+  int64_t m, k, n;
+} kMatShapes[] = {{1, 1, 1},   {3, 5, 7},    {4, 8, 8},  {5, 9, 17},
+                  {7, 16, 24}, {13, 21, 33}, {8, 32, 9}, {2, 64, 70}};
+
+TEST(SimdParityTest, MatMulDrivers) {
+  for (const auto& s : kMatShapes) {
+    std::vector<float> a = Fill(s.m * s.k, 1), b = Fill(s.k * s.n, 2);
+    std::vector<float> c0 = Fill(s.m * s.n, 3);
+    ExpectVariantParity(s.m * s.n, "matmul_nn", [&](float* out) {
+      std::copy(c0.begin(), c0.end(), out);
+      simd::MatMulAccumNN(a.data(), b.data(), out, s.m, s.k, s.n);
+    });
+    // NT: C(m x k) += A(m x n) * B(k x n)^T with A [m, n], B [k, n].
+    std::vector<float> an = Fill(s.m * s.n, 4), bn = Fill(s.k * s.n, 5);
+    std::vector<float> cnt = Fill(s.m * s.k, 6);
+    ExpectVariantParity(s.m * s.k, "matmul_nt", [&](float* out) {
+      std::copy(cnt.begin(), cnt.end(), out);
+      simd::MatMulAccumNT(an.data(), bn.data(), out, s.m, s.n, s.k);
+    });
+    // TN: C(k x n) += A(m x k)^T * B(m x n).
+    std::vector<float> bt = Fill(s.m * s.n, 7);
+    std::vector<float> ctn = Fill(s.k * s.n, 8);
+    ExpectVariantParity(s.k * s.n, "matmul_tn", [&](float* out) {
+      std::copy(ctn.begin(), ctn.end(), out);
+      simd::MatMulAccumTN(a.data(), bt.data(), out, s.m, s.k, s.n);
+    });
+  }
+}
+
+TEST(SimdParityTest, MatMulRowRangesComposeToWhole) {
+  // Row-range kernels over disjoint ranges must equal one full-range call
+  // (this is what ParallelFor sharding relies on for thread invariance).
+  SimdGuard guard;
+  simd::SetSimdEnabled(true);
+  const int64_t m = 11, k = 13, n = 19;
+  std::vector<float> a = Fill(m * k, 21), b = Fill(k * n, 22);
+  std::vector<float> whole(static_cast<size_t>(m * n), 0.0f);
+  std::vector<float> pieces(static_cast<size_t>(m * n), 0.0f);
+  simd::MatMulRowsNN(a.data(), b.data(), whole.data(), m, k, n, 0, m);
+  for (int64_t r0 = 0; r0 < m; r0 += 3) {
+    simd::MatMulRowsNN(a.data(), b.data(), pieces.data(), m, k, n, r0,
+                       std::min<int64_t>(m, r0 + 3));
+  }
+  ExpectBitwiseEqual(whole, pieces, "row-range composition");
+}
+
+TEST(SimdParityTest, MatMulTile) {
+  // The fused message-passing inner tile: rows x cols <= kTileRows x
+  // kTileCols with arbitrary leading strides.
+  const int64_t lda = 17, ldb = 23;
+  std::vector<float> a = Fill(simd::kTileRows * lda, 31);
+  std::vector<float> b = Fill(64 * ldb, 32);
+  for (int64_t rows : {int64_t{1}, int64_t{2}, int64_t{4}}) {
+    for (int64_t cols : {int64_t{1}, int64_t{7}, int64_t{8}, int64_t{23},
+                         simd::kTileCols}) {
+      for (int64_t k : {int64_t{1}, int64_t{5}, int64_t{16}}) {
+        ExpectVariantParity(rows * simd::kTileCols, "matmul_tile",
+                            [&](float* out) {
+                              simd::MatMulTile(a.data(), lda, b.data(), ldb,
+                                               out, simd::kTileCols, rows, k,
+                                               cols);
+                            });
+      }
+    }
+  }
+}
+
+TEST(SimdExactTest, DotI8MatchesIntegerReference) {
+  SimdGuard guard;
+  for (int64_t n : kSizes) {
+    std::vector<int8_t> a(static_cast<size_t>(n)), b(static_cast<size_t>(n));
+    uint64_t state = 7;
+    for (int64_t i = 0; i < n; ++i) {
+      state = state * 6364136223846793005ull + 1;
+      a[static_cast<size_t>(i)] = static_cast<int8_t>(state >> 40);
+      state = state * 6364136223846793005ull + 1;
+      b[static_cast<size_t>(i)] = static_cast<int8_t>(state >> 40);
+    }
+    int32_t expect = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      expect += static_cast<int32_t>(a[static_cast<size_t>(i)]) *
+                static_cast<int32_t>(b[static_cast<size_t>(i)]);
+    }
+    simd::SetSimdEnabled(true);
+    EXPECT_EQ(simd::DotI8(a.data(), b.data(), n), expect) << "simd n=" << n;
+    simd::SetSimdEnabled(false);
+    EXPECT_EQ(simd::DotI8(a.data(), b.data(), n), expect) << "scalar n=" << n;
+  }
+}
+
+TEST(SimdExactTest, DotI8SaturatedRange) {
+  // +/-127 everywhere: the widening path must not overflow int16 pairwise
+  // products (127 * 127 * 2 < 32768 holds; pin it).
+  const int64_t n = 96;
+  std::vector<int8_t> a(static_cast<size_t>(n), 127);
+  std::vector<int8_t> b(static_cast<size_t>(n), -127);
+  EXPECT_EQ(simd::DotI8(a.data(), b.data(), n),
+            static_cast<int32_t>(n) * 127 * -127);
+}
+
+TEST(SimdApproxTest, DotBf16CloseToFp32Reference) {
+  // No bitwise contract across variants; both must sit within bf16's ~3
+  // decimal digits of the fp32 dot.
+  SimdGuard guard;
+  for (int64_t n : {int64_t{1}, int64_t{9}, int64_t{64}, int64_t{127}}) {
+    std::vector<float> a = Fill(n, 41), q = Fill(n, 42);
+    std::vector<uint16_t> abf(static_cast<size_t>(n));
+    double expect = 0.0, norm = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      uint32_t bits;
+      std::memcpy(&bits, &a[static_cast<size_t>(i)], sizeof(bits));
+      uint32_t rounded =
+          (bits + 0x7fffu + ((bits >> 16) & 1u)) & 0xffff0000u;
+      float av;
+      std::memcpy(&av, &rounded, sizeof(av));
+      abf[static_cast<size_t>(i)] = static_cast<uint16_t>(rounded >> 16);
+      expect += static_cast<double>(av) * q[static_cast<size_t>(i)];
+      norm += std::fabs(static_cast<double>(av) * q[static_cast<size_t>(i)]);
+    }
+    double tol = 1e-5 * (norm + 1.0);
+    simd::SetSimdEnabled(true);
+    EXPECT_NEAR(simd::DotBf16(abf.data(), q.data(), n), expect, tol);
+    simd::SetSimdEnabled(false);
+    EXPECT_NEAR(simd::DotBf16(abf.data(), q.data(), n), expect, tol);
+  }
+}
+
+// --- end to end: a training epoch is bitwise invariant to the kernel table --
+
+TkgDataset SimdData() {
+  SynthConfig config;
+  config.name = "simd-test";
+  config.seed = 505;
+  config.num_entities = 20;
+  config.num_relations = 4;
+  config.num_timestamps = 12;
+  config.recurring_pool = 15;
+  config.num_cyclic = 6;
+  config.chains_per_timestamp = 1.5;
+  return GenerateSyntheticTkg(config);
+}
+
+LogClConfig SimdModelConfig() {
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  config.local.num_layers = 1;
+  config.local.time_dim = 4;
+  config.global.num_layers = 1;
+  config.decoder.num_kernels = 8;
+  config.seed = 31;
+  return config;
+}
+
+TEST(SimdEpochParityTest, TrainEpochBitwiseInvariantToKernelTable) {
+  if (simd::DetectedIsa() == simd::SimdIsa::kScalar) {
+    GTEST_SKIP() << "no vector ISA on this host; parity is trivial";
+  }
+  TkgDataset data = SimdData();
+  auto train_and_score = [&](bool simd_on, int threads) {
+    SimdGuard simd_guard;
+    ThreadCountGuard thread_guard(threads);
+    simd::SetSimdEnabled(simd_on);
+    LogClModel model(&data, SimdModelConfig());
+    AdamOptimizer optimizer(model.Parameters(), {});
+    model.TrainEpoch(&optimizer);
+    return model.ScoreQueries({{0, 0, 1, 10}, {3, 2, 5, 10}, {7, 1, 2, 10}});
+  };
+  std::vector<std::vector<float>> reference = train_and_score(false, 1);
+  for (int threads : {1, 4}) {
+    std::vector<std::vector<float>> scalar = train_and_score(false, threads);
+    std::vector<std::vector<float>> vectored = train_and_score(true, threads);
+    ASSERT_EQ(scalar.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectBitwiseEqual(reference[i], scalar[i], "scalar epoch scores");
+      ExpectBitwiseEqual(reference[i], vectored[i], "simd epoch scores");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logcl
