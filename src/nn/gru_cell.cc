@@ -3,6 +3,26 @@
 #include "tensor/ops.h"
 
 namespace logcl {
+namespace {
+
+// Captureless builders for the JIT caches: the matmul results arrive as
+// inputs, so each builder is a pure elementwise chain the tracer can
+// compile (see tensor/jit.h).
+Tensor GateChain(const std::vector<Tensor>& in) {
+  return ops::Sigmoid(ops::Add(ops::Add(in[0], in[1]), in[2]));
+}
+
+Tensor CandidateChain(const std::vector<Tensor>& in) {
+  return ops::Tanh(ops::Add(ops::Add(in[0], in[1]), in[2]));
+}
+
+// h' = z*h + (1-z)*n over in = {z, h, n}.
+Tensor CombineChain(const std::vector<Tensor>& in) {
+  Tensor one_minus_z = ops::AddScalar(ops::Neg(in[0]), 1.0f);
+  return ops::Add(ops::Mul(in[0], in[1]), ops::Mul(one_minus_z, in[2]));
+}
+
+}  // namespace
 
 GruCell::GruCell(int64_t dim, Rng* rng) {
   auto weight = [&] {
@@ -17,13 +37,14 @@ GruCell::GruCell(int64_t dim, Rng* rng) {
 }
 
 Tensor GruCell::Forward(const Tensor& h, const Tensor& x) const {
-  using namespace ops;  // NOLINT: dense formula readability
-  Tensor z = Sigmoid(Add(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
-  Tensor r = Sigmoid(Add(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
-  Tensor n = Tanh(Add(Add(MatMul(x, wn_), MatMul(Mul(r, h), un_)), bn_));
-  // h' = z*h + (1-z)*n
-  Tensor one_minus_z = AddScalar(Neg(z), 1.0f);
-  return Add(Mul(z, h), Mul(one_minus_z, n));
+  using ops::MatMul;
+  Tensor z =
+      gate_cache_.Run({MatMul(x, wz_), MatMul(h, uz_), bz_}, GateChain);
+  Tensor r =
+      gate_cache_.Run({MatMul(x, wr_), MatMul(h, ur_), br_}, GateChain);
+  Tensor n = candidate_cache_.Run(
+      {MatMul(x, wn_), MatMul(ops::Mul(r, h), un_), bn_}, CandidateChain);
+  return combine_cache_.Run({z, h, n}, CombineChain);
 }
 
 }  // namespace logcl

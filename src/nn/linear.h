@@ -19,6 +19,8 @@ class Linear : public Module {
   Tensor Forward(const Tensor& x) const;
 
   const Tensor& weight() const { return weight_; }
+  /// Undefined when the layer was built without a bias.
+  const Tensor& bias() const { return bias_; }
 
  private:
   Tensor weight_;

@@ -1,0 +1,216 @@
+// Shared scalar elementwise-op definitions: the single source of truth for
+// the forward formula and local derivative of every fusable unary op, plus
+// the same-shape binary backward epilogue shared by the eager path
+// (tensor/ops.cc) and the JIT's fused replay kernels (tensor/jit_fusion.cc).
+//
+// Keeping one copy is what makes the JIT's bitwise-parity contract
+// checkable: a captured plan replays literally the same per-element
+// arithmetic (and the same ParallelFor grains) as eager mode, so
+// LOGCL_JIT=0 and =1 produce bit-identical tensors. Adding an op here (and
+// to the OpCode table in tensor/jit_internal.h) makes it fusable; an op
+// whose formula lives only in ops.cc is eager-only.
+
+#ifndef LOGCL_TENSOR_ELEMENTWISE_KERNELS_H_
+#define LOGCL_TENSOR_ELEMENTWISE_KERNELS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <type_traits>
+
+#include "common/parallel.h"
+
+namespace logcl {
+namespace ewise {
+
+/// Arithmetic kind of an ElementwiseBinary call when the SIMD layer has a
+/// dedicated kernel pair for it (tensor/simd.h). kGeneric keeps the lambda
+/// loops and is never captured by the JIT tracer.
+enum class BinaryKind : uint8_t { kGeneric, kAdd, kSub, kMul };
+
+/// Unary ops with a closed-form (x, y, param) -> dy/dx in the table below.
+/// Relu is not listed: it has dedicated SIMD kernels and its own OpCode.
+/// kCustom marks ElementwiseUnary calls whose lambdas are not in this table;
+/// the JIT tracer treats those as untraceable.
+enum class UnaryKind : uint8_t {
+  kCustom,
+  kNeg,
+  kSigmoid,
+  kTanh,
+  kLeakyRelu,  // param = negative slope
+  kExp,
+  kLog,        // param = clamp epsilon
+  kCos,
+};
+
+/// Forward formula y = f(x). `param` is used only by the kinds annotated
+/// above.
+inline float UnaryForward(UnaryKind kind, float x, float param) {
+  switch (kind) {
+    case UnaryKind::kNeg:
+      return -x;
+    case UnaryKind::kSigmoid: {
+      // Stable logistic.
+      if (x >= 0.0f) {
+        float e = std::exp(-x);
+        return 1.0f / (1.0f + e);
+      }
+      float e = std::exp(x);
+      return e / (1.0f + e);
+    }
+    case UnaryKind::kTanh:
+      return std::tanh(x);
+    case UnaryKind::kLeakyRelu:
+      return x > 0.0f ? x : param * x;
+    case UnaryKind::kExp:
+      return std::exp(x);
+    case UnaryKind::kLog:
+      return std::log(std::max(x, param));
+    case UnaryKind::kCos:
+      return std::cos(x);
+    case UnaryKind::kCustom:
+      break;
+  }
+  return x;
+}
+
+/// Local derivative dy/dx at (x, y = UnaryForward(x)). Reads only the
+/// operands UnaryNeedsX / UnaryNeedsY declare, so callers may pass 0 for
+/// the other one (the JIT saves only the declared operands in its arena).
+inline float UnaryDeriv(UnaryKind kind, float x, float y, float param) {
+  switch (kind) {
+    case UnaryKind::kNeg:
+      return -1.0f;
+    case UnaryKind::kSigmoid:
+      return y * (1.0f - y);
+    case UnaryKind::kTanh:
+      return 1.0f - y * y;
+    case UnaryKind::kLeakyRelu:
+      return x > 0.0f ? 1.0f : param;
+    case UnaryKind::kExp:
+      return y;
+    case UnaryKind::kLog:
+      return 1.0f / std::max(x, param);
+    case UnaryKind::kCos:
+      return -std::sin(x);
+    case UnaryKind::kCustom:
+      break;
+  }
+  return 0.0f;
+}
+
+/// Whether UnaryDeriv reads the input x / the output y for `kind`.
+inline bool UnaryNeedsX(UnaryKind kind) {
+  return kind == UnaryKind::kLeakyRelu || kind == UnaryKind::kLog ||
+         kind == UnaryKind::kCos;
+}
+inline bool UnaryNeedsY(UnaryKind kind) {
+  return kind == UnaryKind::kSigmoid || kind == UnaryKind::kTanh ||
+         kind == UnaryKind::kExp;
+}
+
+namespace internal {
+
+// Kind-specialised loop bodies so the per-element switch in UnaryForward /
+// UnaryDeriv constant-folds away; the formulas stay single-sourced above.
+template <UnaryKind K>
+inline void UnaryForwardLoopT(const float* x, float* y, int64_t n,
+                              float param) {
+  for (int64_t i = 0; i < n; ++i) y[i] = UnaryForward(K, x[i], param);
+}
+
+template <UnaryKind K>
+inline void UnaryBackwardLoopT(const float* g, const float* x, const float* y,
+                               float* gx, int64_t n, float param) {
+  for (int64_t i = 0; i < n; ++i) {
+    gx[i] += g[i] * UnaryDeriv(K, UnaryNeedsX(K) ? x[i] : 0.0f,
+                               UnaryNeedsY(K) ? y[i] : 0.0f, param);
+  }
+}
+
+}  // namespace internal
+
+/// y[i] = f(x[i]) over [0, n); the serial kernel both the eager unary loop
+/// and the JIT's fused tiles invoke per shard.
+inline void UnaryForwardKernel(UnaryKind kind, const float* x, float* y,
+                               int64_t n, float param) {
+  using internal::UnaryForwardLoopT;
+  switch (kind) {
+    case UnaryKind::kNeg:
+      return UnaryForwardLoopT<UnaryKind::kNeg>(x, y, n, param);
+    case UnaryKind::kSigmoid:
+      return UnaryForwardLoopT<UnaryKind::kSigmoid>(x, y, n, param);
+    case UnaryKind::kTanh:
+      return UnaryForwardLoopT<UnaryKind::kTanh>(x, y, n, param);
+    case UnaryKind::kLeakyRelu:
+      return UnaryForwardLoopT<UnaryKind::kLeakyRelu>(x, y, n, param);
+    case UnaryKind::kExp:
+      return UnaryForwardLoopT<UnaryKind::kExp>(x, y, n, param);
+    case UnaryKind::kLog:
+      return UnaryForwardLoopT<UnaryKind::kLog>(x, y, n, param);
+    case UnaryKind::kCos:
+      return UnaryForwardLoopT<UnaryKind::kCos>(x, y, n, param);
+    case UnaryKind::kCustom:
+      break;
+  }
+}
+
+/// gx[i] += g[i] * f'(x[i]) over [0, n); x / y may be null when
+/// UnaryNeedsX / UnaryNeedsY is false for `kind`.
+inline void UnaryBackwardKernel(UnaryKind kind, const float* g, const float* x,
+                                const float* y, float* gx, int64_t n,
+                                float param) {
+  using internal::UnaryBackwardLoopT;
+  switch (kind) {
+    case UnaryKind::kNeg:
+      return UnaryBackwardLoopT<UnaryKind::kNeg>(g, x, y, gx, n, param);
+    case UnaryKind::kSigmoid:
+      return UnaryBackwardLoopT<UnaryKind::kSigmoid>(g, x, y, gx, n, param);
+    case UnaryKind::kTanh:
+      return UnaryBackwardLoopT<UnaryKind::kTanh>(g, x, y, gx, n, param);
+    case UnaryKind::kLeakyRelu:
+      return UnaryBackwardLoopT<UnaryKind::kLeakyRelu>(g, x, y, gx, n, param);
+    case UnaryKind::kExp:
+      return UnaryBackwardLoopT<UnaryKind::kExp>(g, x, y, gx, n, param);
+    case UnaryKind::kLog:
+      return UnaryBackwardLoopT<UnaryKind::kLog>(g, x, y, gx, n, param);
+    case UnaryKind::kCos:
+      return UnaryBackwardLoopT<UnaryKind::kCos>(g, x, y, gx, n, param);
+    case UnaryKind::kCustom:
+      break;
+  }
+}
+
+/// Same-shape binary backward epilogue: one pass computes both local grads
+/// and accumulates whichever sides are live (null pointer = side without
+/// requires_grad). Replaces the three near-identical hand-unrolled loops the
+/// eager path used to carry; the null checks are still hoisted out of the
+/// element loop, so each live combination stays branch-free per element.
+/// `bwd` is the (g, a, b, *da, *db) local-gradient functor of the op.
+template <typename BackwardFn>
+void SameShapeBinaryBackward(const float* g, const float* ad, const float* bd,
+                             float* ga, float* gb, int64_t n, int64_t grain,
+                             const BackwardFn& bwd) {
+  auto run = [&](auto write_a, auto write_b) {
+    ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
+      for (int64_t i = i0; i < i1; ++i) {
+        float da = 0.0f, db = 0.0f;
+        bwd(g[i], ad[i], bd[i], &da, &db);
+        if constexpr (decltype(write_a)::value) ga[i] += da;
+        if constexpr (decltype(write_b)::value) gb[i] += db;
+      }
+    });
+  };
+  if (ga != nullptr && gb != nullptr) {
+    run(std::true_type{}, std::true_type{});
+  } else if (ga != nullptr) {
+    run(std::true_type{}, std::false_type{});
+  } else if (gb != nullptr) {
+    run(std::false_type{}, std::true_type{});
+  }
+}
+
+}  // namespace ewise
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_ELEMENTWISE_KERNELS_H_

@@ -1,0 +1,434 @@
+#include "tensor/jit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/observability.h"
+#include "tensor/jit_internal.h"
+
+namespace logcl {
+namespace jit {
+namespace {
+
+using internal::CompiledPlan;
+using internal::TraceState;
+
+// A ChainCache keeps at most this many signature entries (compiled or
+// known-uncompilable). A call site cycling through more shapes than this is
+// not replay-friendly; overflow calls stay eager instead of thrashing.
+constexpr size_t kMaxPlans = 16;
+
+std::atomic<bool>& JitFlag() {
+  static std::atomic<bool>* flag = new std::atomic<bool>([] {
+    const char* env = std::getenv("LOGCL_JIT");
+    if (env == nullptr) return false;  // default OFF this PR
+    std::string value(env);
+    return !(value == "0" || value == "false" || value == "off");
+  }());
+  return *flag;
+}
+
+// Global monotonic counters + gauges; relaxed like the pool's (exactness is
+// only expected with quiescent writers).
+struct StatBlock {
+  std::atomic<uint64_t> plans_captured{0};
+  std::atomic<uint64_t> replays{0};
+  std::atomic<uint64_t> fusions_applied{0};
+  std::atomic<uint64_t> eager_fallbacks{0};
+  std::atomic<uint64_t> capture_failures{0};
+  std::atomic<uint64_t> invalidations{0};
+  std::atomic<int64_t> arena_bytes{0};
+  std::atomic<int64_t> plans_live{0};
+};
+
+StatBlock& Stats() {
+  // Leaky singleton: CompiledPlan destructors may run at process teardown.
+  static StatBlock* stats = new StatBlock;
+  return *stats;
+}
+
+// First JIT touch process-wide: publish the counters into metric snapshots
+// under the logcl.jit.* schema (DESIGN.md §12/§14), like logcl.pool.*.
+void EnsureMetricsRegistered() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    Metrics().RegisterSource([](std::vector<MetricValue>* out) {
+      JitStats s = JitSnapshot();
+      auto counter = [out](const char* name, uint64_t value) {
+        MetricValue m;
+        m.name = name;
+        m.kind = MetricKind::kCounter;
+        m.value = value;
+        out->push_back(std::move(m));
+      };
+      auto gauge = [out](const char* name, int64_t value) {
+        MetricValue m;
+        m.name = name;
+        m.kind = MetricKind::kGauge;
+        m.gauge = value;
+        out->push_back(std::move(m));
+      };
+      counter("logcl.jit.plans_captured", s.plans_captured);
+      counter("logcl.jit.replays", s.replays);
+      counter("logcl.jit.fusions_applied", s.fusions_applied);
+      counter("logcl.jit.eager_fallbacks", s.eager_fallbacks);
+      counter("logcl.jit.capture_failures", s.capture_failures);
+      counter("logcl.jit.invalidations", s.invalidations);
+      gauge("logcl.jit.arena_bytes", s.arena_bytes);
+      gauge("logcl.jit.plans_live", s.plans_live);
+    });
+  });
+}
+
+template <typename T>
+inline void Bump(std::atomic<T>& counter, T delta = 1) {
+  counter.fetch_add(delta, std::memory_order_relaxed);
+}
+
+// The replay/capture signature: grad mode, input count, then per input its
+// aliasing (index of the first input sharing the node), requires_grad flag,
+// and shape. Aliasing is part of the key because the tracer collapses
+// repeated nodes to one value id — a plan captured with inputs {x, x} reads
+// input 0 twice and must not serve a later {x, y} call.
+void BuildKey(const std::vector<Tensor>& inputs, bool grad_mode,
+              std::vector<int64_t>* key) {
+  key->clear();
+  key->push_back(grad_mode ? 1 : 0);
+  key->push_back(static_cast<int64_t>(inputs.size()));
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const Tensor& t = inputs[i];
+    LOGCL_CHECK(t.defined()) << "ChainCache input " << i << " is undefined";
+    int64_t alias = static_cast<int64_t>(i);
+    for (size_t j = 0; j < i; ++j) {
+      if (inputs[j].IsSameObject(t)) {
+        alias = static_cast<int64_t>(j);
+        break;
+      }
+    }
+    key->push_back(alias);
+    key->push_back(t.requires_grad() ? 1 : 0);
+    const Shape& shape = t.shape();
+    key->push_back(shape.rank());
+    for (int64_t d = 0; d < shape.rank(); ++d) key->push_back(shape.dim(d));
+  }
+}
+
+// Looks up a tensor in the trace's value table; -1 when it was neither
+// passed as an input nor produced by a traced op.
+int32_t LookupValue(TraceState* trace, const Tensor& t) {
+  auto it = trace->value_of.find(t.node().get());
+  return it == trace->value_of.end() ? -1 : it->second;
+}
+
+// Registers an op output as a new value; -1 (and poison) when its shape
+// diverges from the segment's element space.
+int32_t RegisterOutput(TraceState* trace, const Tensor& out, int32_t def) {
+  if (!trace->shape_set) {
+    trace->shape = out.shape();
+    trace->shape_set = true;
+  } else if (!(trace->shape == out.shape())) {
+    trace->poisoned = true;
+    return -1;
+  }
+  int32_t id = static_cast<int32_t>(trace->values.size());
+  internal::ValueInfo value;
+  value.def = def;
+  value.requires_grad = out.requires_grad();
+  trace->values.push_back(value);
+  trace->keep_alive.push_back(out);
+  trace->value_of[out.node().get()] = id;
+  return id;
+}
+
+// Resets g_trace even if the builder throws.
+class TraceScopeGuard {
+ public:
+  explicit TraceScopeGuard(TraceState* trace) { internal::g_trace = trace; }
+  ~TraceScopeGuard() { internal::g_trace = nullptr; }
+  TraceScopeGuard(const TraceScopeGuard&) = delete;
+  TraceScopeGuard& operator=(const TraceScopeGuard&) = delete;
+};
+
+}  // namespace
+
+bool JitEnabled() { return JitFlag().load(std::memory_order_relaxed); }
+
+void SetJitEnabled(bool enabled) {
+  JitFlag().store(enabled, std::memory_order_relaxed);
+}
+
+JitStats JitSnapshot() {
+  StatBlock& s = Stats();
+  JitStats out;
+  out.plans_captured = s.plans_captured.load(std::memory_order_relaxed);
+  out.replays = s.replays.load(std::memory_order_relaxed);
+  out.fusions_applied = s.fusions_applied.load(std::memory_order_relaxed);
+  out.eager_fallbacks = s.eager_fallbacks.load(std::memory_order_relaxed);
+  out.capture_failures = s.capture_failures.load(std::memory_order_relaxed);
+  out.invalidations = s.invalidations.load(std::memory_order_relaxed);
+  out.arena_bytes = s.arena_bytes.load(std::memory_order_relaxed);
+  out.plans_live = s.plans_live.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ResetJitStats() {
+  StatBlock& s = Stats();
+  s.plans_captured.store(0, std::memory_order_relaxed);
+  s.replays.store(0, std::memory_order_relaxed);
+  s.fusions_applied.store(0, std::memory_order_relaxed);
+  s.eager_fallbacks.store(0, std::memory_order_relaxed);
+  s.capture_failures.store(0, std::memory_order_relaxed);
+  s.invalidations.store(0, std::memory_order_relaxed);
+  // arena_bytes / plans_live track live plans; a reset must not skew them.
+}
+
+namespace internal {
+
+thread_local TraceState* g_trace = nullptr;
+
+void NoteNodeCreatedSlow() { ++g_trace->nodes_created; }
+
+void BumpPlansCaptured(uint64_t fused_ops) {
+  Bump(Stats().plans_captured);
+  Bump(Stats().fusions_applied, fused_ops);
+}
+
+void BumpCaptureFailures() { Bump(Stats().capture_failures); }
+
+void NotePlanAlive(int64_t arena_bytes) {
+  Bump(Stats().arena_bytes, arena_bytes);
+  Bump(Stats().plans_live, int64_t{1});
+}
+
+void NotePlanDead(int64_t arena_bytes) {
+  Bump(Stats().arena_bytes, -arena_bytes);
+  Bump(Stats().plans_live, int64_t{-1});
+}
+
+void TraceBinary(ewise::BinaryKind kind, TraceBroadcast broadcast,
+                 const Tensor& a, const Tensor& b, const Tensor& out) {
+  TraceState* trace = g_trace;
+  if (trace == nullptr || trace->poisoned) return;
+  if (kind == ewise::BinaryKind::kGeneric) {
+    trace->poisoned = true;
+    return;
+  }
+  int32_t ia = LookupValue(trace, a);
+  int32_t ib = LookupValue(trace, b);
+  if (ia < 0 || ib < 0) {
+    // An operand from outside the segment (not an input, not a traced op
+    // output) — the plan could not re-materialise it at replay time.
+    trace->poisoned = true;
+    return;
+  }
+  if (broadcast != TraceBroadcast::kSame && !trace->values[ib].is_input) {
+    // A broadcast operand is smaller than the segment's element space, so
+    // it can only come straight from an input.
+    trace->poisoned = true;
+    return;
+  }
+  OpCode op;
+  switch (broadcast) {
+    case TraceBroadcast::kSame:
+      op = kind == ewise::BinaryKind::kAdd   ? OpCode::kAdd
+           : kind == ewise::BinaryKind::kSub ? OpCode::kSub
+                                             : OpCode::kMul;
+      break;
+    case TraceBroadcast::kRowB:
+      op = kind == ewise::BinaryKind::kAdd   ? OpCode::kRowAdd
+           : kind == ewise::BinaryKind::kSub ? OpCode::kRowSub
+                                             : OpCode::kRowMul;
+      break;
+    case TraceBroadcast::kScalarB:
+      op = kind == ewise::BinaryKind::kAdd   ? OpCode::kScalAdd
+           : kind == ewise::BinaryKind::kSub ? OpCode::kScalSub
+                                             : OpCode::kScalMul;
+      break;
+  }
+  int32_t def = static_cast<int32_t>(trace->instrs.size());
+  int32_t io = RegisterOutput(trace, out, def);
+  if (io < 0) return;
+  Instr instr;
+  instr.op = op;
+  instr.a = ia;
+  instr.b = ib;
+  instr.out = io;
+  trace->instrs.push_back(instr);
+}
+
+void TraceUnary(ewise::UnaryKind kind, float param, const Tensor& x,
+                const Tensor& out) {
+  TraceState* trace = g_trace;
+  if (trace == nullptr || trace->poisoned) return;
+  if (kind == ewise::UnaryKind::kCustom) {
+    trace->poisoned = true;
+    return;
+  }
+  int32_t ix = LookupValue(trace, x);
+  if (ix < 0) {
+    trace->poisoned = true;
+    return;
+  }
+  int32_t def = static_cast<int32_t>(trace->instrs.size());
+  int32_t io = RegisterOutput(trace, out, def);
+  if (io < 0) return;
+  Instr instr;
+  instr.op = OpCode::kUnary;
+  instr.ukind = kind;
+  instr.param = param;
+  instr.a = ix;
+  instr.out = io;
+  trace->instrs.push_back(instr);
+}
+
+namespace {
+
+void TraceSingleOperand(OpCode op, float param, const Tensor& x,
+                        const Tensor& out) {
+  TraceState* trace = g_trace;
+  if (trace == nullptr || trace->poisoned) return;
+  int32_t ix = LookupValue(trace, x);
+  if (ix < 0) {
+    trace->poisoned = true;
+    return;
+  }
+  int32_t def = static_cast<int32_t>(trace->instrs.size());
+  int32_t io = RegisterOutput(trace, out, def);
+  if (io < 0) return;
+  Instr instr;
+  instr.op = op;
+  instr.param = param;
+  instr.a = ix;
+  instr.out = io;
+  trace->instrs.push_back(instr);
+}
+
+}  // namespace
+
+void TraceRelu(const Tensor& x, const Tensor& out) {
+  TraceSingleOperand(OpCode::kRelu, 0.0f, x, out);
+}
+
+void TraceScale(const Tensor& a, float s, const Tensor& out) {
+  TraceSingleOperand(OpCode::kScale, s, a, out);
+}
+
+void TraceAddScalar(const Tensor& a, float s, const Tensor& out) {
+  TraceSingleOperand(OpCode::kAddConst, s, a, out);
+}
+
+}  // namespace internal
+
+struct ChainCache::Impl {
+  struct Entry {
+    std::vector<int64_t> key;
+    // Null plan = this signature is known-uncompilable; stay eager.
+    std::shared_ptr<const CompiledPlan> plan;
+  };
+  std::mutex mu;
+  std::vector<Entry> entries;
+};
+
+ChainCache::ChainCache() : impl_(new Impl) {}
+ChainCache::~ChainCache() = default;
+
+int ChainCache::num_plans() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  int count = 0;
+  for (const Impl::Entry& e : impl_->entries) {
+    if (e.plan != nullptr) ++count;
+  }
+  return count;
+}
+
+Tensor ChainCache::Run(const std::vector<Tensor>& inputs,
+                       const Builder& build) {
+  // Bypass: JIT off, or this thread is already capturing (a nested Run
+  // inside another builder must let the outer trace see the inner ops).
+  if (!JitEnabled() || internal::g_trace != nullptr) return build(inputs);
+  EnsureMetricsRegistered();
+
+  bool grad_mode = GradModeEnabled();
+  // Reused per thread: key building is on every replay's path and must not
+  // allocate (capture copies it into the entry below).
+  thread_local std::vector<int64_t> key;
+  BuildKey(inputs, grad_mode, &key);
+
+  std::shared_ptr<const CompiledPlan> plan;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const Impl::Entry* hit = nullptr;
+    for (const Impl::Entry& e : impl_->entries) {
+      if (e.key == key) {
+        hit = &e;
+        break;
+      }
+    }
+    if (hit != nullptr) {
+      if (hit->plan == nullptr) {
+        // Known-uncompilable signature (counted below, outside the lock).
+        plan = nullptr;
+      } else {
+        plan = hit->plan;
+      }
+    } else {
+      // Signature miss. A warm cache missing means shapes or flags changed
+      // under this call site — the established invalidation signal.
+      if (!impl_->entries.empty()) Bump(Stats().invalidations);
+      if (impl_->entries.size() >= kMaxPlans) {
+        Bump(Stats().eager_fallbacks);
+        return build(inputs);
+      }
+      // Capture: run the builder eagerly under trace. The lock stays held
+      // so one thread captures per signature; concurrent replays of other
+      // signatures only contend for the lookup above.
+      TraceState trace;
+      trace.grad_mode = grad_mode;
+      trace.num_inputs = static_cast<int32_t>(inputs.size());
+      for (size_t i = 0; i < inputs.size(); ++i) {
+        internal::ValueInfo value;
+        value.is_input = true;
+        value.input_index = static_cast<int32_t>(i);
+        value.requires_grad = grad_mode && inputs[i].requires_grad();
+        trace.values.push_back(value);
+        trace.keep_alive.push_back(inputs[i]);
+        // Aliased inputs collapse to the first occurrence's value id (the
+        // aliasing pattern is part of the signature key).
+        trace.value_of.emplace(inputs[i].node().get(),
+                               static_cast<int32_t>(i));
+      }
+      Tensor out;
+      {
+        TraceScopeGuard scope(&trace);
+        out = build(inputs);
+      }
+      std::shared_ptr<const CompiledPlan> compiled =
+          CompiledPlan::Compile(trace, out);
+      if (compiled != nullptr) {
+        // Compile already counted the plan into the live-plan gauges.
+        internal::BumpPlansCaptured(
+            static_cast<uint64_t>(compiled->instrs.size()) - 1);
+      } else {
+        internal::BumpCaptureFailures();
+      }
+      Impl::Entry entry;
+      entry.key = std::move(key);
+      entry.plan = std::move(compiled);
+      impl_->entries.push_back(std::move(entry));
+      return out;  // first call returns the eager-built result
+    }
+  }
+  if (plan != nullptr) {
+    Bump(Stats().replays);
+    return plan->Replay(inputs);
+  }
+  Bump(Stats().eager_fallbacks);
+  return build(inputs);
+}
+
+}  // namespace jit
+}  // namespace logcl

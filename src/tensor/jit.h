@@ -1,0 +1,163 @@
+// Graph-capture JIT executor for elementwise op chains.
+//
+// LogCL's per-step op DAG is shape-static: every training step and every
+// serving batch replays the same encoder -> decoder -> loss graph over
+// identical tensor shapes. The eager autograd pays per op anyway — one
+// dispatch, one pool lookup, one TensorNode allocation, one std::function
+// backward closure. A ChainCache removes those per-op costs for the
+// elementwise/activation/scale chains that sit between the matmul and
+// message-passing kernels in the hot loops (GRU gates, the local encoder's
+// time gate, the lambda query fusion, the decoder projection epilogue):
+//
+//   capture  — the first call with a given input signature runs the builder
+//              eagerly under a thread-local trace; ops.cc's elementwise ops
+//              self-report into the trace as they execute, producing a
+//              linearized instruction list over a small value table.
+//   fuse     — compilation (jit_fusion.cc) dead-code-eliminates the trace
+//              and merges the surviving chain into single fused loop
+//              kernels driven by the tensor/simd.h tables — one pass over
+//              the data per tile instead of one pass per op.
+//   plan     — a static buffer planner linear-scans value lifetimes and
+//              assigns offsets into one arena per plan: tile-sized scratch
+//              slots for short-lived intermediates, full-size saved/grad
+//              regions for what backward needs. Replay allocates the arena
+//              in one pool acquisition instead of one per op.
+//   replay   — later calls with the same signature run the straight-line
+//              plan: no per-op dispatch, no per-op pool lookups, and one
+//              autograd node (with a recorded backward program) for the
+//              whole segment instead of one per op.
+//
+// Determinism contract: replay is bitwise identical to eager at any thread
+// count. Fused tiles execute the same per-element IEEE arithmetic (same
+// simd kernels, same ewise formulas), and the recorded backward program
+// re-runs the exact eager gradient loops (same grains, same reduction
+// shapes) in the same descending-sequence order the tape would.
+//
+// Anything the tracer does not understand — an op without a trace hook
+// (MatMul, reductions, RNG ops), an operand from outside the input set, a
+// broadcast against a non-input — poisons the capture; the signature is
+// then remembered as uncompilable and that call site stays eager. Shape or
+// requires_grad changes simply miss the signature and re-capture.
+// LOGCL_JIT=0 (the default this PR) bypasses everything.
+
+#ifndef LOGCL_TENSOR_JIT_H_
+#define LOGCL_TENSOR_JIT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/elementwise_kernels.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace jit {
+
+/// True when ChainCache capture/replay is active (LOGCL_JIT=1; default off).
+bool JitEnabled();
+/// Overrides the env default (tests/benchmarks). Disabling mid-process is an
+/// instant bypass: every subsequent Run() calls its builder eagerly; cached
+/// plans are kept and resume if re-enabled.
+void SetJitEnabled(bool enabled);
+
+/// JIT observability counters (monotonic since ResetJitStats()). The same
+/// values surface as `logcl.jit.*` in MetricsRegistry::Snapshot() via a
+/// registered source (common/observability.h, DESIGN.md §12/§14).
+struct JitStats {
+  uint64_t plans_captured = 0;    // traces compiled into live plans
+  uint64_t replays = 0;           // Run() calls served by a compiled plan
+  uint64_t fusions_applied = 0;   // op merges (live instrs - 1 per plan)
+  uint64_t eager_fallbacks = 0;   // Run() calls that ran the builder while
+                                  // enabled (uncompilable / cache overflow)
+  uint64_t capture_failures = 0;  // traces rejected by the compiler
+  uint64_t invalidations = 0;     // signature misses on a warm cache
+  int64_t arena_bytes = 0;        // gauge: per-replay arena bytes, summed
+                                  // over live plans
+  int64_t plans_live = 0;         // gauge: compiled plans currently alive
+};
+
+/// Snapshot of the counters (cheap; relaxed atomic reads).
+JitStats JitSnapshot();
+/// Zeroes the monotonic counters (gauges track live plans and are left).
+void ResetJitStats();
+
+namespace internal {
+struct CompiledPlan;
+struct TraceState;
+
+// Thread-local capture state; non-null only while a ChainCache builder runs
+// under trace. Exposed so the hot-path hooks below stay inline.
+extern thread_local TraceState* g_trace;
+
+inline bool Tracing() { return g_trace != nullptr; }
+
+void NoteNodeCreatedSlow();
+
+/// Called by Tensor::MakeOpOutput for every op-output node. During capture
+/// this counts ALL nodes created, traced or not; compilation rejects any
+/// trace whose node count exceeds its instruction count, so an op without a
+/// trace hook automatically poisons the segment it appears in.
+inline void NoteNodeCreated() {
+  if (g_trace != nullptr) NoteNodeCreatedSlow();
+}
+
+/// Broadcast mode of a traced binary op (mirrors ops.cc's BroadcastMode).
+enum class TraceBroadcast : uint8_t { kSame, kScalarB, kRowB };
+
+// Trace hooks, called by ops.cc immediately after MakeOpOutput when
+// Tracing(). Each records one instruction or poisons the capture.
+void TraceBinary(ewise::BinaryKind kind, TraceBroadcast broadcast,
+                 const Tensor& a, const Tensor& b, const Tensor& out);
+void TraceUnary(ewise::UnaryKind kind, float param, const Tensor& x,
+                const Tensor& out);
+void TraceRelu(const Tensor& x, const Tensor& out);
+void TraceScale(const Tensor& a, float s, const Tensor& out);
+void TraceAddScalar(const Tensor& a, float s, const Tensor& out);
+
+}  // namespace internal
+
+/// A per-call-site capture cache: keys compiled plans by the input
+/// signature (grad mode, shapes, requires_grad flags, aliasing) and decides
+/// per call between replay, capture, and eager fallback.
+///
+/// Usage: give each distinct chain its own ChainCache (usually a mutable
+/// member next to the weights it combines) and a builder that constructs
+/// the chain from inputs[0..k-1] with ops from tensor/ops.h:
+///
+///   Tensor GateChain(const std::vector<Tensor>& in) {
+///     return ops::Sigmoid(ops::Add(in[0], in[1]));
+///   }
+///   ...
+///   Tensor gate = gate_cache_.Run({pre, bias}, GateChain);
+///
+/// Run() returns exactly what the builder would: the first call per
+/// signature runs it eagerly (under trace), later calls replay the plan.
+/// Thread-safe: concurrent replays share the plan without serialising.
+class ChainCache {
+ public:
+  using Builder = std::function<Tensor(const std::vector<Tensor>&)>;
+
+  ChainCache();
+  ~ChainCache();
+  ChainCache(const ChainCache&) = delete;
+  ChainCache& operator=(const ChainCache&) = delete;
+
+  /// Runs the chain over `inputs`, via a compiled plan when one matches.
+  /// Bypasses (plain eager call) when the JIT is disabled or a capture is
+  /// already active on this thread — a nested Run() inside another cache's
+  /// builder folds its ops into the outer trace instead.
+  Tensor Run(const std::vector<Tensor>& inputs, const Builder& build);
+
+  /// Compiled plans currently cached (tests/diagnostics).
+  int num_plans() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace jit
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_JIT_H_

@@ -1,0 +1,708 @@
+// CompiledPlan: fusion, static buffer planning, and replay execution for
+// traced elementwise segments (see tensor/jit.h for the pipeline overview).
+//
+// Compile = validate -> dead-code-eliminate -> pick the saved set -> run two
+// linear-scan planners (tile-sized scratch slots over forward lifetimes,
+// full-size grad regions over backward lifetimes). Replay = one fused
+// row/flat-tiled forward pass + one recorded backward program, both built
+// from the exact per-element kernels the eager path uses so LOGCL_JIT=1 is
+// bitwise-identical to eager at any thread count.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/elementwise_kernels.h"
+#include "tensor/jit_internal.h"
+#include "tensor/simd.h"
+
+namespace logcl {
+namespace jit {
+namespace internal {
+namespace {
+
+using Node = internal_tensor::TensorNode;
+
+// Sharding grains — must match ops.cc exactly: the recorded backward
+// program re-runs the eager gradient loops, and ParallelReduce results
+// depend on the chunk boundaries the grain fixes.
+constexpr int64_t kGrain = 8192;
+
+inline int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kGrain / std::max<int64_t>(1, cols));
+}
+
+// Forward fusion tile: one pass over ~16 KB of each operand per tile keeps
+// the whole chain's working set in L1/L2. Row-tiled plans round this down
+// to whole rows so row-broadcast ops never straddle a tile.
+constexpr int64_t kTileElems = 4096;
+
+inline bool IsRowOp(OpCode op) {
+  return op == OpCode::kRowAdd || op == OpCode::kRowSub ||
+         op == OpCode::kRowMul;
+}
+
+inline bool IsScalOp(OpCode op) {
+  return op == OpCode::kScalAdd || op == OpCode::kScalSub ||
+         op == OpCode::kScalMul;
+}
+
+// --------------------------------------------------------------------------
+// Fused forward
+// --------------------------------------------------------------------------
+
+// Resolves the tile-local pointer of a same-shape value. Scratch slots are
+// tile-local (no element offset): they only ever hold the current tile.
+inline const float* TileSrc(const CompiledPlan& plan,
+                            const float* const* in,
+                            const float* od, const float* saved,
+                            const float* scratch, int32_t v, int64_t elem0) {
+  const ValueInfo& info = plan.values[v];
+  switch (info.storage) {
+    case Storage::kInput:
+      return in[info.input_index] + elem0;
+    case Storage::kOutput:
+      return od + elem0;
+    case Storage::kSaved:
+      return saved + info.offset + elem0;
+    case Storage::kScratch:
+      return scratch + info.scratch_slot * plan.tile_elems;
+  }
+  return nullptr;
+}
+
+inline float* TileDst(const CompiledPlan& plan, float* od, float* saved,
+                      float* scratch, int32_t v, int64_t elem0) {
+  const ValueInfo& info = plan.values[v];
+  switch (info.storage) {
+    case Storage::kOutput:
+      return od + elem0;
+    case Storage::kSaved:
+      return saved + info.offset + elem0;
+    case Storage::kScratch:
+      return scratch + info.scratch_slot * plan.tile_elems;
+    case Storage::kInput:
+      break;
+  }
+  LOGCL_CHECK(false) << "jit: instr writes an input value";
+  return nullptr;
+}
+
+// Runs every instruction over one tile [elem0, elem0 + len). Row-tiled
+// plans guarantee len is a whole number of rows.
+void ExecTile(const CompiledPlan& plan, const float* const* in,
+              float* od, float* saved, float* scratch, int64_t elem0,
+              int64_t len) {
+  const int64_t cols = plan.cols;
+  for (const Instr& ins : plan.instrs) {
+    const float* pa =
+        TileSrc(plan, in, od, saved, scratch, ins.a, elem0);
+    float* po = TileDst(plan, od, saved, scratch, ins.out, elem0);
+    switch (ins.op) {
+      case OpCode::kAdd:
+        simd::Add(pa, TileSrc(plan, in, od, saved, scratch, ins.b, elem0),
+                  po, len);
+        break;
+      case OpCode::kSub:
+        simd::Sub(pa, TileSrc(plan, in, od, saved, scratch, ins.b, elem0),
+                  po, len);
+        break;
+      case OpCode::kMul:
+        simd::Mul(pa, TileSrc(plan, in, od, saved, scratch, ins.b, elem0),
+                  po, len);
+        break;
+      case OpCode::kRowAdd:
+      case OpCode::kRowSub:
+      case OpCode::kRowMul: {
+        // b is a row input (size cols); same scalar arithmetic as the eager
+        // broadcast loop `od[i] = fwd(av[i], bv[i % cols])`.
+        const float* pb = in[plan.values[ins.b].input_index];
+        for (int64_t r = 0; r < len; r += cols) {
+          switch (ins.op) {
+            case OpCode::kRowAdd:
+              for (int64_t j = 0; j < cols; ++j) po[r + j] = pa[r + j] + pb[j];
+              break;
+            case OpCode::kRowSub:
+              for (int64_t j = 0; j < cols; ++j) po[r + j] = pa[r + j] - pb[j];
+              break;
+            default:
+              for (int64_t j = 0; j < cols; ++j) po[r + j] = pa[r + j] * pb[j];
+              break;
+          }
+        }
+        break;
+      }
+      case OpCode::kScalAdd:
+      case OpCode::kScalSub:
+      case OpCode::kScalMul: {
+        const float bv = in[plan.values[ins.b].input_index][0];
+        switch (ins.op) {
+          case OpCode::kScalAdd:
+            for (int64_t i = 0; i < len; ++i) po[i] = pa[i] + bv;
+            break;
+          case OpCode::kScalSub:
+            for (int64_t i = 0; i < len; ++i) po[i] = pa[i] - bv;
+            break;
+          default:
+            for (int64_t i = 0; i < len; ++i) po[i] = pa[i] * bv;
+            break;
+        }
+        break;
+      }
+      case OpCode::kScale:
+        simd::Scale(pa, ins.param, po, len);
+        break;
+      case OpCode::kAddConst:
+        simd::AddScalar(pa, ins.param, po, len);
+        break;
+      case OpCode::kRelu:
+        simd::Relu(pa, po, len);
+        break;
+      case OpCode::kUnary:
+        ewise::UnaryForwardKernel(ins.ukind, pa, po, len, ins.param);
+        break;
+    }
+  }
+}
+
+void ExecuteForward(const CompiledPlan& plan, const float* const* in,
+                    float* od, float* saved) {
+  const int64_t tile = plan.tile_elems;
+  auto run_range = [&](int64_t e0, int64_t e1) {
+    // Per-shard scratch: one pool acquisition per shard for the whole
+    // chain's intermediates, instead of one per op output.
+    PooledBuffer scratch(
+        static_cast<size_t>(plan.num_scratch_slots) *
+            static_cast<size_t>(tile),
+        BufferFill::kUninit);
+    for (int64_t t0 = e0; t0 < e1; t0 += tile) {
+      ExecTile(plan, in, od, saved, scratch.data(), t0,
+               std::min(tile, e1 - t0));
+    }
+  };
+  if (plan.row_tiled) {
+    // Shard by row so row-broadcast ops see whole rows; tile boundaries
+    // inside a shard are row-aligned because tile_elems % cols == 0.
+    ParallelFor(0, plan.rows, RowGrain(plan.cols),
+                [&](int64_t r0, int64_t r1) {
+                  run_range(r0 * plan.cols, r1 * plan.cols);
+                });
+  } else {
+    ParallelFor(0, plan.n, kGrain, run_range);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Recorded backward program
+// --------------------------------------------------------------------------
+
+// Replays the eager gradient accumulation for the whole segment: instrs in
+// reverse order (the tape's descending-sequence order — segment nodes are
+// sequence-contiguous because capture is single-threaded and any untraced
+// consumer poisons the trace), each step running the exact loops ops.cc
+// runs for that op/broadcast, with the same grains and reduction shapes.
+void ExecBackward(const CompiledPlan& plan, Node& node, float* arena) {
+  const int64_t n = plan.n;
+  const int64_t cols = plan.cols;
+  float* saved = arena;
+  float* grads = arena == nullptr ? nullptr : arena + plan.saved_floats;
+
+  const int32_t k = plan.num_inputs;
+  std::vector<const float*> in_data(static_cast<size_t>(k));
+  std::vector<float*> in_grad(static_cast<size_t>(k), nullptr);
+  for (int32_t i = 0; i < k; ++i) {
+    Node& parent = *node.parents[static_cast<size_t>(i)];
+    in_data[static_cast<size_t>(i)] = parent.data.data();
+    if (parent.requires_grad) {
+      // Hoisted EnsureGrad: eager allocates lazily inside each op's
+      // backward; grads are zero-initialised either way.
+      parent.EnsureGrad();
+      in_grad[static_cast<size_t>(i)] = parent.grad.data();
+    }
+  }
+
+  // Grad buffer of a value; null when no gradient flows into it (matching
+  // the eager per-parent requires_grad checks).
+  auto grad_ptr = [&](int32_t v) -> float* {
+    const ValueInfo& info = plan.values[v];
+    if (info.is_input) return in_grad[static_cast<size_t>(info.input_index)];
+    if (v == plan.output_value) return node.grad.data();
+    if (info.grad_offset < 0) return nullptr;
+    return grads + info.grad_offset;
+  };
+  // Forward data of a value (inputs from parents, output from the node,
+  // intermediates from the saved arena region).
+  auto data_ptr = [&](int32_t v) -> const float* {
+    const ValueInfo& info = plan.values[v];
+    if (info.is_input) return in_data[static_cast<size_t>(info.input_index)];
+    if (v == plan.output_value) return node.data.data();
+    LOGCL_CHECK(info.storage == Storage::kSaved);
+    return saved + info.offset;
+  };
+
+  for (int32_t li = static_cast<int32_t>(plan.instrs.size()) - 1; li >= 0;
+       --li) {
+    const Instr& ins = plan.instrs[static_cast<size_t>(li)];
+    // Eager wired no backward_fn onto non-rg nodes: skip the step entirely.
+    if (!plan.values[ins.out].requires_grad) continue;
+    // Zero the arena regions whose first accumulation is this step (a
+    // region may serve several values with disjoint live ranges).
+    for (const ValueInfo& value : plan.values) {
+      if (value.grad_zero_at == li) {
+        std::fill(grads + value.grad_offset, grads + value.grad_offset + n,
+                  0.0f);
+      }
+    }
+    const float* g = grad_ptr(ins.out);
+    float* ga = grad_ptr(ins.a);
+    float* gb = ins.b >= 0 ? grad_ptr(ins.b) : nullptr;
+    switch (ins.op) {
+      case OpCode::kAdd:
+      case OpCode::kSub:
+      case OpCode::kMul: {
+        const float* ad =
+            (ins.op == OpCode::kMul && gb != nullptr) ? data_ptr(ins.a)
+                                                      : nullptr;
+        const float* bd =
+            (ins.op == OpCode::kMul && ga != nullptr) ? data_ptr(ins.b)
+                                                      : nullptr;
+        ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+          const int64_t len = i1 - i0;
+          switch (ins.op) {
+            case OpCode::kAdd:
+              if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
+              if (gb != nullptr) simd::Accumulate(g + i0, gb + i0, len);
+              break;
+            case OpCode::kSub:
+              if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
+              if (gb != nullptr) simd::Axpy(-1.0f, g + i0, gb + i0, len);
+              break;
+            default:
+              if (ga != nullptr) {
+                simd::MulAccumulate(g + i0, bd + i0, ga + i0, len);
+              }
+              if (gb != nullptr) {
+                simd::MulAccumulate(g + i0, ad + i0, gb + i0, len);
+              }
+              break;
+          }
+        });
+        break;
+      }
+      case OpCode::kRowAdd:
+      case OpCode::kRowSub:
+      case OpCode::kRowMul: {
+        if (ga != nullptr) {
+          const float* bd =
+              ins.op == OpCode::kRowMul ? data_ptr(ins.b) : nullptr;
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            if (ins.op == OpCode::kRowMul) {
+              for (int64_t i = i0; i < i1; ++i) {
+                ga[i] += g[i] * bd[i % cols];
+              }
+            } else {
+              for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+            }
+          });
+        }
+        if (gb != nullptr) {
+          // gb[j] accumulates over rows; shard by output column so every
+          // column keeps the serial (row-order) accumulation order.
+          const float* ad =
+              ins.op == OpCode::kRowMul ? data_ptr(ins.a) : nullptr;
+          const int64_t rows = n / cols;
+          ParallelFor(0, cols, RowGrain(rows), [&](int64_t j0, int64_t j1) {
+            for (int64_t j = j0; j < j1; ++j) {
+              float sum = gb[j];
+              for (int64_t i = j; i < n; i += cols) {
+                switch (ins.op) {
+                  case OpCode::kRowAdd:
+                    sum += g[i];
+                    break;
+                  case OpCode::kRowSub:
+                    sum += -g[i];
+                    break;
+                  default:
+                    sum += g[i] * ad[i];
+                    break;
+                }
+              }
+              gb[j] = sum;
+            }
+          });
+        }
+        break;
+      }
+      case OpCode::kScalAdd:
+      case OpCode::kScalSub:
+      case OpCode::kScalMul: {
+        if (ga != nullptr) {
+          const float* bd = ins.op == OpCode::kScalMul
+                                ? in_data[static_cast<size_t>(
+                                      plan.values[ins.b].input_index)]
+                                : nullptr;
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            if (ins.op == OpCode::kScalMul) {
+              const float bv = bd[0];
+              for (int64_t i = i0; i < i1; ++i) ga[i] += g[i] * bv;
+            } else {
+              for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+            }
+          });
+        }
+        if (gb != nullptr) {
+          const float* ad =
+              ins.op == OpCode::kScalMul ? data_ptr(ins.a) : nullptr;
+          gb[0] += ParallelReduce<float>(
+              0, n, kGrain, 0.0f,
+              [&](int64_t i0, int64_t i1) {
+                float sum = 0.0f;
+                for (int64_t i = i0; i < i1; ++i) {
+                  switch (ins.op) {
+                    case OpCode::kScalAdd:
+                      sum += g[i];
+                      break;
+                    case OpCode::kScalSub:
+                      sum += -g[i];
+                      break;
+                    default:
+                      sum += g[i] * ad[i];
+                      break;
+                  }
+                }
+                return sum;
+              },
+              [](float acc, float partial) { return acc + partial; });
+        }
+        break;
+      }
+      case OpCode::kScale:
+        if (ga != nullptr) {
+          const float s = ins.param;
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            simd::Axpy(s, g + i0, ga + i0, i1 - i0);
+          });
+        }
+        break;
+      case OpCode::kAddConst:
+        if (ga != nullptr) {
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            simd::Accumulate(g + i0, ga + i0, i1 - i0);
+          });
+        }
+        break;
+      case OpCode::kRelu:
+        if (ga != nullptr) {
+          const float* xd = data_ptr(ins.a);
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            simd::ReluBackward(xd + i0, g + i0, ga + i0, i1 - i0);
+          });
+        }
+        break;
+      case OpCode::kUnary:
+        if (ga != nullptr) {
+          const float* xd =
+              ewise::UnaryNeedsX(ins.ukind) ? data_ptr(ins.a) : nullptr;
+          const float* yd =
+              ewise::UnaryNeedsY(ins.ukind) ? data_ptr(ins.out) : nullptr;
+          ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
+            ewise::UnaryBackwardKernel(
+                ins.ukind, g + i0, xd == nullptr ? nullptr : xd + i0,
+                yd == nullptr ? nullptr : yd + i0, ga + i0, i1 - i0,
+                ins.param);
+          });
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+CompiledPlan::~CompiledPlan() {
+  if (stats_noted) NotePlanDead(arena_bytes());
+}
+
+std::shared_ptr<const CompiledPlan> CompiledPlan::Compile(
+    const TraceState& trace, const Tensor& output) {
+  if (trace.poisoned || !trace.shape_set) return nullptr;
+  // Any op-output node created during capture without a matching trace
+  // hook (MatMul, reductions, RNG ops, factories) means the trace is an
+  // incomplete description of the builder — reject.
+  if (trace.nodes_created != trace.instrs.size()) return nullptr;
+  auto it = trace.value_of.find(output.node().get());
+  if (it == trace.value_of.end()) return nullptr;
+  const int32_t out_id = it->second;
+  if (trace.values[static_cast<size_t>(out_id)].is_input) {
+    return nullptr;  // identity builder; nothing to replay
+  }
+
+  auto plan = std::make_shared<CompiledPlan>();
+  plan->values = trace.values;
+  plan->num_inputs = trace.num_inputs;
+  plan->output_value = out_id;
+  plan->grad_mode = trace.grad_mode;
+  plan->shape = trace.shape;
+  plan->n = trace.shape.num_elements();
+  if (plan->n <= 0) return nullptr;
+
+  // Dead-code elimination: keep only instructions the output depends on
+  // (the builder may have traced ops whose results it discarded).
+  std::vector<char> live_instr(trace.instrs.size(), 0);
+  std::vector<int32_t> stack = {out_id};
+  plan->values[static_cast<size_t>(out_id)].live = true;
+  while (!stack.empty()) {
+    const int32_t v = stack.back();
+    stack.pop_back();
+    const ValueInfo& info = plan->values[static_cast<size_t>(v)];
+    if (info.is_input) continue;
+    const int32_t def = info.def;
+    if (live_instr[static_cast<size_t>(def)]) continue;
+    live_instr[static_cast<size_t>(def)] = 1;
+    const Instr& ins = trace.instrs[static_cast<size_t>(def)];
+    for (int32_t operand : {ins.a, ins.b}) {
+      if (operand < 0) continue;
+      ValueInfo& op_info = plan->values[static_cast<size_t>(operand)];
+      if (!op_info.live) {
+        op_info.live = true;
+        stack.push_back(operand);
+      }
+    }
+  }
+  for (size_t i = 0; i < trace.instrs.size(); ++i) {
+    if (live_instr[i]) plan->instrs.push_back(trace.instrs[i]);
+  }
+  if (plan->instrs.size() < 2) return nullptr;  // nothing to fuse
+  // Re-point defs into the live instruction list (planning and the
+  // backward program both index it).
+  for (size_t li = 0; li < plan->instrs.size(); ++li) {
+    plan->values[static_cast<size_t>(plan->instrs[li].out)].def =
+        static_cast<int32_t>(li);
+  }
+
+  // Replay wires ALL inputs as parents of one node; its requires_grad is
+  // then any-input-rg, while eager's segment output had out_id's flag. A
+  // mismatch (an rg input outside the output's cone) would flip the
+  // output's rg under JIT — reject rather than diverge.
+  const bool out_rg =
+      plan->values[static_cast<size_t>(out_id)].requires_grad;
+  if (trace.grad_mode) {
+    bool any_input_rg = false;
+    for (int32_t i = 0; i < trace.num_inputs; ++i) {
+      any_input_rg |= plan->values[static_cast<size_t>(i)].requires_grad;
+    }
+    if (out_rg != any_input_rg) return nullptr;
+  }
+  plan->has_backward = trace.grad_mode && out_rg;
+
+  // Tiling geometry. Row ops need the row-tiled executor (rank 2); the
+  // eager broadcast resolution guarantees rank 2 whenever they appear.
+  const bool rank2 = plan->shape.rank() == 2;
+  bool has_row = false;
+  for (const Instr& ins : plan->instrs) has_row |= IsRowOp(ins.op);
+  if (has_row && !rank2) return nullptr;
+  plan->row_tiled = rank2;
+  if (rank2) {
+    plan->rows = plan->shape.rows();
+    plan->cols = plan->shape.cols();
+    plan->tile_elems =
+        std::max<int64_t>(1, kTileElems / plan->cols) * plan->cols;
+  } else {
+    plan->cols = plan->n;
+    plan->tile_elems = std::min<int64_t>(plan->n, kTileElems);
+  }
+
+  const size_t num_values = plan->values.size();
+  const int32_t num_live = static_cast<int32_t>(plan->instrs.size());
+
+  // Last use of each value as an operand, in live-instruction index space.
+  std::vector<int32_t> last_use(num_values, -1);
+  for (int32_t li = 0; li < num_live; ++li) {
+    const Instr& ins = plan->instrs[static_cast<size_t>(li)];
+    last_use[static_cast<size_t>(ins.a)] = li;
+    if (ins.b >= 0) last_use[static_cast<size_t>(ins.b)] = li;
+  }
+
+  // Saved set: intermediates whose forward data some backward step will
+  // actually read (gated on the same rg conditions the steps run under).
+  std::vector<char> needs_data(num_values, 0);
+  if (plan->has_backward) {
+    auto rg = [&](int32_t v) {
+      return plan->values[static_cast<size_t>(v)].requires_grad;
+    };
+    for (const Instr& ins : plan->instrs) {
+      if (!rg(ins.out)) continue;  // step skipped, reads nothing
+      switch (ins.op) {
+        case OpCode::kMul:
+          if (rg(ins.a)) needs_data[static_cast<size_t>(ins.b)] = 1;
+          if (rg(ins.b)) needs_data[static_cast<size_t>(ins.a)] = 1;
+          break;
+        case OpCode::kRowMul:
+        case OpCode::kScalMul:
+          if (rg(ins.a)) needs_data[static_cast<size_t>(ins.b)] = 1;
+          if (rg(ins.b)) needs_data[static_cast<size_t>(ins.a)] = 1;
+          break;
+        case OpCode::kRelu:
+          if (rg(ins.a)) needs_data[static_cast<size_t>(ins.a)] = 1;
+          break;
+        case OpCode::kUnary:
+          if (rg(ins.a)) {
+            if (ewise::UnaryNeedsX(ins.ukind)) {
+              needs_data[static_cast<size_t>(ins.a)] = 1;
+            }
+            if (ewise::UnaryNeedsY(ins.ukind)) {
+              needs_data[static_cast<size_t>(ins.out)] = 1;
+            }
+          }
+          break;
+        default:
+          break;  // Add/Sub/Scale/AddConst backward reads no forward data
+      }
+    }
+  }
+
+  // Storage assignment. Inputs read from parents, the output from the
+  // replay buffer, saved intermediates from full-size arena regions,
+  // everything else from tile-sized scratch slots.
+  for (size_t v = 0; v < num_values; ++v) {
+    ValueInfo& info = plan->values[v];
+    if (!info.live) continue;
+    if (info.is_input) {
+      info.storage = Storage::kInput;
+    } else if (static_cast<int32_t>(v) == out_id) {
+      info.storage = Storage::kOutput;
+    } else if (needs_data[v]) {
+      info.storage = Storage::kSaved;
+      info.offset = plan->saved_floats;
+      plan->saved_floats += plan->n;
+    } else {
+      info.storage = Storage::kScratch;
+    }
+  }
+
+  // Linear-scan scratch planner (forward): allocate a slot at each
+  // scratch value's def, recycle it after its last use. Operand slots are
+  // freed only after the def's slot is taken so kernels never alias their
+  // output with an operand.
+  {
+    std::vector<int32_t> free_slots;
+    int32_t next_slot = 0;
+    for (int32_t li = 0; li < num_live; ++li) {
+      const Instr& ins = plan->instrs[static_cast<size_t>(li)];
+      ValueInfo& out_info = plan->values[static_cast<size_t>(ins.out)];
+      if (out_info.storage == Storage::kScratch) {
+        if (free_slots.empty()) {
+          out_info.scratch_slot = next_slot++;
+        } else {
+          out_info.scratch_slot = free_slots.back();
+          free_slots.pop_back();
+        }
+      }
+      auto release = [&](int32_t operand) {
+        if (operand < 0) return;
+        const ValueInfo& info = plan->values[static_cast<size_t>(operand)];
+        if (info.storage == Storage::kScratch &&
+            last_use[static_cast<size_t>(operand)] == li) {
+          free_slots.push_back(info.scratch_slot);
+        }
+      };
+      release(ins.a);
+      if (ins.b != ins.a) release(ins.b);
+    }
+    plan->num_scratch_slots = next_slot;
+  }
+
+  // Linear-scan grad-region planner (backward): a region is first written
+  // at a value's last consumer and last read at its def, so walk the
+  // instruction list in the backward program's (reverse) order, allocating
+  // at last consumers and recycling after defs.
+  if (plan->has_backward) {
+    std::vector<int64_t> free_regions;
+    int64_t num_regions = 0;
+    auto needs_region = [&](int32_t v) {
+      const ValueInfo& info = plan->values[static_cast<size_t>(v)];
+      return info.live && !info.is_input && v != out_id &&
+             info.requires_grad;
+    };
+    for (int32_t li = num_live - 1; li >= 0; --li) {
+      const Instr& ins = plan->instrs[static_cast<size_t>(li)];
+      auto acquire = [&](int32_t operand) {
+        if (operand < 0 || !needs_region(operand)) return;
+        if (last_use[static_cast<size_t>(operand)] != li) return;
+        ValueInfo& info = plan->values[static_cast<size_t>(operand)];
+        int64_t region;
+        if (free_regions.empty()) {
+          region = num_regions++;
+        } else {
+          region = free_regions.back();
+          free_regions.pop_back();
+        }
+        info.grad_offset = region * plan->n;
+        info.grad_zero_at = li;
+      };
+      acquire(ins.a);
+      if (ins.b != ins.a) acquire(ins.b);
+      // The def step read this value's grad for the last time: recycle.
+      if (needs_region(ins.out)) {
+        free_regions.push_back(
+            plan->values[static_cast<size_t>(ins.out)].grad_offset /
+            plan->n);
+      }
+    }
+    plan->grad_floats = num_regions * plan->n;
+  }
+
+  NotePlanAlive(plan->arena_bytes());
+  plan->stats_noted = true;
+  return plan;
+}
+
+Tensor CompiledPlan::Replay(const std::vector<Tensor>& inputs) const {
+  LOGCL_CHECK_EQ(static_cast<int32_t>(inputs.size()), num_inputs);
+  // Inline input-pointer table: replay must not allocate beyond the output
+  // and the arena. Chains take a handful of inputs; spill if ever exceeded.
+  constexpr size_t kInlineInputs = 8;
+  const float* inline_in[kInlineInputs];
+  std::vector<const float*> spill_in;
+  const float** in = inline_in;
+  if (inputs.size() > kInlineInputs) {
+    spill_in.resize(inputs.size());
+    in = spill_in.data();
+  }
+  for (size_t i = 0; i < inputs.size(); ++i) in[i] = inputs[i].data().data();
+
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(n), BufferFill::kUninit);
+  // One arena acquisition covers every saved intermediate and every grad
+  // region for this replay (kUninit: forward fully writes the saved
+  // region; grad regions are zeroed at their first accumulation step).
+  std::shared_ptr<PooledBuffer> arena;
+  if (saved_floats + grad_floats > 0) {
+    arena = std::make_shared<PooledBuffer>(
+        static_cast<size_t>(saved_floats + grad_floats), BufferFill::kUninit);
+  }
+  ExecuteForward(*this, in, out.data(),
+                 arena == nullptr ? nullptr : arena->data());
+
+  std::vector<Tensor> parents(inputs.begin(), inputs.end());
+  if (!has_backward) {
+    return Tensor::MakeOpOutput(shape, std::move(out), std::move(parents),
+                                nullptr);
+  }
+  std::shared_ptr<const CompiledPlan> self = shared_from_this();
+  return Tensor::MakeOpOutput(
+      shape, std::move(out), std::move(parents),
+      [self, arena](Node& node) {
+        ExecBackward(*self, node,
+                     arena == nullptr ? nullptr : arena->data());
+      });
+}
+
+}  // namespace internal
+}  // namespace jit
+}  // namespace logcl

@@ -1,0 +1,149 @@
+// JIT internals shared between the tracer/cache (jit.cc) and the
+// compiler/executor (jit_fusion.cc). Not part of the public surface.
+
+#ifndef LOGCL_TENSOR_JIT_INTERNAL_H_
+#define LOGCL_TENSOR_JIT_INTERNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/elementwise_kernels.h"
+#include "tensor/shape.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace jit {
+namespace internal {
+
+// One opcode per distinct (arithmetic, broadcast) forward/backward kernel
+// pair in ops.cc. Row/scalar variants are separate codes because the eager
+// path runs them through different loops (and different backward
+// reductions) than the same-shape SIMD fast paths.
+enum class OpCode : uint8_t {
+  kAdd,       // same-shape a + b          (simd::Add)
+  kSub,       // same-shape a - b          (simd::Sub)
+  kMul,       // same-shape a * b          (simd::Mul)
+  kRowAdd,    // a[i] + b[i % cols], b is a row input
+  kRowSub,    // a[i] - b[i % cols]
+  kRowMul,    // a[i] * b[i % cols]
+  kScalAdd,   // a[i] + b[0], b is a scalar input
+  kScalSub,   // a[i] - b[0]
+  kScalMul,   // a[i] * b[0]
+  kScale,     // a[i] * param              (simd::Scale)
+  kAddConst,  // a[i] + param              (simd::AddScalar)
+  kRelu,      // max(a[i], 0)              (simd::Relu)
+  kUnary,     // ewise::UnaryForward(ukind, a[i], param)
+};
+
+// One traced op. a/b/out index the value table; b is -1 for unary codes.
+struct Instr {
+  OpCode op;
+  ewise::UnaryKind ukind = ewise::UnaryKind::kCustom;  // kUnary only
+  float param = 0.0f;  // kScale/kAddConst factor, kUnary parameter
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t out = -1;
+};
+
+// Where a value's forward data lives during replay.
+enum class Storage : uint8_t {
+  kInput,    // parent tensor data (inputs[input_index])
+  kOutput,   // the replay output buffer / node.data
+  kSaved,    // full-size arena region (backward reads this value's data)
+  kScratch,  // tile-sized per-shard slot; dead once the tile finishes
+};
+
+// One entry in the plan's value table: inputs first, then op outputs in
+// trace order.
+struct ValueInfo {
+  bool is_input = false;
+  int32_t input_index = -1;  // inputs only
+  int32_t def = -1;          // instr index that defines this value
+  bool requires_grad = false;
+  bool live = false;  // survives dead-code elimination
+
+  Storage storage = Storage::kScratch;
+  int64_t offset = 0;        // kSaved: float offset into the saved region
+  int32_t scratch_slot = 0;  // kScratch: tile-slot index
+
+  // Backward-arena planning (rg intermediates only; others keep -1).
+  int64_t grad_offset = -1;  // float offset into the grad region
+  int32_t grad_zero_at = -1;  // instr index whose backward step zeroes the
+                              // region before accumulating (= last consumer)
+};
+
+// Capture state for one ChainCache::Run builder invocation. The tracer
+// keeps a strong Tensor ref to every traced value so node addresses stay
+// unique for the lifetime of the trace (the node->value map would alias
+// otherwise if an intermediate died and its address was reused).
+struct TraceState {
+  std::vector<Tensor> keep_alive;
+  std::unordered_map<const internal_tensor::TensorNode*, int32_t> value_of;
+  std::vector<Instr> instrs;
+  std::vector<ValueInfo> values;
+  int32_t num_inputs = 0;
+  bool grad_mode = false;
+  bool poisoned = false;
+  // All op-output nodes created while this trace was active (traced or
+  // not); compilation requires this to equal instrs.size().
+  uint64_t nodes_created = 0;
+  // Common shape of every traced op output (the segment's element space).
+  Shape shape;
+  bool shape_set = false;
+};
+
+// A compiled, replayable plan: the DCE'd instruction list plus the static
+// storage assignment. Immutable after Compile; safe to replay concurrently.
+struct CompiledPlan : std::enable_shared_from_this<CompiledPlan> {
+  std::vector<Instr> instrs;  // live instrs, trace order
+  std::vector<ValueInfo> values;
+  int32_t num_inputs = 0;
+  int32_t output_value = -1;
+  bool grad_mode = false;
+  bool has_backward = false;  // grad_mode && output requires grad
+
+  Shape shape;
+  int64_t n = 0;
+  int64_t rows = 0, cols = 0;  // rank-2 plans (row-tiled executor)
+  bool row_tiled = false;
+  int64_t tile_elems = 0;  // scratch-slot capacity in floats
+
+  int32_t num_scratch_slots = 0;
+  int64_t saved_floats = 0;  // arena region [0, saved_floats)
+  int64_t grad_floats = 0;   // arena region [saved_floats, +grad_floats)
+
+  // Whether this plan was counted into the arena/plans_live gauges
+  // (Compile sets it on success; the destructor undoes the counting).
+  bool stats_noted = false;
+
+  ~CompiledPlan();
+
+  int64_t arena_bytes() const {
+    return static_cast<int64_t>((saved_floats + grad_floats) *
+                                sizeof(float));
+  }
+
+  /// Builds a plan from a finished trace, or null when the trace is not
+  /// compilable (poisoned, untraced nodes, < 2 live ops, ...).
+  static std::shared_ptr<const CompiledPlan> Compile(const TraceState& trace,
+                                                     const Tensor& output);
+
+  /// Executes the plan over `inputs` (which must match the captured
+  /// signature) and returns the segment output tensor, with the recorded
+  /// backward program attached when has_backward.
+  Tensor Replay(const std::vector<Tensor>& inputs) const;
+};
+
+// Monotonic counter bumps from jit_fusion.cc (defined in jit.cc).
+void BumpPlansCaptured(uint64_t fused_ops);
+void BumpCaptureFailures();
+void NotePlanAlive(int64_t arena_bytes);
+void NotePlanDead(int64_t arena_bytes);
+
+}  // namespace internal
+}  // namespace jit
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_JIT_INTERNAL_H_

@@ -10,6 +10,8 @@
 #include "common/observability.h"
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
+#include "tensor/elementwise_kernels.h"
+#include "tensor/jit.h"
 #include "tensor/simd.h"
 
 namespace logcl {
@@ -99,8 +101,22 @@ using simd::MatMulRowGrain;
 // Which arithmetic op an ElementwiseBinary call is, when it is one the SIMD
 // layer has a dedicated kernel for. The same-shape fast paths dispatch on
 // this instead of the lambdas; the SIMD kernels are bitwise-equal to the
-// per-element loops (see tensor/simd.h).
-enum class BinOpKind { kGeneric, kAdd, kSub, kMul };
+// per-element loops (see tensor/simd.h). Shared with the JIT tracer, which
+// captures exactly these kinds (tensor/elementwise_kernels.h).
+using BinOpKind = ewise::BinaryKind;
+
+// ops.cc broadcast mode -> the tracer's mirror enum.
+inline jit::internal::TraceBroadcast ToTraceBroadcast(BroadcastMode mode) {
+  switch (mode) {
+    case BroadcastMode::kSame:
+      return jit::internal::TraceBroadcast::kSame;
+    case BroadcastMode::kScalarB:
+      return jit::internal::TraceBroadcast::kScalarB;
+    case BroadcastMode::kRowB:
+      return jit::internal::TraceBroadcast::kRowB;
+  }
+  return jit::internal::TraceBroadcast::kSame;
+}
 
 // Shared implementation for Add/Sub/Mul.
 template <typename ForwardFn, typename BackwardFn>
@@ -143,7 +159,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
       }
     });
   }
-  return Tensor::MakeOpOutput(
+  Tensor result = Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a, b},
       [mode, n, cols, bwd, kind](Node& node) {
         const auto& pa = node.parents[0];
@@ -193,35 +209,10 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
             });
             return;
           }
-          // No accumulation aliasing: one pass handles both sides. The
-          // null checks are hoisted out of the loops so each variant stays
-          // branch-free (and vectorisable) per element.
-          if (ga != nullptr && gb != nullptr) {
-            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-              for (int64_t i = i0; i < i1; ++i) {
-                float da = 0.0f, db = 0.0f;
-                bwd(g[i], ad[i], bd[i], &da, &db);
-                ga[i] += da;
-                gb[i] += db;
-              }
-            });
-          } else if (ga != nullptr) {
-            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-              for (int64_t i = i0; i < i1; ++i) {
-                float da = 0.0f, db = 0.0f;
-                bwd(g[i], ad[i], bd[i], &da, &db);
-                ga[i] += da;
-              }
-            });
-          } else if (gb != nullptr) {
-            ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-              for (int64_t i = i0; i < i1; ++i) {
-                float da = 0.0f, db = 0.0f;
-                bwd(g[i], ad[i], bd[i], &da, &db);
-                gb[i] += db;
-              }
-            });
-          }
+          // No accumulation aliasing: one pass handles both sides, with
+          // the null checks hoisted so each live variant stays branch-free
+          // per element (shared with the JIT's fused backward kernels).
+          ewise::SameShapeBinaryBackward(g, ad, bd, ga, gb, n, kGrain, bwd);
           return;
         }
         if (ga != nullptr) {
@@ -263,22 +254,27 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
               [](float acc, float partial) { return acc + partial; });
         }
       });
+  if (jit::internal::Tracing()) {
+    jit::internal::TraceBinary(kind, ToTraceBroadcast(mode), a, b, result);
+  }
+  return result;
 }
 
-// Shared implementation for elementwise unary ops. `fwd` maps x -> y;
-// `dydx` maps (x, y) -> local derivative.
-template <typename ForwardFn, typename DerivFn>
-Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
+// Shared implementation for elementwise unary ops. The forward formula and
+// local derivative both come from the ewise table (the single source shared
+// with the JIT's fused kernels); `param` feeds the parameterised kinds.
+Tensor ElementwiseUnary(const Tensor& x, ewise::UnaryKind kind,
+                        float param = 0.0f) {
   LOGCL_CHECK(x.defined());
   int64_t n = x.num_elements();
   const float* xv = x.data().data();
   std::vector<float> out = UninitOut(n);
   float* od = out.data();
   ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-    for (int64_t i = i0; i < i1; ++i) od[i] = fwd(xv[i]);
+    ewise::UnaryForwardKernel(kind, xv + i0, od + i0, i1 - i0, param);
   });
-  return Tensor::MakeOpOutput(
-      x.shape(), std::move(out), {x}, [n, dydx](Node& node) {
+  Tensor result = Tensor::MakeOpOutput(
+      x.shape(), std::move(out), {x}, [n, kind, param](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
         px->EnsureGrad();
@@ -287,9 +283,14 @@ Tensor ElementwiseUnary(const Tensor& x, ForwardFn fwd, DerivFn dydx) {
         const float* yd = node.data.data();
         float* gx = px->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) gx[i] += g[i] * dydx(xd[i], yd[i]);
+          ewise::UnaryBackwardKernel(kind, g + i0, xd + i0, yd + i0, gx + i0,
+                                     i1 - i0, param);
         });
       });
+  if (jit::internal::Tracing()) {
+    jit::internal::TraceUnary(kind, param, x, result);
+  }
+  return result;
 }
 
 }  // namespace
@@ -379,8 +380,7 @@ Tensor MulColBroadcast(const Tensor& x, const Tensor& col) {
 }
 
 Tensor Neg(const Tensor& a) {
-  return ElementwiseUnary(
-      a, [](float x) { return -x; }, [](float, float) { return -1.0f; });
+  return ElementwiseUnary(a, ewise::UnaryKind::kNeg);
 }
 
 Tensor Scale(const Tensor& a, float s) {
@@ -392,7 +392,7 @@ Tensor Scale(const Tensor& a, float s) {
   ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
     simd::Scale(av + i0, s, od + i0, i1 - i0);
   });
-  return Tensor::MakeOpOutput(
+  Tensor result = Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a}, [n, s](Node& node) {
         const auto& pa = node.parents[0];
         if (!pa->requires_grad) return;
@@ -403,6 +403,8 @@ Tensor Scale(const Tensor& a, float s) {
           simd::Axpy(s, g + i0, ga + i0, i1 - i0);
         });
       });
+  if (jit::internal::Tracing()) jit::internal::TraceScale(a, s, result);
+  return result;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -414,7 +416,7 @@ Tensor AddScalar(const Tensor& a, float s) {
   ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
     simd::AddScalar(av + i0, s, od + i0, i1 - i0);
   });
-  return Tensor::MakeOpOutput(
+  Tensor result = Tensor::MakeOpOutput(
       a.shape(), std::move(out), {a}, [n](Node& node) {
         const auto& pa = node.parents[0];
         if (!pa->requires_grad) return;
@@ -425,6 +427,8 @@ Tensor AddScalar(const Tensor& a, float s) {
           simd::Accumulate(g + i0, ga + i0, i1 - i0);
         });
       });
+  if (jit::internal::Tracing()) jit::internal::TraceAddScalar(a, s, result);
+  return result;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -1518,24 +1522,11 @@ Tensor Softmax(const Tensor& x) { return RowwiseSoftmaxImpl(x, false); }
 Tensor LogSoftmax(const Tensor& x) { return RowwiseSoftmaxImpl(x, true); }
 
 Tensor Sigmoid(const Tensor& x) {
-  return ElementwiseUnary(
-      x,
-      [](float v) {
-        // Stable logistic.
-        if (v >= 0.0f) {
-          float e = std::exp(-v);
-          return 1.0f / (1.0f + e);
-        }
-        float e = std::exp(v);
-        return e / (1.0f + e);
-      },
-      [](float, float y) { return y * (1.0f - y); });
+  return ElementwiseUnary(x, ewise::UnaryKind::kSigmoid);
 }
 
 Tensor Tanh(const Tensor& x) {
-  return ElementwiseUnary(
-      x, [](float v) { return std::tanh(v); },
-      [](float, float y) { return 1.0f - y * y; });
+  return ElementwiseUnary(x, ewise::UnaryKind::kTanh);
 }
 
 Tensor Relu(const Tensor& x) {
@@ -1547,7 +1538,7 @@ Tensor Relu(const Tensor& x) {
   ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
     simd::Relu(xv + i0, od + i0, i1 - i0);
   });
-  return Tensor::MakeOpOutput(
+  Tensor result = Tensor::MakeOpOutput(
       x.shape(), std::move(out), {x}, [n](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
@@ -1559,12 +1550,12 @@ Tensor Relu(const Tensor& x) {
           simd::ReluBackward(xd + i0, g + i0, gx + i0, i1 - i0);
         });
       });
+  if (jit::internal::Tracing()) jit::internal::TraceRelu(x, result);
+  return result;
 }
 
 Tensor LeakyRelu(const Tensor& x, float slope) {
-  return ElementwiseUnary(
-      x, [slope](float v) { return v > 0.0f ? v : slope * v; },
-      [slope](float v, float) { return v > 0.0f ? 1.0f : slope; });
+  return ElementwiseUnary(x, ewise::UnaryKind::kLeakyRelu, slope);
 }
 
 Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
@@ -1599,21 +1590,15 @@ Tensor RRelu(const Tensor& x, bool training, Rng* rng) {
 }
 
 Tensor Cos(const Tensor& x) {
-  return ElementwiseUnary(
-      x, [](float v) { return std::cos(v); },
-      [](float v, float) { return -std::sin(v); });
+  return ElementwiseUnary(x, ewise::UnaryKind::kCos);
 }
 
 Tensor Exp(const Tensor& x) {
-  return ElementwiseUnary(
-      x, [](float v) { return std::exp(v); },
-      [](float, float y) { return y; });
+  return ElementwiseUnary(x, ewise::UnaryKind::kExp);
 }
 
 Tensor Log(const Tensor& x, float eps) {
-  return ElementwiseUnary(
-      x, [eps](float v) { return std::log(std::max(v, eps)); },
-      [eps](float v, float) { return 1.0f / std::max(v, eps); });
+  return ElementwiseUnary(x, ewise::UnaryKind::kLog, eps);
 }
 
 Tensor Dropout(const Tensor& x, float p, bool training, Rng* rng) {

@@ -1,0 +1,419 @@
+// Tests pinning the graph-capture JIT executor (tensor/jit.h): replayed
+// plans are bitwise identical to the eager define-by-run path, forward and
+// backward, at 1 and 4 threads; every invalidation signal (shape change,
+// requires_grad flip, mid-process disable) falls back to eager with
+// identical results; and a captured plan survives numerical gradcheck. The
+// end-to-end half trains a full epoch and scores a serving batch under
+// LOGCL_JIT on/off and demands bitwise-equal scores.
+
+#include <cstdint>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/observability.h"
+#include "common/parallel.h"
+#include "core/logcl_model.h"
+#include "serve/engine_snapshot.h"
+#include "synth/generator.h"
+#include "tensor/gradcheck.h"
+#include "tensor/jit.h"
+#include "tensor/ops.h"
+#include "tensor/optimizer.h"
+#include "tkg/dataset.h"
+
+namespace logcl {
+namespace {
+
+// Deterministic fill with awkward float values; same generator as
+// simd_test.cc so parity failures cannot hide behind friendly inputs.
+std::vector<float> Fill(int64_t n, uint64_t seed) {
+  std::vector<float> out(static_cast<size_t>(n));
+  uint64_t state = seed * 6364136223846793005ull + 1442695040888963407ull;
+  for (int64_t i = 0; i < n; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    uint32_t r = static_cast<uint32_t>(state >> 33);
+    out[static_cast<size_t>(i)] =
+        static_cast<float>(static_cast<int32_t>(r % 2001) - 1000) / 147.0f;
+  }
+  return out;
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t ba, bb;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " differs at " << i << ": " << a[i] << " vs "
+                      << b[i];
+  }
+}
+
+// Restores the JIT enable flag on scope exit.
+class JitGuard {
+ public:
+  JitGuard() : previous_(jit::JitEnabled()) {}
+  ~JitGuard() { jit::SetJitEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ThreadCountGuard() { SetNumThreads(previous_); }
+
+ private:
+  int previous_;
+};
+
+Tensor Leaf(const Shape& shape, uint64_t seed, bool requires_grad) {
+  return Tensor::FromVector(shape, Fill(shape.num_elements(), seed),
+                            requires_grad);
+}
+
+// A 3-op chain exercising binary, binary, activation fusion.
+Tensor MulAddRelu(const std::vector<Tensor>& in) {
+  return ops::Relu(ops::Add(ops::Mul(in[0], in[1]), in[2]));
+}
+
+// Smooth everywhere (no ReLU kink) — the gradcheck chain.
+Tensor MulAddTanh(const std::vector<Tensor>& in) {
+  return ops::Tanh(ops::Add(ops::Mul(in[0], in[1]), in[2]));
+}
+
+// GRU-gate shape: row-broadcast bias into a sigmoid.
+Tensor BiasSigmoid(const std::vector<Tensor>& in) {
+  return ops::Sigmoid(ops::Add(in[0], in[1]));
+}
+
+// --- forward/backward replay parity ----------------------------------------
+
+TEST(JitChainTest, ReplayMatchesEagerBitwise) {
+  JitGuard guard;
+  for (const Shape& shape :
+       {Shape{7, 33}, Shape{64, 16}, Shape{1027}, Shape{3}}) {
+    Tensor a = Leaf(shape, 1, false), b = Leaf(shape, 2, false);
+    Tensor c = Leaf(shape, 3, false);
+    jit::SetJitEnabled(false);
+    Tensor eager = MulAddRelu({a, b, c});
+    jit::SetJitEnabled(true);
+    jit::ResetJitStats();
+    jit::ChainCache cache;
+    Tensor captured = cache.Run({a, b, c}, MulAddRelu);  // capture
+    Tensor replayed = cache.Run({a, b, c}, MulAddRelu);  // replay
+    ASSERT_TRUE(replayed.shape() == shape);
+    ExpectBitwiseEqual(eager.data(), captured.data(), "capture forward");
+    ExpectBitwiseEqual(eager.data(), replayed.data(), "replay forward");
+    jit::JitStats stats = jit::JitSnapshot();
+    EXPECT_EQ(stats.plans_captured, 1u);
+    EXPECT_EQ(stats.replays, 1u);
+    EXPECT_EQ(stats.fusions_applied, 2u);  // 3 ops merged into one plan
+    EXPECT_EQ(stats.eager_fallbacks, 0u);
+    EXPECT_EQ(cache.num_plans(), 1);
+  }
+}
+
+TEST(JitChainTest, BackwardThroughReplayMatchesEager) {
+  JitGuard guard;
+  for (int threads : {1, 4}) {
+    ThreadCountGuard thread_guard(threads);
+    auto run = [&](bool jit_on) {
+      jit::SetJitEnabled(jit_on);
+      jit::ChainCache cache;
+      Tensor a = Leaf(Shape{9, 65}, 11, true);
+      Tensor b = Leaf(Shape{9, 65}, 12, true);
+      Tensor c = Leaf(Shape{9, 65}, 13, true);
+      // Two passes so the JIT run exercises the *replayed* backward too.
+      for (int pass = 0; pass < 2; ++pass) {
+        Backward(ops::SumAll(cache.Run({a, b, c}, MulAddRelu)));
+      }
+      std::vector<std::vector<float>> grads = {a.grad(), b.grad(), c.grad()};
+      return grads;
+    };
+    auto eager = run(false);
+    auto jitted = run(true);
+    for (size_t i = 0; i < eager.size(); ++i) {
+      ExpectBitwiseEqual(eager[i], jitted[i], "input grad");
+    }
+  }
+}
+
+TEST(JitChainTest, RowBroadcastBackwardMatchesEager) {
+  JitGuard guard;
+  for (int threads : {1, 4}) {
+    ThreadCountGuard thread_guard(threads);
+    auto run = [&](bool jit_on) {
+      jit::SetJitEnabled(jit_on);
+      jit::ChainCache cache;
+      Tensor pre = Leaf(Shape{13, 24}, 21, true);
+      Tensor bias = Leaf(Shape{1, 24}, 22, true);
+      for (int pass = 0; pass < 2; ++pass) {
+        Backward(ops::SumAll(cache.Run({pre, bias}, BiasSigmoid)));
+      }
+      std::vector<std::vector<float>> out = {pre.grad(), bias.grad()};
+      return out;
+    };
+    auto eager = run(false);
+    auto jitted = run(true);
+    ExpectBitwiseEqual(eager[0], jitted[0], "pre grad");
+    ExpectBitwiseEqual(eager[1], jitted[1], "row-broadcast bias grad");
+  }
+}
+
+// --- invalidation -----------------------------------------------------------
+
+TEST(JitInvalidationTest, ShapeChangeRecapturesWithCorrectResults) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ResetJitStats();
+  jit::ChainCache cache;
+  for (const Shape& shape : {Shape{4, 16}, Shape{5, 16}, Shape{4, 16}}) {
+    Tensor a = Leaf(shape, 31, false), b = Leaf(shape, 32, false);
+    Tensor c = Leaf(shape, 33, false);
+    jit::SetJitEnabled(false);
+    Tensor eager = MulAddRelu({a, b, c});
+    jit::SetJitEnabled(true);
+    Tensor got = cache.Run({a, b, c}, MulAddRelu);
+    ExpectBitwiseEqual(eager.data(), got.data(), "post-shape-change result");
+  }
+  jit::JitStats stats = jit::JitSnapshot();
+  EXPECT_EQ(stats.plans_captured, 2u);  // two distinct shapes
+  EXPECT_EQ(stats.invalidations, 1u);   // the {5,16} miss on a warm cache
+  EXPECT_EQ(stats.replays, 1u);         // third call re-hits the first plan
+  EXPECT_EQ(cache.num_plans(), 2);
+}
+
+TEST(JitInvalidationTest, RequiresGradFlipRecapturesWithCorrectResults) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ChainCache cache;
+  // Grad pass first: captures a plan with a backward program.
+  Tensor a = Leaf(Shape{6, 10}, 41, true), b = Leaf(Shape{6, 10}, 42, true);
+  Tensor c = Leaf(Shape{6, 10}, 43, true);
+  Backward(ops::SumAll(cache.Run({a, b, c}, MulAddRelu)));
+  EXPECT_EQ(cache.num_plans(), 1);
+  // Same shapes, requires_grad off: a different signature, a second plan,
+  // and an output that must not be wired into the autograd graph.
+  Tensor a2 = Leaf(Shape{6, 10}, 41, false), b2 = Leaf(Shape{6, 10}, 42, false);
+  Tensor c2 = Leaf(Shape{6, 10}, 43, false);
+  jit::SetJitEnabled(false);
+  Tensor eager = MulAddRelu({a2, b2, c2});
+  jit::SetJitEnabled(true);
+  Tensor cold = cache.Run({a2, b2, c2}, MulAddRelu);
+  Tensor warm = cache.Run({a2, b2, c2}, MulAddRelu);
+  EXPECT_FALSE(warm.requires_grad());
+  ExpectBitwiseEqual(eager.data(), cold.data(), "no-grad capture");
+  ExpectBitwiseEqual(eager.data(), warm.data(), "no-grad replay");
+  EXPECT_EQ(cache.num_plans(), 2);
+}
+
+TEST(JitInvalidationTest, DisableMidProcessFallsBackToEager) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ChainCache cache;
+  Tensor a = Leaf(Shape{8, 8}, 51, false), b = Leaf(Shape{8, 8}, 52, false);
+  Tensor c = Leaf(Shape{8, 8}, 53, false);
+  Tensor reference = cache.Run({a, b, c}, MulAddRelu);  // capture
+  cache.Run({a, b, c}, MulAddRelu);                     // replay
+  // LOGCL_JIT flipped off mid-process: instant bypass, eager results, no
+  // replay counted.
+  jit::SetJitEnabled(false);
+  jit::ResetJitStats();
+  Tensor disabled = cache.Run({a, b, c}, MulAddRelu);
+  ExpectBitwiseEqual(reference.data(), disabled.data(), "disabled result");
+  EXPECT_EQ(jit::JitSnapshot().replays, 0u);
+  // Re-enabling resumes replay from the retained plan.
+  jit::SetJitEnabled(true);
+  Tensor resumed = cache.Run({a, b, c}, MulAddRelu);
+  ExpectBitwiseEqual(reference.data(), resumed.data(), "resumed result");
+  EXPECT_EQ(jit::JitSnapshot().replays, 1u);
+}
+
+TEST(JitFallbackTest, UntraceableChainStaysEagerWithCorrectResults) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ResetJitStats();
+  jit::ChainCache cache;
+  // MatMul has no trace hook: the node-count audit rejects the capture and
+  // the signature is remembered as uncompilable.
+  auto with_matmul = [](const std::vector<Tensor>& in) {
+    return ops::Relu(ops::MatMul(in[0], in[1]));
+  };
+  Tensor a = Leaf(Shape{5, 7}, 61, false), b = Leaf(Shape{7, 9}, 62, false);
+  jit::SetJitEnabled(false);
+  Tensor eager = with_matmul({a, b});
+  jit::SetJitEnabled(true);
+  Tensor first = cache.Run({a, b}, with_matmul);
+  Tensor second = cache.Run({a, b}, with_matmul);
+  ExpectBitwiseEqual(eager.data(), first.data(), "rejected capture result");
+  ExpectBitwiseEqual(eager.data(), second.data(), "eager fallback result");
+  jit::JitStats stats = jit::JitSnapshot();
+  EXPECT_EQ(stats.capture_failures, 1u);
+  EXPECT_GE(stats.eager_fallbacks, 1u);
+  EXPECT_EQ(stats.plans_captured, 0u);
+  EXPECT_EQ(cache.num_plans(), 0);
+}
+
+// --- gradients through a captured plan --------------------------------------
+
+TEST(JitGradcheckTest, CapturedPlanPassesNumericalGradcheck) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ResetJitStats();
+  jit::ChainCache cache;
+  auto fn = [&cache](const std::vector<Tensor>& inputs) {
+    return ops::SumAll(cache.Run(inputs, MulAddTanh));
+  };
+  std::vector<Tensor> inputs = {Leaf(Shape{4, 6}, 71, true),
+                                Leaf(Shape{4, 6}, 72, true),
+                                Leaf(Shape{4, 6}, 73, true)};
+  GradCheckReport report = CheckGradients(fn, inputs);
+  EXPECT_TRUE(report.passed) << report.detail;
+  // The finite-difference probes must actually have exercised the plan.
+  EXPECT_GT(jit::JitSnapshot().replays, 0u);
+}
+
+// --- observability ----------------------------------------------------------
+
+TEST(JitMetricsTest, SourcePublishesUnderRegistryNames) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ChainCache cache;
+  Tensor a = Leaf(Shape{4, 8}, 91, false), b = Leaf(Shape{4, 8}, 92, false);
+  Tensor c = Leaf(Shape{4, 8}, 93, false);
+  cache.Run({a, b, c}, MulAddRelu);
+  cache.Run({a, b, c}, MulAddRelu);
+  // The registered source surfaces the same numbers as JitSnapshot() under
+  // the logcl.jit.* schema (DESIGN.md §12/§14).
+  jit::JitStats stats = jit::JitSnapshot();
+  MetricsSnapshot snap = Metrics().Snapshot();
+  EXPECT_GE(snap.CounterValue("logcl.jit.plans_captured"),
+            stats.plans_captured);
+  EXPECT_GE(snap.CounterValue("logcl.jit.replays"), stats.replays);
+  EXPECT_GE(snap.CounterValue("logcl.jit.fusions_applied"),
+            stats.fusions_applied);
+  EXPECT_NE(snap.Find("logcl.jit.eager_fallbacks"), nullptr);
+  EXPECT_NE(snap.Find("logcl.jit.arena_bytes"), nullptr);
+  EXPECT_NE(snap.Find("logcl.jit.plans_live"), nullptr);
+}
+
+// --- concurrency ------------------------------------------------------------
+
+TEST(JitConcurrencyTest, ConcurrentReplaysAreRaceFree) {
+  JitGuard guard;
+  jit::SetJitEnabled(true);
+  jit::ChainCache cache;
+  Tensor a = Leaf(Shape{31, 17}, 81, false), b = Leaf(Shape{31, 17}, 82, false);
+  Tensor c = Leaf(Shape{31, 17}, 83, false);
+  Tensor reference = cache.Run({a, b, c}, MulAddRelu);  // capture once
+  constexpr int kThreads = 4, kReps = 8;
+  std::vector<std::vector<float>> results(kThreads);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&, w] {
+      Tensor out;
+      for (int rep = 0; rep < kReps; ++rep) {
+        out = cache.Run({a, b, c}, MulAddRelu);
+      }
+      results[static_cast<size_t>(w)] = out.data();
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  for (int w = 0; w < kThreads; ++w) {
+    ExpectBitwiseEqual(reference.data(), results[static_cast<size_t>(w)],
+                       "concurrent replay");
+  }
+}
+
+// --- end to end: epoch and serving parity ------------------------------------
+
+TkgDataset JitData() {
+  SynthConfig config;
+  config.name = "jit-test";
+  config.seed = 505;
+  config.num_entities = 20;
+  config.num_relations = 4;
+  config.num_timestamps = 12;
+  config.recurring_pool = 15;
+  config.num_cyclic = 6;
+  config.chains_per_timestamp = 1.5;
+  return GenerateSyntheticTkg(config);
+}
+
+LogClConfig JitModelConfig() {
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  config.local.num_layers = 1;
+  config.local.time_dim = 4;
+  config.global.num_layers = 1;
+  config.decoder.num_kernels = 8;
+  config.seed = 31;
+  return config;
+}
+
+TEST(JitEpochParityTest, TrainEpochBitwiseInvariantToJit) {
+  TkgDataset data = JitData();
+  auto train_and_score = [&](bool jit_on, int threads) {
+    JitGuard jit_guard;
+    ThreadCountGuard thread_guard(threads);
+    jit::SetJitEnabled(jit_on);
+    LogClModel model(&data, JitModelConfig());
+    AdamOptimizer optimizer(model.Parameters(), {});
+    model.TrainEpoch(&optimizer);
+    return model.ScoreQueries({{0, 0, 1, 10}, {3, 2, 5, 10}, {7, 1, 2, 10}});
+  };
+  std::vector<std::vector<float>> reference = train_and_score(false, 1);
+  for (int threads : {1, 4}) {
+    std::vector<std::vector<float>> eager = train_and_score(false, threads);
+    std::vector<std::vector<float>> jitted = train_and_score(true, threads);
+    ASSERT_EQ(jitted.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      ExpectBitwiseEqual(reference[i], eager[i], "eager epoch scores");
+      ExpectBitwiseEqual(reference[i], jitted[i], "jit epoch scores");
+    }
+  }
+}
+
+TEST(JitServeParityTest, ScoreBatchBitwiseInvariantToJit) {
+  JitGuard jit_guard;
+  TkgDataset data = JitData();
+  jit::SetJitEnabled(false);
+  LogClModel model(&data, JitModelConfig());
+  std::vector<Quadruple> queries = {{0, 0, 1, 10}, {3, 2, 5, 10}, {7, 1, 2, 10}};
+  std::vector<std::vector<float>> oracle = model.ScoreQueries(queries);
+  std::vector<ServeQuery> serve_queries;
+  for (const Quadruple& q : queries) {
+    serve_queries.push_back({q.subject, q.relation});
+  }
+  for (int threads : {1, 4}) {
+    ThreadCountGuard thread_guard(threads);
+    jit::SetJitEnabled(true);
+    auto snapshot = EngineSnapshot::Build(&model, 10);
+    // Two batches: the first may capture on cold call sites, the second
+    // replays; both must equal the eager oracle bitwise.
+    for (int pass = 0; pass < 2; ++pass) {
+      Tensor scores = snapshot->ScoreBatch(serve_queries);
+      ASSERT_EQ(static_cast<size_t>(scores.shape().rows()), oracle.size());
+      int64_t num_entities = scores.shape().cols();
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        for (int64_t e = 0; e < num_entities; ++e) {
+          ASSERT_EQ(scores.data()[static_cast<int64_t>(i) * num_entities + e],
+                    oracle[i][e])
+              << "serving score mismatch at row " << i << " entity " << e;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logcl
