@@ -119,12 +119,47 @@ inline void UnaryForwardLoopT(const float* x, float* y, int64_t n,
   for (int64_t i = 0; i < n; ++i) y[i] = UnaryForward(K, x[i], param);
 }
 
-template <UnaryKind K>
+// Fresh = the destination is an unwritten kUninit grad buffer
+// (TensorNode::GradForFullWrite): every element is written as
+// `0.0f + contribution`, bitwise-equal to zero-fill + accumulate.
+template <UnaryKind K, bool Fresh>
 inline void UnaryBackwardLoopT(const float* g, const float* x, const float* y,
                                float* gx, int64_t n, float param) {
   for (int64_t i = 0; i < n; ++i) {
-    gx[i] += g[i] * UnaryDeriv(K, UnaryNeedsX(K) ? x[i] : 0.0f,
-                               UnaryNeedsY(K) ? y[i] : 0.0f, param);
+    float d = g[i] * UnaryDeriv(K, UnaryNeedsX(K) ? x[i] : 0.0f,
+                                UnaryNeedsY(K) ? y[i] : 0.0f, param);
+    if constexpr (Fresh) {
+      gx[i] = 0.0f + d;
+    } else {
+      gx[i] += d;
+    }
+  }
+}
+
+template <bool Fresh>
+inline void UnaryBackwardKernelT(UnaryKind kind, const float* g,
+                                 const float* x, const float* y, float* gx,
+                                 int64_t n, float param) {
+  switch (kind) {
+    case UnaryKind::kNeg:
+      return UnaryBackwardLoopT<UnaryKind::kNeg, Fresh>(g, x, y, gx, n, param);
+    case UnaryKind::kSigmoid:
+      return UnaryBackwardLoopT<UnaryKind::kSigmoid, Fresh>(g, x, y, gx, n,
+                                                            param);
+    case UnaryKind::kTanh:
+      return UnaryBackwardLoopT<UnaryKind::kTanh, Fresh>(g, x, y, gx, n,
+                                                         param);
+    case UnaryKind::kLeakyRelu:
+      return UnaryBackwardLoopT<UnaryKind::kLeakyRelu, Fresh>(g, x, y, gx, n,
+                                                              param);
+    case UnaryKind::kExp:
+      return UnaryBackwardLoopT<UnaryKind::kExp, Fresh>(g, x, y, gx, n, param);
+    case UnaryKind::kLog:
+      return UnaryBackwardLoopT<UnaryKind::kLog, Fresh>(g, x, y, gx, n, param);
+    case UnaryKind::kCos:
+      return UnaryBackwardLoopT<UnaryKind::kCos, Fresh>(g, x, y, gx, n, param);
+    case UnaryKind::kCustom:
+      break;
   }
 }
 
@@ -156,28 +191,17 @@ inline void UnaryForwardKernel(UnaryKind kind, const float* x, float* y,
 }
 
 /// gx[i] += g[i] * f'(x[i]) over [0, n); x / y may be null when
-/// UnaryNeedsX / UnaryNeedsY is false for `kind`.
+/// UnaryNeedsX / UnaryNeedsY is false for `kind`. With fresh=true the
+/// destination is an unwritten kUninit buffer and each element is written
+/// as 0.0f + contribution instead (bitwise-equal to zero-fill + the
+/// accumulate form; see TensorNode::GradForFullWrite).
 inline void UnaryBackwardKernel(UnaryKind kind, const float* g, const float* x,
                                 const float* y, float* gx, int64_t n,
-                                float param) {
-  using internal::UnaryBackwardLoopT;
-  switch (kind) {
-    case UnaryKind::kNeg:
-      return UnaryBackwardLoopT<UnaryKind::kNeg>(g, x, y, gx, n, param);
-    case UnaryKind::kSigmoid:
-      return UnaryBackwardLoopT<UnaryKind::kSigmoid>(g, x, y, gx, n, param);
-    case UnaryKind::kTanh:
-      return UnaryBackwardLoopT<UnaryKind::kTanh>(g, x, y, gx, n, param);
-    case UnaryKind::kLeakyRelu:
-      return UnaryBackwardLoopT<UnaryKind::kLeakyRelu>(g, x, y, gx, n, param);
-    case UnaryKind::kExp:
-      return UnaryBackwardLoopT<UnaryKind::kExp>(g, x, y, gx, n, param);
-    case UnaryKind::kLog:
-      return UnaryBackwardLoopT<UnaryKind::kLog>(g, x, y, gx, n, param);
-    case UnaryKind::kCos:
-      return UnaryBackwardLoopT<UnaryKind::kCos>(g, x, y, gx, n, param);
-    case UnaryKind::kCustom:
-      break;
+                                float param, bool fresh = false) {
+  if (fresh) {
+    internal::UnaryBackwardKernelT<true>(kind, g, x, y, gx, n, param);
+  } else {
+    internal::UnaryBackwardKernelT<false>(kind, g, x, y, gx, n, param);
   }
 }
 
@@ -187,26 +211,55 @@ inline void UnaryBackwardKernel(UnaryKind kind, const float* g, const float* x,
 /// eager path used to carry; the null checks are still hoisted out of the
 /// element loop, so each live combination stays branch-free per element.
 /// `bwd` is the (g, a, b, *da, *db) local-gradient functor of the op.
+/// fresh_a / fresh_b mark a destination that is an unwritten kUninit grad
+/// buffer: that side is written as 0.0f + contribution instead of
+/// accumulated (bitwise-equal to zero-fill + accumulate).
 template <typename BackwardFn>
 void SameShapeBinaryBackward(const float* g, const float* ad, const float* bd,
                              float* ga, float* gb, int64_t n, int64_t grain,
-                             const BackwardFn& bwd) {
-  auto run = [&](auto write_a, auto write_b) {
+                             const BackwardFn& bwd, bool fresh_a = false,
+                             bool fresh_b = false) {
+  auto run = [&](auto write_a, auto write_b, auto fa, auto fb) {
     ParallelFor(0, n, grain, [&](int64_t i0, int64_t i1) {
       for (int64_t i = i0; i < i1; ++i) {
         float da = 0.0f, db = 0.0f;
         bwd(g[i], ad[i], bd[i], &da, &db);
-        if constexpr (decltype(write_a)::value) ga[i] += da;
-        if constexpr (decltype(write_b)::value) gb[i] += db;
+        if constexpr (decltype(write_a)::value) {
+          if constexpr (decltype(fa)::value) {
+            ga[i] = 0.0f + da;
+          } else {
+            ga[i] += da;
+          }
+        }
+        if constexpr (decltype(write_b)::value) {
+          if constexpr (decltype(fb)::value) {
+            gb[i] = 0.0f + db;
+          } else {
+            gb[i] += db;
+          }
+        }
       }
     });
   };
-  if (ga != nullptr && gb != nullptr) {
-    run(std::true_type{}, std::true_type{});
-  } else if (ga != nullptr) {
-    run(std::true_type{}, std::false_type{});
+  auto run_b = [&](auto write_a, auto fa) {
+    if (gb != nullptr) {
+      if (fresh_b) {
+        run(write_a, std::true_type{}, fa, std::true_type{});
+      } else {
+        run(write_a, std::true_type{}, fa, std::false_type{});
+      }
+    } else {
+      run(write_a, std::false_type{}, fa, std::false_type{});
+    }
+  };
+  if (ga != nullptr) {
+    if (fresh_a) {
+      run_b(std::true_type{}, std::true_type{});
+    } else {
+      run_b(std::true_type{}, std::false_type{});
+    }
   } else if (gb != nullptr) {
-    run(std::false_type{}, std::true_type{});
+    run_b(std::false_type{}, std::false_type{});
   }
 }
 

@@ -167,16 +167,17 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
         const float* g = node.grad.data();
         const float* ad = pa->data.data();
         const float* bd = pb->data.data();
+        // Every path below fully covers the live grad buffers, so first
+        // contributions take the kUninit fresh path (store 0 + term,
+        // bitwise-equal to zero-fill + accumulate). Aliased parents
+        // (Add(a, a)) get fresh on the first call only: the second
+        // GradForFullWrite sees a sized buffer and accumulates.
         float* ga = nullptr;
         float* gb = nullptr;
-        if (pa->requires_grad) {
-          pa->EnsureGrad();
-          ga = pa->grad.data();
-        }
-        if (pb->requires_grad) {
-          pb->EnsureGrad();
-          gb = pb->grad.data();
-        }
+        bool fresh_a = false;
+        bool fresh_b = false;
+        if (pa->requires_grad) ga = pa->GradForFullWrite(&fresh_a);
+        if (pb->requires_grad) gb = pb->GradForFullWrite(&fresh_b);
         if (mode == BroadcastMode::kSame) {
           if (kind != BinOpKind::kGeneric) {
             // SIMD grad accumulation. Each kernel call is per-element
@@ -188,19 +189,35 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
               const int64_t len = i1 - i0;
               switch (kind) {
                 case BinOpKind::kAdd:
-                  if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
-                  if (gb != nullptr) simd::Accumulate(g + i0, gb + i0, len);
+                  if (ga != nullptr) {
+                    (fresh_a ? simd::AccumulateFresh
+                             : simd::Accumulate)(g + i0, ga + i0, len);
+                  }
+                  if (gb != nullptr) {
+                    (fresh_b ? simd::AccumulateFresh
+                             : simd::Accumulate)(g + i0, gb + i0, len);
+                  }
                   break;
                 case BinOpKind::kSub:
-                  if (ga != nullptr) simd::Accumulate(g + i0, ga + i0, len);
-                  if (gb != nullptr) simd::Axpy(-1.0f, g + i0, gb + i0, len);
+                  if (ga != nullptr) {
+                    (fresh_a ? simd::AccumulateFresh
+                             : simd::Accumulate)(g + i0, ga + i0, len);
+                  }
+                  if (gb != nullptr) {
+                    (fresh_b ? simd::AxpyFresh : simd::Axpy)(-1.0f, g + i0,
+                                                             gb + i0, len);
+                  }
                   break;
                 case BinOpKind::kMul:
                   if (ga != nullptr) {
-                    simd::MulAccumulate(g + i0, bd + i0, ga + i0, len);
+                    (fresh_a ? simd::MulAccumulateFresh
+                             : simd::MulAccumulate)(g + i0, bd + i0, ga + i0,
+                                                    len);
                   }
                   if (gb != nullptr) {
-                    simd::MulAccumulate(g + i0, ad + i0, gb + i0, len);
+                    (fresh_b ? simd::MulAccumulateFresh
+                             : simd::MulAccumulate)(g + i0, ad + i0, gb + i0,
+                                                    len);
                   }
                   break;
                 case BinOpKind::kGeneric:
@@ -212,15 +229,24 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
           // No accumulation aliasing: one pass handles both sides, with
           // the null checks hoisted so each live variant stays branch-free
           // per element (shared with the JIT's fused backward kernels).
-          ewise::SameShapeBinaryBackward(g, ad, bd, ga, gb, n, kGrain, bwd);
+          ewise::SameShapeBinaryBackward(g, ad, bd, ga, gb, n, kGrain, bwd,
+                                         fresh_a, fresh_b);
           return;
         }
         if (ga != nullptr) {
           ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-            for (int64_t i = i0; i < i1; ++i) {
-              float da = 0.0f, db = 0.0f;
-              bwd(g[i], ad[i], bd[BroadcastIndex(mode, i, cols)], &da, &db);
-              ga[i] += da;
+            if (fresh_a) {
+              for (int64_t i = i0; i < i1; ++i) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[BroadcastIndex(mode, i, cols)], &da, &db);
+                ga[i] = 0.0f + da;
+              }
+            } else {
+              for (int64_t i = i0; i < i1; ++i) {
+                float da = 0.0f, db = 0.0f;
+                bwd(g[i], ad[i], bd[BroadcastIndex(mode, i, cols)], &da, &db);
+                ga[i] += da;
+              }
             }
           });
         }
@@ -230,7 +256,7 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
           int64_t rows = n / cols;
           ParallelFor(0, cols, RowGrain(rows), [&](int64_t j0, int64_t j1) {
             for (int64_t j = j0; j < j1; ++j) {
-              float sum = gb[j];
+              float sum = fresh_b ? 0.0f : gb[j];
               for (int64_t i = j; i < n; i += cols) {
                 float da = 0.0f, db = 0.0f;
                 bwd(g[i], ad[i], bd[j], &da, &db);
@@ -240,18 +266,23 @@ Tensor ElementwiseBinary(const Tensor& a, const Tensor& b, ForwardFn fwd,
             }
           });
         } else if (gb != nullptr) {  // kScalarB
-          gb[0] += ParallelReduce<float>(
+          float sum = ParallelReduce<float>(
               0, n, kGrain, 0.0f,
               [&](int64_t i0, int64_t i1) {
-                float sum = 0.0f;
+                float partial = 0.0f;
                 for (int64_t i = i0; i < i1; ++i) {
                   float da = 0.0f, db = 0.0f;
                   bwd(g[i], ad[i], bd[0], &da, &db);
-                  sum += db;
+                  partial += db;
                 }
-                return sum;
+                return partial;
               },
               [](float acc, float partial) { return acc + partial; });
+          if (fresh_b) {
+            gb[0] = 0.0f + sum;
+          } else {
+            gb[0] += sum;
+          }
         }
       });
   if (jit::internal::Tracing()) {
@@ -277,14 +308,14 @@ Tensor ElementwiseUnary(const Tensor& x, ewise::UnaryKind kind,
       x.shape(), std::move(out), {x}, [n, kind, param](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
-        px->EnsureGrad();
+        bool fresh = false;
+        float* gx = px->GradForFullWrite(&fresh);
         const float* g = node.grad.data();
         const float* xd = px->data.data();
         const float* yd = node.data.data();
-        float* gx = px->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
           ewise::UnaryBackwardKernel(kind, g + i0, xd + i0, yd + i0, gx + i0,
-                                     i1 - i0, param);
+                                     i1 - i0, param, fresh);
         });
       });
   if (jit::internal::Tracing()) {
@@ -396,11 +427,11 @@ Tensor Scale(const Tensor& a, float s) {
       a.shape(), std::move(out), {a}, [n, s](Node& node) {
         const auto& pa = node.parents[0];
         if (!pa->requires_grad) return;
-        pa->EnsureGrad();
+        bool fresh = false;
+        float* ga = pa->GradForFullWrite(&fresh);
         const float* g = node.grad.data();
-        float* ga = pa->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          simd::Axpy(s, g + i0, ga + i0, i1 - i0);
+          (fresh ? simd::AxpyFresh : simd::Axpy)(s, g + i0, ga + i0, i1 - i0);
         });
       });
   if (jit::internal::Tracing()) jit::internal::TraceScale(a, s, result);
@@ -420,11 +451,12 @@ Tensor AddScalar(const Tensor& a, float s) {
       a.shape(), std::move(out), {a}, [n](Node& node) {
         const auto& pa = node.parents[0];
         if (!pa->requires_grad) return;
-        pa->EnsureGrad();
+        bool fresh = false;
+        float* ga = pa->GradForFullWrite(&fresh);
         const float* g = node.grad.data();
-        float* ga = pa->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          simd::Accumulate(g + i0, ga + i0, i1 - i0);
+          (fresh ? simd::AccumulateFresh : simd::Accumulate)(g + i0, ga + i0,
+                                                             i1 - i0);
         });
       });
   if (jit::internal::Tracing()) jit::internal::TraceAddScalar(a, s, result);
@@ -480,13 +512,21 @@ Tensor Transpose(const Tensor& a) {
       Shape{cols, rows}, std::move(out), {a}, [rows, cols](Node& node) {
         const auto& pa = node.parents[0];
         if (!pa->requires_grad) return;
-        pa->EnsureGrad();
+        bool fresh = false;
+        float* ga = pa->GradForFullWrite(&fresh);
         const float* g = node.grad.data();
-        float* ga = pa->grad.data();
         ParallelFor(0, rows, RowGrain(cols), [&](int64_t r0, int64_t r1) {
-          for (int64_t i = r0; i < r1; ++i) {
-            for (int64_t j = 0; j < cols; ++j) {
-              ga[i * cols + j] += g[j * rows + i];
+          if (fresh) {
+            for (int64_t i = r0; i < r1; ++i) {
+              for (int64_t j = 0; j < cols; ++j) {
+                ga[i * cols + j] = 0.0f + g[j * rows + i];
+              }
+            }
+          } else {
+            for (int64_t i = r0; i < r1; ++i) {
+              for (int64_t j = 0; j < cols; ++j) {
+                ga[i * cols + j] += g[j * rows + i];
+              }
             }
           }
         });
@@ -502,11 +542,12 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
   return Tensor::MakeOpOutput(shape, std::move(out), {a}, [n](Node& node) {
     const auto& pa = node.parents[0];
     if (!pa->requires_grad) return;
-    pa->EnsureGrad();
+    bool fresh = false;
+    float* ga = pa->GradForFullWrite(&fresh);
     const float* g = node.grad.data();
-    float* ga = pa->grad.data();
     ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-      for (int64_t i = i0; i < i1; ++i) ga[i] += g[i];
+      (fresh ? simd::AccumulateFresh : simd::Accumulate)(g + i0, ga + i0,
+                                                         i1 - i0);
     });
   });
 }
@@ -548,15 +589,20 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
         for (size_t p = 0; p < node.parents.size(); ++p) {
           const auto& parent = node.parents[p];
           if (!parent->requires_grad) continue;
-          parent->EnsureGrad();
+          // A parent repeated in `parts` is fresh on its first slice only.
+          bool fresh = false;
+          float* gp = parent->GradForFullWrite(&fresh);
           int64_t pc = parent->shape.cols();
           int64_t off = offsets[p];
-          float* gp = parent->grad.data();
           ParallelFor(0, rows, RowGrain(pc), [&](int64_t r0, int64_t r1) {
             for (int64_t i = r0; i < r1; ++i) {
               const float* grow = g + i * total_cols + off;
               float* prow = gp + i * pc;
-              for (int64_t j = 0; j < pc; ++j) prow[j] += grow[j];
+              if (fresh) {
+                for (int64_t j = 0; j < pc; ++j) prow[j] = 0.0f + grow[j];
+              } else {
+                for (int64_t j = 0; j < pc; ++j) prow[j] += grow[j];
+              }
             }
           });
         }
@@ -589,12 +635,14 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
         for (size_t p = 0; p < node.parents.size(); ++p) {
           const auto& parent = node.parents[p];
           if (!parent->requires_grad) continue;
-          parent->EnsureGrad();
+          // A parent repeated in `parts` is fresh on its first slice only.
+          bool fresh = false;
+          float* gp = parent->GradForFullWrite(&fresh);
           int64_t pr = parent->shape.rows();
           const float* gstart = g + row_offsets[p] * cols;
-          float* gp = parent->grad.data();
           ParallelFor(0, pr * cols, kGrain, [&](int64_t i0, int64_t i1) {
-            for (int64_t i = i0; i < i1; ++i) gp[i] += gstart[i];
+            (fresh ? simd::AccumulateFresh : simd::Accumulate)(
+                gstart + i0, gp + i0, i1 - i0);
           });
         }
       });
@@ -1542,12 +1590,13 @@ Tensor Relu(const Tensor& x) {
       x.shape(), std::move(out), {x}, [n](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
-        px->EnsureGrad();
+        bool fresh = false;
+        float* gx = px->GradForFullWrite(&fresh);
         const float* g = node.grad.data();
         const float* xd = px->data.data();
-        float* gx = px->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          simd::ReluBackward(xd + i0, g + i0, gx + i0, i1 - i0);
+          (fresh ? simd::ReluBackwardFresh : simd::ReluBackward)(
+              xd + i0, g + i0, gx + i0, i1 - i0);
         });
       });
   if (jit::internal::Tracing()) jit::internal::TraceRelu(x, result);
@@ -1711,11 +1760,15 @@ Tensor SumAll(const Tensor& x) {
       Shape{}, ScalarOut(static_cast<float>(sum)), {x}, [n](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
-        px->EnsureGrad();
+        bool fresh = false;
+        float* gx = px->GradForFullWrite(&fresh);
         float g = node.grad[0];
-        float* gx = px->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+          if (fresh) {
+            for (int64_t i = i0; i < i1; ++i) gx[i] = 0.0f + g;
+          } else {
+            for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+          }
         });
       });
 }
@@ -1731,11 +1784,15 @@ Tensor MeanAll(const Tensor& x) {
       [n, inv](Node& node) {
         const auto& px = node.parents[0];
         if (!px->requires_grad) return;
-        px->EnsureGrad();
+        bool fresh = false;
+        float* gx = px->GradForFullWrite(&fresh);
         float g = node.grad[0] * inv;
-        float* gx = px->grad.data();
         ParallelFor(0, n, kGrain, [&](int64_t i0, int64_t i1) {
-          for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+          if (fresh) {
+            for (int64_t i = i0; i < i1; ++i) gx[i] = 0.0f + g;
+          } else {
+            for (int64_t i = i0; i < i1; ++i) gx[i] += g;
+          }
         });
       });
 }

@@ -57,6 +57,12 @@ struct KernelTable {
   void (*add_scalar)(const float*, float, float*, int64_t);
   void (*relu)(const float*, float*, int64_t);
   void (*relu_backward)(const float*, const float*, float*, int64_t);
+  // Fresh-grad variants (see simd.h): dst[i] = 0.0f + contribution, the
+  // bitwise equivalent of zero-fill + the accumulate kernel above.
+  void (*accumulate_fresh)(const float*, float*, int64_t);
+  void (*mul_accumulate_fresh)(const float*, const float*, float*, int64_t);
+  void (*axpy_fresh)(float, const float*, float*, int64_t);
+  void (*relu_backward_fresh)(const float*, const float*, float*, int64_t);
   float (*row_max)(const float*, int64_t);
   void (*matmul_rows_nn)(const float*, const float*, float*, int64_t, int64_t,
                          int64_t, int64_t, int64_t);
@@ -123,6 +129,25 @@ void Relu(const float* x, float* out, int64_t n) {
 
 void ReluBackward(const float* x, const float* g, float* gx, int64_t n) {
   for (int64_t i = 0; i < n; ++i) gx[i] += x[i] > 0.0f ? g[i] : 0.0f;
+}
+
+// The explicit 0.0f + term in the fresh kernels is not dead code: it
+// normalises -0.0 contributions to +0.0 exactly as accumulating into a
+// zeroed buffer does (the compiler must keep it under IEEE semantics).
+void AccumulateFresh(const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 0.0f + x[i];
+}
+
+void MulAccumulateFresh(const float* a, const float* b, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 0.0f + a[i] * b[i];
+}
+
+void AxpyFresh(float s, const float* x, float* y, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) y[i] = 0.0f + s * x[i];
+}
+
+void ReluBackwardFresh(const float* x, const float* g, float* gx, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) gx[i] = 0.0f + (x[i] > 0.0f ? g[i] : 0.0f);
 }
 
 float RowMax(const float* x, int64_t n) {
@@ -267,6 +292,7 @@ void ScoreRowsBf16(const uint16_t* m, const float* q, int64_t rows,
 constexpr KernelTable kTable = {
     Add,          Sub,           Mul,          Accumulate, MulAccumulate,
     Axpy,         Scale,         AddScalar,    Relu,       ReluBackward,
+    AccumulateFresh, MulAccumulateFresh, AxpyFresh, ReluBackwardFresh,
     RowMax,       MatMulRowsNN,  MatMulRowsNT, MatMulRowsTN,
     MatMulTile,   DotI8,         DotBf16,      ScoreRowsI8, ScoreRowsBf16,
 };
@@ -383,6 +409,50 @@ LOGCL_TARGET_AVX2 void ReluBackward(const float* x, const float* g, float* gx,
                      _mm256_add_ps(_mm256_loadu_ps(gx + i), gated));
   }
   for (; i < n; ++i) gx[i] += x[i] > 0.0f ? g[i] : 0.0f;
+}
+
+LOGCL_TARGET_AVX2 void AccumulateFresh(const float* x, float* y, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(y + i, _mm256_add_ps(zero, _mm256_loadu_ps(x + i)));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + x[i];
+}
+
+LOGCL_TARGET_AVX2 void MulAccumulateFresh(const float* a, const float* b,
+                                          float* y, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 prod = _mm256_mul_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(zero, prod));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + a[i] * b[i];
+}
+
+LOGCL_TARGET_AVX2 void AxpyFresh(float s, const float* x, float* y,
+                                 int64_t n) {
+  const __m256 sv = _mm256_set1_ps(s);
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 prod = _mm256_mul_ps(sv, _mm256_loadu_ps(x + i));
+    _mm256_storeu_ps(y + i, _mm256_add_ps(zero, prod));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + s * x[i];
+}
+
+LOGCL_TARGET_AVX2 void ReluBackwardFresh(const float* x, const float* g,
+                                         float* gx, int64_t n) {
+  const __m256 zero = _mm256_setzero_ps();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256 mask = _mm256_cmp_ps(_mm256_loadu_ps(x + i), zero, _CMP_GT_OQ);
+    __m256 gated = _mm256_and_ps(mask, _mm256_loadu_ps(g + i));
+    _mm256_storeu_ps(gx + i, _mm256_add_ps(zero, gated));
+  }
+  for (; i < n; ++i) gx[i] = 0.0f + (x[i] > 0.0f ? g[i] : 0.0f);
 }
 
 LOGCL_TARGET_AVX2 inline float HorizontalMax(__m256 v) {
@@ -600,6 +670,7 @@ LOGCL_TARGET_AVX2 void ScoreRowsBf16(const uint16_t* m, const float* q,
 constexpr KernelTable kTable = {
     Add,          Sub,          Mul,     Accumulate, MulAccumulate,
     Axpy,         Scale,        AddScalar, Relu,     ReluBackward,
+    AccumulateFresh, MulAccumulateFresh, AxpyFresh, ReluBackwardFresh,
     RowMax,       MatMulRowsNN, nullptr, MatMulRowsTN,
     MatMulTile,   DotI8,        DotBf16, ScoreRowsI8, ScoreRowsBf16,
 };
@@ -703,6 +774,48 @@ void ReluBackward(const float* x, const float* g, float* gx, int64_t n) {
     vst1q_f32(gx + i, vaddq_f32(vld1q_f32(gx + i), gated));
   }
   for (; i < n; ++i) gx[i] += x[i] > 0.0f ? g[i] : 0.0f;
+}
+
+void AccumulateFresh(const float* x, float* y, int64_t n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    vst1q_f32(y + i, vaddq_f32(zero, vld1q_f32(x + i)));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + x[i];
+}
+
+void MulAccumulateFresh(const float* a, const float* b, float* y, int64_t n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t prod = vmulq_f32(vld1q_f32(a + i), vld1q_f32(b + i));
+    vst1q_f32(y + i, vaddq_f32(zero, prod));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + a[i] * b[i];
+}
+
+void AxpyFresh(float s, const float* x, float* y, int64_t n) {
+  const float32x4_t sv = vdupq_n_f32(s);
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    float32x4_t prod = vmulq_f32(sv, vld1q_f32(x + i));
+    vst1q_f32(y + i, vaddq_f32(zero, prod));
+  }
+  for (; i < n; ++i) y[i] = 0.0f + s * x[i];
+}
+
+void ReluBackwardFresh(const float* x, const float* g, float* gx, int64_t n) {
+  const float32x4_t zero = vdupq_n_f32(0.0f);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t mask = vcgtq_f32(vld1q_f32(x + i), zero);
+    float32x4_t gated = vreinterpretq_f32_u32(
+        vandq_u32(mask, vreinterpretq_u32_f32(vld1q_f32(g + i))));
+    vst1q_f32(gx + i, vaddq_f32(zero, gated));
+  }
+  for (; i < n; ++i) gx[i] = 0.0f + (x[i] > 0.0f ? g[i] : 0.0f);
 }
 
 float RowMax(const float* x, int64_t n) {
@@ -865,6 +978,7 @@ void ScoreRowsBf16(const uint16_t* m, const float* q, int64_t rows,
 constexpr KernelTable kTable = {
     Add,          Sub,          Mul,     Accumulate, MulAccumulate,
     Axpy,         Scale,        AddScalar, Relu,     ReluBackward,
+    AccumulateFresh, MulAccumulateFresh, AxpyFresh, ReluBackwardFresh,
     RowMax,       MatMulRowsNN, nullptr, MatMulRowsTN,
     MatMulTile,   DotI8,        DotBf16, ScoreRowsI8, ScoreRowsBf16,
 };
@@ -1002,6 +1116,18 @@ void AddScalar(const float* x, float s, float* out, int64_t n) {
 void Relu(const float* x, float* out, int64_t n) { Active()->relu(x, out, n); }
 void ReluBackward(const float* x, const float* g, float* gx, int64_t n) {
   Active()->relu_backward(x, g, gx, n);
+}
+void AccumulateFresh(const float* x, float* y, int64_t n) {
+  Active()->accumulate_fresh(x, y, n);
+}
+void MulAccumulateFresh(const float* a, const float* b, float* y, int64_t n) {
+  Active()->mul_accumulate_fresh(a, b, y, n);
+}
+void AxpyFresh(float s, const float* x, float* y, int64_t n) {
+  Active()->axpy_fresh(s, x, y, n);
+}
+void ReluBackwardFresh(const float* x, const float* g, float* gx, int64_t n) {
+  Active()->relu_backward_fresh(x, g, gx, n);
 }
 float RowMax(const float* x, int64_t n) { return Active()->row_max(x, n); }
 

@@ -78,6 +78,22 @@ void AddScalar(const float* x, float s, float* out, int64_t n);
 void Relu(const float* x, float* out, int64_t n);
 /// gx[i] += x[i] > 0 ? g[i] : +0.0f
 void ReluBackward(const float* x, const float* g, float* gx, int64_t n);
+
+// Fresh-grad variants: same arithmetic as their accumulate counterparts
+// against an implicit zeroed destination. Each element is WRITTEN as
+// `0.0f + contribution`, which is bitwise-equal to zero-fill followed by
+// the accumulate kernel (including the -0.0 -> +0.0 normalisation that
+// adding into a zeroed buffer performs) without reading the destination.
+// Used for the first, full-coverage contribution into a kUninit grad
+// buffer (TensorNode::GradForFullWrite).
+/// y[i] = 0 + x[i]
+void AccumulateFresh(const float* x, float* y, int64_t n);
+/// y[i] = 0 + a[i] * b[i]
+void MulAccumulateFresh(const float* a, const float* b, float* y, int64_t n);
+/// y[i] = 0 + s * x[i]
+void AxpyFresh(float s, const float* x, float* y, int64_t n);
+/// gx[i] = 0 + (x[i] > 0 ? g[i] : +0.0f)
+void ReluBackwardFresh(const float* x, const float* g, float* gx, int64_t n);
 /// max over x[0..n); -inf for n == 0. Exact under lane reordering for the
 /// finite inputs the softmax path feeds it.
 float RowMax(const float* x, int64_t n);

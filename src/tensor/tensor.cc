@@ -25,6 +25,20 @@ void TensorNode::EnsureGrad() {
   }
 }
 
+float* TensorNode::GradForFullWrite(bool* fresh) {
+  if (grad.size() == data.size()) {
+    *fresh = false;
+    return grad.data();
+  }
+  // First contribution fully overwrites, so the zero-fill is elided; with
+  // LOGCL_POISON_UNINIT=1 the buffer arrives sNaN-poisoned and a kernel
+  // that fails the full-write contract is caught downstream.
+  ReleaseBuffer(std::move(grad));
+  grad = AcquireBuffer(data.size(), BufferFill::kUninit);
+  *fresh = true;
+  return grad.data();
+}
+
 }  // namespace internal_tensor
 
 namespace {

@@ -46,12 +46,29 @@ struct TensorNode {
   std::function<void(TensorNode&)> backward_fn;
   // Monotonic creation index; used for reverse-topological replay.
   uint64_t sequence = 0;
+  // Scratch owned by Backward() (tensor/backward.cc): the node is part of
+  // the current traversal iff visit_epoch matches the pass's epoch (this
+  // replaces a per-call hash set), and engine_index is its slot in the
+  // engine's side arrays for that pass.
+  uint64_t visit_epoch = 0;
+  uint32_t engine_index = 0;
 
   /// Returns data and grad storage to the buffer pool.
   ~TensorNode();
 
   /// Allocates grad (zeroed, same size as data) from the pool on demand.
   void EnsureGrad();
+
+  /// Grad storage for a backward kernel whose FIRST contribution overwrites
+  /// every element. When grad is not yet allocated this returns a kUninit
+  /// pool buffer and sets *fresh = true: the caller must then write ALL
+  /// elements, computing each as `0.0f + contribution`, which is bitwise
+  /// identical to zero-fill + accumulate (including the -0.0 -> +0.0
+  /// normalisation an accumulate into a zeroed buffer performs). A partial
+  /// write is a bug that LOGCL_POISON_UNINIT=1 surfaces as an sNaN read.
+  /// When grad already exists (another consumer contributed first) it sets
+  /// *fresh = false and the caller must accumulate as usual.
+  float* GradForFullWrite(bool* fresh);
 };
 
 }  // namespace internal_tensor
@@ -147,8 +164,23 @@ class Tensor {
   NodePtr node_;
 };
 
-/// Runs reverse-mode accumulation from `loss` (any shape; seed grad = 1).
+/// Runs reverse-mode accumulation from `loss`, which must be a scalar (one
+/// element; seed grad = 1). For a non-scalar root pass an explicit seed
+/// gradient via the two-argument overload. With LOGCL_INTEROP=1 (the
+/// default) and a multi-thread pool, independent branches of the graph run
+/// concurrently on the shared thread pool with results bitwise-identical
+/// to the serial replay at any thread count; see DESIGN.md §15.
 void Backward(const Tensor& loss);
+
+/// As above with an explicit seed gradient d(objective)/d(loss); seed_grad
+/// must have the same element count as loss.
+void Backward(const Tensor& loss, const Tensor& seed_grad);
+
+/// Inter-op autograd engine toggle (env LOGCL_INTEROP, default on). Even
+/// when enabled, the serial replay is used for one-thread pools, tiny
+/// graphs, and Backward() calls issued from inside a parallel region.
+bool InterOpEnabled();
+void SetInterOpEnabled(bool enabled);
 
 }  // namespace logcl
 
