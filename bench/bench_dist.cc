@@ -1,0 +1,237 @@
+// Distributed-tier benchmark: ring AllReduceSum latency/bandwidth across
+// payload sizes, 1-rank versus 2-rank data-parallel epoch throughput, and
+// ServingRouter QPS over replicated and entity-sharded 2-worker fleets —
+// all with in-process rank threads over real loopback sockets, so the
+// numbers include the full framing/syscall path but no NIC.
+//
+// LOGCL_BENCH_FAST=1 shrinks iteration counts for smoke runs (CI executes
+// exactly that).
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+#include "dist/dist_trainer.h"
+#include "dist/process_group.h"
+#include "dist/replica_worker.h"
+#include "dist/serving_router.h"
+#include "synth/generator.h"
+
+namespace logcl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dist::DistributedTrainer;
+using dist::Listener;
+using dist::ProcessGroup;
+using dist::ProcessGroupOptions;
+using dist::ReplicaWorker;
+using dist::ReplicaWorkerOptions;
+using dist::ServingRouter;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+TkgDataset BenchData() {
+  SynthConfig config;
+  config.name = "dist-bench";
+  config.seed = 613;
+  config.num_entities = 80;
+  config.num_relations = 8;
+  config.num_timestamps = 24;
+  config.recurring_pool = 120;
+  config.recurring_prob = 0.4;
+  config.alternating_pool = 40;
+  config.num_cyclic = 20;
+  config.chains_per_timestamp = 6.0;
+  config.noise_per_timestamp = 4.0;
+  return GenerateSyntheticTkg(config);
+}
+
+LogClConfig BenchConfig() {
+  LogClConfig config;
+  config.embedding_dim = 32;
+  config.local.history_length = 3;
+  config.seed = 11;
+  return config;
+}
+
+/// Runs `body(group)` on every rank of an in-process world over loopback
+/// TCP; returns when all rank threads join.
+void RunWorld(int world,
+              const std::function<void(ProcessGroup*, int)>& body) {
+  Result<Listener> master = Listener::Open("127.0.0.1:0");
+  if (!master.ok()) {
+    std::fprintf(stderr, "master listener: %s\n",
+                 std::string(master.status().message()).c_str());
+    return;
+  }
+  // Extract the address before spawning: rank 0's rendezvous consumes the
+  // pre-opened listener.
+  std::string master_address = master.value().bound_address();
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      ProcessGroupOptions options;
+      options.rank = r;
+      options.world_size = world;
+      options.master = master_address;
+      if (r == 0) options.master_listener = &master.value();
+      Result<std::unique_ptr<ProcessGroup>> group =
+          ProcessGroup::Rendezvous(options);
+      if (!group.ok()) {
+        std::fprintf(stderr, "[rank %d] rendezvous: %s\n", r,
+                     std::string(group.status().message()).c_str());
+        return;
+      }
+      body(group.value().get(), r);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+}
+
+void BenchAllReduce() {
+  bench::PrintSectionTitle("ring AllReduceSum, world=2, loopback TCP");
+  std::printf("%-16s %10s %12s\n", "payload", "per-op", "bandwidth");
+  std::printf("%s\n", std::string(42, '-').c_str());
+  const int iters = bench::FastMode() ? 20 : 200;
+  for (size_t elems : {size_t{1} << 10, size_t{1} << 14, size_t{1} << 18,
+                       size_t{1} << 22}) {
+    double seconds = 0.0;
+    RunWorld(2, [&](ProcessGroup* group, int rank) {
+      std::vector<float> buffer(elems, 1.0f + static_cast<float>(rank));
+      // Warm-up + sync.
+      group->AllReduceSum(buffer.data(), buffer.size());
+      group->Barrier();
+      Clock::time_point start = Clock::now();
+      for (int i = 0; i < iters; ++i) {
+        group->AllReduceSum(buffer.data(), buffer.size());
+      }
+      if (rank == 0) seconds = SecondsSince(start);
+    });
+    const double per_op = seconds / iters;
+    // Ring moves ~2x the payload per rank (reduce pass + broadcast pass).
+    const double mb = 2.0 * static_cast<double>(elems * sizeof(float)) / 1e6;
+    std::printf("%13zu B %8.0f us %9.0f MB/s\n", elems * sizeof(float),
+                per_op * 1e6, mb / per_op);
+  }
+}
+
+void BenchEpochThroughput() {
+  bench::PrintSectionTitle("data-parallel epoch throughput (facts/s)");
+  const int epochs = bench::FastMode() ? 1 : 3;
+  TkgDataset data = BenchData();
+  int64_t train_facts = 0;
+  for (int64_t t : data.SplitTimestamps(Split::kTrain)) {
+    train_facts += static_cast<int64_t>(data.FactsAt(t).size());
+  }
+
+  double single_seconds = 0.0;
+  {
+    TkgDataset local = BenchData();
+    LogClModel model(&local, BenchConfig());
+    AdamOptimizer optimizer(model.Parameters());
+    Clock::time_point start = Clock::now();
+    for (int e = 0; e < epochs; ++e) model.TrainEpoch(&optimizer);
+    single_seconds = SecondsSince(start) / epochs;
+  }
+
+  double dual_seconds = 0.0;
+  RunWorld(2, [&](ProcessGroup* group, int rank) {
+    TkgDataset local = BenchData();
+    LogClModel model(&local, BenchConfig());
+    AdamOptimizer optimizer(model.Parameters());
+    DistributedTrainer trainer(group, &model, &optimizer);
+    group->Barrier();
+    Clock::time_point start = Clock::now();
+    for (int e = 0; e < epochs; ++e) {
+      Result<EpochStats> stats = trainer.TrainEpoch();
+      if (!stats.ok()) {
+        std::fprintf(stderr, "[rank %d] %s\n", rank,
+                     std::string(stats.status().message()).c_str());
+        return;
+      }
+    }
+    if (rank == 0) dual_seconds = SecondsSince(start) / epochs;
+  });
+
+  std::printf("%-24s %10.2f s/epoch %10.0f facts/s\n", "1 rank",
+              single_seconds,
+              static_cast<double>(train_facts) / single_seconds);
+  std::printf("%-24s %10.2f s/epoch %10.0f facts/s   speedup %.2fx\n",
+              "2 ranks (loopback)", dual_seconds,
+              static_cast<double>(train_facts) / dual_seconds,
+              single_seconds / dual_seconds);
+}
+
+void BenchRouterQps(bool sharded) {
+  TkgDataset data = BenchData();
+  LogClModel model(&data, BenchConfig());
+  model.SetEvalMode(true);
+  const int64_t horizon = data.num_timestamps() - 2;
+  const int64_t entities = data.num_entities();
+
+  ReplicaWorkerOptions a, b;
+  a.horizon = b.horizon = horizon;
+  if (sharded) {
+    a.entity_begin = 0;
+    a.entity_end = entities / 2;
+    b.entity_begin = entities / 2;
+    b.entity_end = entities;
+  }
+  ReplicaWorker worker_a(&model, a), worker_b(&model, b);
+  if (!worker_a.StartBackground().ok() || !worker_b.StartBackground().ok()) {
+    std::fprintf(stderr, "worker start failed\n");
+    return;
+  }
+  Result<std::unique_ptr<ServingRouter>> router =
+      ServingRouter::Connect({worker_a.address(), worker_b.address()});
+  if (!router.ok()) {
+    std::fprintf(stderr, "router: %s\n",
+                 std::string(router.status().message()).c_str());
+    return;
+  }
+
+  const int clients = 4;
+  const int requests_per_client = bench::FastMode() ? 25 : 250;
+  std::vector<ServeQuery> batch = {{1, 0}, {5, 1}, {9, 2}, {13, 3}};
+  std::atomic<int> failures{0};
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < requests_per_client; ++i) {
+        if (!router.value()->ScoreQueries(batch).ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = SecondsSince(start);
+  double total = static_cast<double>(clients) * requests_per_client;
+  std::printf("%-24s %8.0f req/s  (%d clients, batch %zu, %d failures)\n",
+              sharded ? "2 shards, fan-out" : "2 replicas, round-robin",
+              total / seconds, clients, batch.size(), failures.load());
+  router.value()->Shutdown();
+  worker_a.Stop();
+  worker_b.Stop();
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main() {
+  logcl::bench::EnablePoolStatsDump();
+  logcl::BenchAllReduce();
+  logcl::BenchEpochThroughput();
+  logcl::bench::PrintSectionTitle("ServingRouter QPS, loopback");
+  logcl::BenchRouterQps(/*sharded=*/false);
+  logcl::BenchRouterQps(/*sharded=*/true);
+  return 0;
+}

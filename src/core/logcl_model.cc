@@ -284,6 +284,25 @@ EpochStats LogClModel::TrainStep(int64_t t, AdamOptimizer* optimizer) {
   if (facts.empty()) return step;
   uint64_t step_start = MonotonicNowNs();
   optimizer->ZeroGrad();
+  step = ForwardBackwardOnFacts(facts, t);
+  {
+    LOGCL_TRACE_SCOPE("optimizer");
+    uint64_t optimizer_start = MonotonicNowNs();
+    step.grad_norm = optimizer->ClipGradNorm(config_.grad_clip_norm);
+    optimizer->Step();
+    step.seconds_optimizer =
+        static_cast<double>(MonotonicNowNs() - optimizer_start) * 1e-9;
+  }
+  step.seconds_total =
+      static_cast<double>(MonotonicNowNs() - step_start) * 1e-9;
+  return step;
+}
+
+EpochStats LogClModel::ForwardBackwardOnFacts(
+    const std::vector<Quadruple>& facts, int64_t t) {
+  EpochStats step;
+  step.steps = 1;  // every visited timestamp counts toward the epoch mean
+  if (facts.empty()) return step;
 
   // Two-phase propagation (Section III.F): the original query set and the
   // inverse query set are scored in separate forward phases, so the
@@ -351,16 +370,6 @@ EpochStats LogClModel::TrainStep(int64_t t, AdamOptimizer* optimizer) {
     step.seconds_backward =
         static_cast<double>(MonotonicNowNs() - backward_start) * 1e-9;
   }
-  {
-    LOGCL_TRACE_SCOPE("optimizer");
-    uint64_t optimizer_start = MonotonicNowNs();
-    step.grad_norm = optimizer->ClipGradNorm(config_.grad_clip_norm);
-    optimizer->Step();
-    step.seconds_optimizer =
-        static_cast<double>(MonotonicNowNs() - optimizer_start) * 1e-9;
-  }
-  step.seconds_total =
-      static_cast<double>(MonotonicNowNs() - step_start) * 1e-9;
   return step;
 }
 

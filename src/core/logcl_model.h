@@ -132,6 +132,26 @@ class LogClModel : public TkgModel {
 
   const LogClConfig& config() const { return config_; }
 
+  /// The forward/backward portion of one training step on an explicit fact
+  /// batch at timestamp `t` (two-phase propagation + Backward), WITHOUT the
+  /// optimizer interaction: gradients accumulate into whatever the
+  /// parameters' grads already hold, and no clip/step runs. This is the
+  /// data-parallel entry point (src/dist/dist_trainer.h): each rank calls it
+  /// on its shard after ZeroGrad, then the shards' gradients are summed by
+  /// AllReduceSum before one shared clip+step. Returns the step's loss
+  /// components (steps == 1; empty `facts` contributes nothing and runs no
+  /// backward). Consumes the model RNG exactly as TrainEpoch would for the
+  /// same batch — see rng_state()/set_rng_state for replaying shards.
+  EpochStats ForwardBackwardOnFacts(const std::vector<Quadruple>& facts,
+                                    int64_t t);
+
+  /// The training RNG stream, exposed so a single process can replay the
+  /// per-rank streams of a distributed run (dropout consumption depends on
+  /// batch size, so virtual ranks need independent streams). Rng is a small
+  /// copyable value.
+  Rng rng_state() const { return rng_; }
+  void set_rng_state(const Rng& rng) { rng_ = rng; }
+
  private:
   struct BatchOutput {
     Tensor scores;  // [B, E] logits

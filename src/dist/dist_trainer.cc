@@ -1,0 +1,194 @@
+#include "dist/dist_trainer.h"
+
+#include <utility>
+
+#include "common/observability.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+Counter* TrainEpochsCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.train_epochs");
+  return c;
+}
+Histogram* GradSyncUsHist() {
+  static Histogram* h = Metrics().GetHistogram("logcl.dist.grad_sync_us");
+  return h;
+}
+
+/// The informational per-epoch means that get averaged across ranks.
+constexpr int kStatsFloats = 9;
+
+void PackStats(const EpochStats& epoch, float* out) {
+  out[0] = static_cast<float>(epoch.loss);
+  out[1] = static_cast<float>(epoch.loss_task);
+  out[2] = static_cast<float>(epoch.loss_contrast);
+  out[3] = static_cast<float>(epoch.loss_lg);
+  out[4] = static_cast<float>(epoch.loss_gl);
+  out[5] = static_cast<float>(epoch.loss_ll);
+  out[6] = static_cast<float>(epoch.loss_gg);
+  out[7] = static_cast<float>(epoch.loss_aux);
+  out[8] = static_cast<float>(epoch.grad_norm);
+}
+
+void UnpackStats(const float* in, double inv_world, EpochStats* epoch) {
+  epoch->loss = in[0] * inv_world;
+  epoch->loss_task = in[1] * inv_world;
+  epoch->loss_contrast = in[2] * inv_world;
+  epoch->loss_lg = in[3] * inv_world;
+  epoch->loss_gl = in[4] * inv_world;
+  epoch->loss_ll = in[5] * inv_world;
+  epoch->loss_gg = in[6] * inv_world;
+  epoch->loss_aux = in[7] * inv_world;
+  epoch->grad_norm = in[8] * inv_world;
+}
+
+}  // namespace
+
+DistributedTrainer::DistributedTrainer(ProcessGroup* group, LogClModel* model,
+                                       AdamOptimizer* optimizer,
+                                       DistributedTrainerOptions options)
+    : group_(group),
+      model_(model),
+      optimizer_(optimizer),
+      options_(options),
+      buckets_(optimizer->parameters()),
+      broadcast_pending_(options.broadcast_parameters) {}
+
+std::vector<Quadruple> DistributedTrainer::ShardForRank(
+    const std::vector<Quadruple>& facts, int rank, int world) {
+  std::vector<Quadruple> shard;
+  shard.reserve((facts.size() + static_cast<size_t>(world) - 1) /
+                static_cast<size_t>(world));
+  for (size_t i = static_cast<size_t>(rank); i < facts.size();
+       i += static_cast<size_t>(world)) {
+    shard.push_back(facts[i]);
+  }
+  return shard;
+}
+
+Status DistributedTrainer::BroadcastParameters() {
+  buckets_.GatherData();
+  for (int b = 0; b < buckets_.num_buckets(); ++b) {
+    LOGCL_RETURN_IF_ERROR(group_->Broadcast(buckets_.bucket_data(b),
+                                            buckets_.bucket_elems(b),
+                                            /*root=*/0));
+  }
+  buckets_.ScatterData();
+  return Status::Ok();
+}
+
+Result<EpochStats> DistributedTrainer::TrainEpoch() {
+  if (broadcast_pending_) {
+    LOGCL_RETURN_IF_ERROR(BroadcastParameters());
+    broadcast_pending_ = false;
+  }
+  uint64_t epoch_start = MonotonicNowNs();
+  const int world = group_->world_size();
+  const float inv_world = 1.0f / static_cast<float>(world);
+  EpochStats epoch;
+  for (int64_t t : model_->dataset().SplitTimestamps(Split::kTrain)) {
+    if (t == 0) continue;  // no history yet (same skip as TrainEpoch)
+    const std::vector<Quadruple>& facts = model_->dataset().FactsAt(t);
+    EpochStats step;
+    step.steps = 1;
+    if (facts.empty()) {  // no collective: single-process skips the step too
+      epoch.AccumulateStep(step);
+      continue;
+    }
+    std::vector<Quadruple> shard =
+        ShardForRank(facts, group_->rank(), world);
+    optimizer_->ZeroGrad();
+    if (!shard.empty()) {
+      step = model_->ForwardBackwardOnFacts(shard, t);
+    }
+    uint64_t sync_start = MonotonicNowNs();
+    buckets_.GatherGrads();
+    for (int b = 0; b < buckets_.num_buckets(); ++b) {
+      LOGCL_RETURN_IF_ERROR(group_->AllReduceSum(buckets_.bucket_data(b),
+                                                 buckets_.bucket_elems(b)));
+    }
+    buckets_.ScatterGrads(inv_world);
+    GradSyncUsHist()->Record((MonotonicNowNs() - sync_start) / 1000);
+    step.grad_norm =
+        optimizer_->ClipGradNorm(model_->config().grad_clip_norm);
+    optimizer_->Step();
+    epoch.AccumulateStep(step);
+  }
+  epoch.FinalizeMeans();
+  epoch.seconds_total =
+      static_cast<double>(MonotonicNowNs() - epoch_start) * 1e-9;
+  if (world > 1) {
+    // Fleet-wide means for reporting; parameters are already identical.
+    float stats[kStatsFloats];
+    PackStats(epoch, stats);
+    LOGCL_RETURN_IF_ERROR(group_->AllReduceSum(stats, kStatsFloats));
+    UnpackStats(stats, 1.0 / world, &epoch);
+  }
+  TrainEpochsCounter()->Increment();
+  return epoch;
+}
+
+DataParallelSimulator::DataParallelSimulator(LogClModel* model,
+                                             AdamOptimizer* optimizer,
+                                             int world)
+    : model_(model),
+      optimizer_(optimizer),
+      world_(world),
+      streams_(static_cast<size_t>(world), model->rng_state()),
+      acc_(optimizer->parameters()),
+      partial_(optimizer->parameters()) {}
+
+EpochStats DataParallelSimulator::TrainEpoch() {
+  uint64_t epoch_start = MonotonicNowNs();
+  const double inv_world = 1.0 / static_cast<double>(world_);
+  EpochStats epoch;
+  for (int64_t t : model_->dataset().SplitTimestamps(Split::kTrain)) {
+    if (t == 0) continue;
+    const std::vector<Quadruple>& facts = model_->dataset().FactsAt(t);
+    EpochStats step;
+    step.steps = 1;
+    if (facts.empty()) {
+      epoch.AccumulateStep(step);
+      continue;
+    }
+    for (int r = 0; r < world_; ++r) {
+      std::vector<Quadruple> shard =
+          DistributedTrainer::ShardForRank(facts, r, world_);
+      model_->set_rng_state(streams_[static_cast<size_t>(r)]);
+      optimizer_->ZeroGrad();
+      EpochStats rank_step;
+      if (!shard.empty()) {
+        rank_step = model_->ForwardBackwardOnFacts(shard, t);
+      }
+      streams_[static_cast<size_t>(r)] = model_->rng_state();
+      partial_.GatherGrads();
+      if (r == 0) {
+        acc_.CopyFrom(partial_);
+      } else {
+        acc_.AccumulateFrom(partial_);
+      }
+      step.loss += rank_step.loss * inv_world;
+      step.loss_task += rank_step.loss_task * inv_world;
+      step.loss_contrast += rank_step.loss_contrast * inv_world;
+      step.loss_lg += rank_step.loss_lg * inv_world;
+      step.loss_gl += rank_step.loss_gl * inv_world;
+      step.loss_ll += rank_step.loss_ll * inv_world;
+      step.loss_gg += rank_step.loss_gg * inv_world;
+      step.loss_aux += rank_step.loss_aux * inv_world;
+    }
+    acc_.ScatterGrads(1.0f / static_cast<float>(world_));
+    step.grad_norm =
+        optimizer_->ClipGradNorm(model_->config().grad_clip_norm);
+    optimizer_->Step();
+    epoch.AccumulateStep(step);
+  }
+  epoch.FinalizeMeans();
+  epoch.seconds_total =
+      static_cast<double>(MonotonicNowNs() - epoch_start) * 1e-9;
+  return epoch;
+}
+
+}  // namespace dist
+}  // namespace logcl

@@ -1,0 +1,114 @@
+// Data-parallel training over a ProcessGroup, with a bitwise parity
+// guarantee against single-process training.
+//
+// Per training timestamp t (the same walk LogClModel::TrainEpoch does):
+//   1. shard the timestamp's facts round-robin across ranks (fact i goes to
+//      rank i % world) — every rank computes the same shards, no
+//      coordination needed;
+//   2. optimizer->ZeroGrad(), then ForwardBackwardOnFacts on this rank's
+//      shard (an empty shard contributes zero gradients but still
+//      participates in the collective);
+//   3. flatten gradients into ~1MB GradientBuckets, AllReduceSum each
+//      bucket, scatter back scaled by 1/world;
+//   4. one shared ClipGradNorm + Adam Step — identical gradients in, so
+//      every rank's parameters stay bitwise identical forever (assuming
+//      identical initial parameters; see broadcast_parameters).
+//
+// Why this is bitwise-reproducible by a single process: AllReduceSum
+// accumulates in ascending rank order (see process_group.h), so the summed
+// gradient equals a left-fold over the per-rank gradients. The only other
+// cross-rank divergence is RNG consumption — dropout draws depend on the
+// shard's batch size — so DataParallelSimulator replays the run with one
+// virtual RNG stream per rank. A W-process epoch and a
+// DataParallelSimulator(W) epoch on identically-initialised models produce
+// bitwise-identical parameters, at any intra-op thread count (the tensor
+// kernels are thread-count-invariant by repo-wide contract). This is the
+// oracle tests/dist_trainer_test.cc and the multi-process launcher enforce.
+//
+// Epoch loss statistics are averaged across ranks at epoch end (one extra
+// small allreduce) so every rank reports fleet-wide means; these are
+// informational, not part of the bitwise contract.
+//
+// Observability: logcl.dist.train_epochs counter, logcl.dist.grad_sync_us
+// histogram (time per timestamp spent in gather + allreduce + scatter).
+
+#ifndef LOGCL_DIST_DIST_TRAINER_H_
+#define LOGCL_DIST_DIST_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/logcl_model.h"
+#include "dist/gradient_buckets.h"
+#include "dist/process_group.h"
+#include "tensor/optimizer.h"
+
+namespace logcl {
+namespace dist {
+
+struct DistributedTrainerOptions {
+  /// Broadcast rank 0's parameters to all ranks before the first epoch, so
+  /// ranks need not rely on seed-identical initialisation.
+  bool broadcast_parameters = true;
+};
+
+class DistributedTrainer {
+ public:
+  /// `group`, `model` and `optimizer` must outlive the trainer. The
+  /// optimizer must hold exactly the model's trainable parameters (the
+  /// usual AdamOptimizer(model->Parameters()) construction).
+  DistributedTrainer(ProcessGroup* group, LogClModel* model,
+                     AdamOptimizer* optimizer,
+                     DistributedTrainerOptions options = {});
+
+  /// One data-parallel pass over the training split. On success every
+  /// rank's parameters are bitwise identical. A socket failure on any
+  /// collective aborts the epoch with that Status (parameters may then
+  /// differ across ranks; re-broadcast before resuming).
+  Result<EpochStats> TrainEpoch();
+
+  /// Round-robin shard of `facts` for `rank` (fact i -> rank i % world).
+  static std::vector<Quadruple> ShardForRank(
+      const std::vector<Quadruple>& facts, int rank, int world);
+
+ private:
+  Status BroadcastParameters();
+
+  ProcessGroup* group_;
+  LogClModel* model_;
+  AdamOptimizer* optimizer_;
+  DistributedTrainerOptions options_;
+  GradientBuckets buckets_;
+  bool broadcast_pending_;
+};
+
+/// Single-process bitwise replay of a W-rank DistributedTrainer run on one
+/// model: maintains W virtual RNG streams (all cloned from the model's
+/// stream at construction, exactly like W seed-identical processes),
+/// computes each virtual rank's shard gradient with its own stream, folds
+/// the per-rank gradient buckets together in ascending rank order, and
+/// applies the same scaled clip + step. Used as the parity oracle in tests
+/// and as the reference for EXPERIMENTS.md throughput comparisons.
+class DataParallelSimulator {
+ public:
+  DataParallelSimulator(LogClModel* model, AdamOptimizer* optimizer,
+                        int world);
+
+  /// One simulated data-parallel epoch; parameters end bitwise identical to
+  /// a real W-rank epoch from the same starting state.
+  EpochStats TrainEpoch();
+
+ private:
+  LogClModel* model_;
+  AdamOptimizer* optimizer_;
+  int world_;
+  std::vector<Rng> streams_;
+  GradientBuckets acc_;      // running rank-order fold
+  GradientBuckets partial_;  // current virtual rank's gradients
+};
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_DIST_TRAINER_H_

@@ -1,0 +1,92 @@
+#include "dist/gradient_buckets.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace logcl {
+namespace dist {
+
+GradientBuckets::GradientBuckets(std::vector<Tensor> parameters)
+    : parameters_(std::move(parameters)) {
+  for (const Tensor& p : parameters_) {
+    total_elems_ += static_cast<int64_t>(p.data().size());
+  }
+  flat_.resize(static_cast<size_t>(total_elems_), 0.0f);
+  num_buckets_ =
+      static_cast<int>((total_elems_ + kBucketElems - 1) / kBucketElems);
+}
+
+float* GradientBuckets::bucket_data(int b) {
+  LOGCL_CHECK_GE(b, 0);
+  LOGCL_CHECK_LT(b, num_buckets_);
+  return flat_.data() + static_cast<int64_t>(b) * kBucketElems;
+}
+
+int64_t GradientBuckets::bucket_elems(int b) const {
+  LOGCL_CHECK_GE(b, 0);
+  LOGCL_CHECK_LT(b, num_buckets_);
+  int64_t begin = static_cast<int64_t>(b) * kBucketElems;
+  return std::min<int64_t>(kBucketElems, total_elems_ - begin);
+}
+
+void GradientBuckets::GatherGrads() {
+  float* out = flat_.data();
+  for (Tensor& p : parameters_) {
+    const std::vector<float>& g = p.grad();  // force-allocates zeroed grad
+    std::memcpy(out, g.data(), g.size() * sizeof(float));
+    out += g.size();
+  }
+}
+
+void GradientBuckets::ScatterGrads(float scale) {
+  const float* in = flat_.data();
+  for (Tensor& p : parameters_) {
+    std::vector<float>& g = p.mutable_grad();
+    for (size_t i = 0; i < g.size(); ++i) g[i] = in[i] * scale;
+    in += g.size();
+  }
+}
+
+void GradientBuckets::GatherData() {
+  float* out = flat_.data();
+  for (Tensor& p : parameters_) {
+    const std::vector<float>& d = p.data();
+    std::memcpy(out, d.data(), d.size() * sizeof(float));
+    out += d.size();
+  }
+}
+
+void GradientBuckets::ScatterData() {
+  const float* in = flat_.data();
+  for (Tensor& p : parameters_) {
+    std::vector<float>& d = p.mutable_data();
+    std::memcpy(d.data(), in, d.size() * sizeof(float));
+    in += d.size();
+  }
+}
+
+void GradientBuckets::CopyFrom(const GradientBuckets& other) {
+  LOGCL_CHECK_EQ(total_elems_, other.total_elems_);
+  flat_ = other.flat_;
+}
+
+void GradientBuckets::AccumulateFrom(const GradientBuckets& other) {
+  LOGCL_CHECK_EQ(total_elems_, other.total_elems_);
+  const float* src = other.flat_.data();
+  // incoming + own, matching ProcessGroup::RecvReduceChunked's operand
+  // order (commutative bitwise either way).
+  for (int64_t i = 0; i < total_elems_; ++i) {
+    flat_[static_cast<size_t>(i)] =
+        src[i] + flat_[static_cast<size_t>(i)];
+  }
+}
+
+void GradientBuckets::Zero() {
+  std::fill(flat_.begin(), flat_.end(), 0.0f);
+}
+
+}  // namespace dist
+}  // namespace logcl

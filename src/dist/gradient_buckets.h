@@ -1,0 +1,74 @@
+// GradientBuckets: a flat, bucketed staging buffer between a parameter set
+// and the collectives. Parameters are flattened in optimizer order into one
+// contiguous float buffer, then carved into fixed ~1MB buckets so each
+// AllReduceSum call pipelines well over the socket transport without ever
+// framing the whole model at once.
+//
+// The flat layout is part of the distributed determinism story: every rank
+// (and the single-process simulator) flattens the same parameter list in the
+// same order, so elementwise bucket sums correspond exactly to elementwise
+// per-parameter gradient sums.
+
+#ifndef LOGCL_DIST_GRADIENT_BUCKETS_H_
+#define LOGCL_DIST_GRADIENT_BUCKETS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace dist {
+
+class GradientBuckets {
+ public:
+  /// Fixed bucket size: 256k floats = 1MB. Like ProcessGroup::kChunkElems
+  /// this is never derived from runtime state — bucket boundaries are
+  /// identical on every rank.
+  static constexpr int64_t kBucketElems = 256 * 1024;
+
+  /// `parameters` are held as handles (shared storage with the optimizer);
+  /// sizes are fixed at construction.
+  explicit GradientBuckets(std::vector<Tensor> parameters);
+
+  int num_buckets() const { return num_buckets_; }
+  int64_t total_elems() const { return total_elems_; }
+
+  /// Bucket `b` as a span of the flat buffer.
+  float* bucket_data(int b);
+  int64_t bucket_elems(int b) const;
+
+  /// Copies every parameter's gradient into the flat buffer.
+  void GatherGrads();
+  /// Writes the flat buffer back into every parameter's gradient,
+  /// multiplying each element by `scale` (1/world for gradient averaging).
+  void ScatterGrads(float scale);
+
+  /// Same transfers for parameter *values* — the startup Broadcast that
+  /// aligns every rank with rank 0's initialisation.
+  void GatherData();
+  void ScatterData();
+
+  /// flat = other.flat, byte-exact (a fold seeded with zeros would turn
+  /// -0.0 gradients into +0.0; the ring never adds a synthetic zero, so the
+  /// simulator's fold must start from a copy of rank 0's buckets).
+  void CopyFrom(const GradientBuckets& other);
+  /// flat[i] += other.flat[i] — the simulator's rank-order accumulation
+  /// (bitwise the operand order ProcessGroup::AllReduceSum uses, because
+  /// float addition is commutative bitwise).
+  void AccumulateFrom(const GradientBuckets& other);
+  void Zero();
+
+  const std::vector<float>& flat() const { return flat_; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  std::vector<float> flat_;
+  int64_t total_elems_ = 0;
+  int num_buckets_ = 0;
+};
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_GRADIENT_BUCKETS_H_

@@ -1,0 +1,360 @@
+#include "dist/process_group.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/observability.h"
+#include "dist/wire.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+Counter* CollectivesCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.collectives");
+  return c;
+}
+Histogram* AllReduceUsHist() {
+  static Histogram* h = Metrics().GetHistogram("logcl.dist.allreduce_us");
+  return h;
+}
+Histogram* BroadcastUsHist() {
+  static Histogram* h = Metrics().GetHistogram("logcl.dist.broadcast_us");
+  return h;
+}
+Histogram* AllGatherUsHist() {
+  static Histogram* h = Metrics().GetHistogram("logcl.dist.allgather_us");
+  return h;
+}
+Histogram* RendezvousUsHist() {
+  static Histogram* h = Metrics().GetHistogram("logcl.dist.rendezvous_us");
+  return h;
+}
+
+/// RAII microsecond recorder for collective latencies.
+class ScopedUs {
+ public:
+  explicit ScopedUs(Histogram* hist) : hist_(hist), start_(MonotonicNowNs()) {}
+  ~ScopedUs() { hist_->Record((MonotonicNowNs() - start_) / 1000); }
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+/// Mesh listener address for `rank`, derived from the master address so
+/// unix-socket groups stay unix and TCP groups stay TCP (always port 0 —
+/// the chosen port travels through the rendezvous address book).
+std::string MeshListenAddress(const ProcessGroupOptions& options) {
+  if (options.master.rfind("unix:", 0) == 0) {
+    return options.master + ".r" + std::to_string(options.rank);
+  }
+  return options.advertise_host + ":0";
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+}  // namespace
+
+ProcessGroupOptions ProcessGroupOptions::FromEnv() {
+  ProcessGroupOptions options;
+  options.rank = static_cast<int>(EnvInt("LOGCL_DIST_RANK", 0));
+  options.world_size = static_cast<int>(EnvInt("LOGCL_DIST_WORLD", 1));
+  const char* master = std::getenv("LOGCL_DIST_MASTER");
+  if (master != nullptr) options.master = master;
+  return options;
+}
+
+ProcessGroup::ProcessGroup(ProcessGroupOptions options)
+    : options_(std::move(options)),
+      connections_(static_cast<size_t>(options_.world_size)),
+      scratch_(static_cast<size_t>(kChunkElems)) {}
+
+Result<std::unique_ptr<ProcessGroup>> ProcessGroup::Rendezvous(
+    ProcessGroupOptions options) {
+  if (options.world_size < 1) {
+    return Status::InvalidArgument("world_size must be >= 1");
+  }
+  if (options.rank < 0 || options.rank >= options.world_size) {
+    return Status::InvalidArgument(
+        "rank " + std::to_string(options.rank) + " outside world of " +
+        std::to_string(options.world_size));
+  }
+  uint64_t start_ns = MonotonicNowNs();
+  std::unique_ptr<ProcessGroup> group(new ProcessGroup(options));
+  if (options.world_size == 1) return group;  // no sockets needed
+  if (options.master.empty()) {
+    return Status::InvalidArgument("world_size > 1 requires a master address");
+  }
+  const int rank = options.rank;
+  const int world = options.world_size;
+
+  // 1. Everyone opens their mesh listener first (port 0 / derived unix
+  //    path), so by the time addresses circulate the listener exists.
+  Result<Listener> mesh_listener = Listener::Open(MeshListenAddress(options));
+  if (!mesh_listener.ok()) return mesh_listener.status();
+  Listener mesh = std::move(mesh_listener).value();
+
+  // 2. Rank 0 gathers {rank, mesh address} from every peer over the master
+  //    listener and answers each with the full address book.
+  std::vector<std::string> book(static_cast<size_t>(world));
+  book[static_cast<size_t>(rank)] = mesh.bound_address();
+  if (rank == 0) {
+    Listener master;
+    if (options.master_listener != nullptr &&
+        options.master_listener->valid()) {
+      master = std::move(*options.master_listener);
+    } else {
+      Result<Listener> opened = Listener::Open(options.master);
+      if (!opened.ok()) return opened.status();
+      master = std::move(opened).value();
+    }
+    std::vector<Connection> peers;
+    std::vector<int> peer_ranks;
+    for (int i = 1; i < world; ++i) {
+      Result<Connection> accepted = master.Accept(options.connect_timeout_ms);
+      if (!accepted.ok()) return accepted.status();
+      Connection conn = std::move(accepted).value();
+      conn.set_io_timeout_ms(options.io_timeout_ms);
+      std::vector<uint8_t> hello;
+      LOGCL_RETURN_IF_ERROR(conn.RecvFrame(&hello));
+      WireReader reader(hello);
+      uint32_t peer_rank = 0;
+      std::string peer_addr;
+      LOGCL_RETURN_IF_ERROR(reader.GetU32(&peer_rank));
+      LOGCL_RETURN_IF_ERROR(reader.GetString(&peer_addr));
+      if (peer_rank == 0 || peer_rank >= static_cast<uint32_t>(world) ||
+          !book[peer_rank].empty()) {
+        return Status::InvalidArgument("rendezvous: bad or duplicate rank " +
+                                       std::to_string(peer_rank));
+      }
+      book[peer_rank] = peer_addr;
+      peers.push_back(std::move(conn));
+      peer_ranks.push_back(static_cast<int>(peer_rank));
+    }
+    WireWriter writer;
+    writer.PutU32(static_cast<uint32_t>(world));
+    for (const std::string& addr : book) writer.PutString(addr);
+    for (Connection& peer : peers) {
+      LOGCL_RETURN_IF_ERROR(peer.SendFrame(writer.buffer()));
+    }
+  } else {
+    Result<Connection> master =
+        Connection::Connect(options.master, options.connect_timeout_ms);
+    if (!master.ok()) return master.status();
+    Connection conn = std::move(master).value();
+    conn.set_io_timeout_ms(options.connect_timeout_ms);
+    WireWriter hello;
+    hello.PutU32(static_cast<uint32_t>(rank));
+    hello.PutString(mesh.bound_address());
+    LOGCL_RETURN_IF_ERROR(conn.SendFrame(hello.buffer()));
+    std::vector<uint8_t> reply;
+    LOGCL_RETURN_IF_ERROR(conn.RecvFrame(&reply));
+    WireReader reader(reply);
+    uint32_t reply_world = 0;
+    LOGCL_RETURN_IF_ERROR(reader.GetU32(&reply_world));
+    if (reply_world != static_cast<uint32_t>(world)) {
+      return Status::InvalidArgument(
+          "rendezvous world mismatch: master says " +
+          std::to_string(reply_world) + ", this rank was configured with " +
+          std::to_string(world));
+    }
+    for (int r = 0; r < world; ++r) {
+      LOGCL_RETURN_IF_ERROR(reader.GetString(&book[static_cast<size_t>(r)]));
+    }
+  }
+
+  // 3. Full mesh: connect to every lower rank, accept from every higher
+  //    one; a one-frame hello identifies the dialer.
+  for (int p = 0; p < rank; ++p) {
+    Result<Connection> dialed = Connection::Connect(
+        book[static_cast<size_t>(p)], options.connect_timeout_ms);
+    if (!dialed.ok()) return dialed.status();
+    Connection conn = std::move(dialed).value();
+    conn.set_io_timeout_ms(options.io_timeout_ms);
+    WireWriter hello;
+    hello.PutU32(static_cast<uint32_t>(rank));
+    LOGCL_RETURN_IF_ERROR(conn.SendFrame(hello.buffer()));
+    group->connections_[static_cast<size_t>(p)] = std::move(conn);
+  }
+  for (int i = rank + 1; i < world; ++i) {
+    Result<Connection> accepted = mesh.Accept(options.connect_timeout_ms);
+    if (!accepted.ok()) return accepted.status();
+    Connection conn = std::move(accepted).value();
+    conn.set_io_timeout_ms(options.io_timeout_ms);
+    std::vector<uint8_t> hello;
+    LOGCL_RETURN_IF_ERROR(conn.RecvFrame(&hello));
+    WireReader reader(hello);
+    uint32_t peer_rank = 0;
+    LOGCL_RETURN_IF_ERROR(reader.GetU32(&peer_rank));
+    if (peer_rank <= static_cast<uint32_t>(rank) ||
+        peer_rank >= static_cast<uint32_t>(world) ||
+        group->connections_[peer_rank].valid()) {
+      return Status::InvalidArgument("mesh hello from unexpected rank " +
+                                     std::to_string(peer_rank));
+    }
+    group->connections_[peer_rank] = std::move(conn);
+  }
+  RendezvousUsHist()->Record((MonotonicNowNs() - start_ns) / 1000);
+  return group;
+}
+
+Connection& ProcessGroup::Peer(int peer_rank) {
+  LOGCL_CHECK_GE(peer_rank, 0);
+  LOGCL_CHECK_LT(peer_rank, options_.world_size);
+  LOGCL_CHECK(peer_rank != options_.rank);
+  Connection& conn = connections_[static_cast<size_t>(peer_rank)];
+  LOGCL_CHECK(conn.valid()) << "no mesh connection to rank " << peer_rank;
+  return conn;
+}
+
+Status ProcessGroup::SendChunked(Connection& conn, const float* data,
+                                 int64_t count) {
+  for (int64_t begin = 0; begin < count; begin += kChunkElems) {
+    int64_t n = std::min<int64_t>(kChunkElems, count - begin);
+    LOGCL_RETURN_IF_ERROR(conn.WriteAll(
+        data + begin, static_cast<size_t>(n) * sizeof(float)));
+  }
+  return Status::Ok();
+}
+
+Status ProcessGroup::RecvChunked(Connection& conn, float* data,
+                                 int64_t count) {
+  for (int64_t begin = 0; begin < count; begin += kChunkElems) {
+    int64_t n = std::min<int64_t>(kChunkElems, count - begin);
+    LOGCL_RETURN_IF_ERROR(conn.ReadAll(
+        data + begin, static_cast<size_t>(n) * sizeof(float)));
+  }
+  return Status::Ok();
+}
+
+Status ProcessGroup::RecvReduceChunked(Connection& conn, float* data,
+                                       int64_t count) {
+  for (int64_t begin = 0; begin < count; begin += kChunkElems) {
+    int64_t n = std::min<int64_t>(kChunkElems, count - begin);
+    LOGCL_RETURN_IF_ERROR(
+        conn.ReadAll(scratch_.data(), static_cast<size_t>(n) * sizeof(float)));
+    float* own = data + begin;
+    const float* incoming = scratch_.data();
+    // incoming holds the running sum of all lower ranks; adding own keeps
+    // the global accumulation in ascending rank order (float addition is
+    // commutative bitwise, so incoming + own == own + incoming).
+    for (int64_t i = 0; i < n; ++i) own[i] = incoming[i] + own[i];
+  }
+  return Status::Ok();
+}
+
+Status ProcessGroup::AllReduceSum(float* data, int64_t count) {
+  if (count < 0) return Status::InvalidArgument("negative element count");
+  const int world = options_.world_size;
+  const int rank = options_.rank;
+  if (world == 1 || count == 0) return Status::Ok();
+  ScopedUs timer(AllReduceUsHist());
+  CollectivesCounter()->Increment();
+
+  // Reduce pass: partial sums flow 0 -> 1 -> ... -> W-1 (rank-order
+  // accumulation; see header).
+  if (rank == 0) {
+    LOGCL_RETURN_IF_ERROR(SendChunked(Peer(1), data, count));
+  } else {
+    LOGCL_RETURN_IF_ERROR(RecvReduceChunked(Peer(rank - 1), data, count));
+    if (rank != world - 1) {
+      LOGCL_RETURN_IF_ERROR(SendChunked(Peer(rank + 1), data, count));
+    }
+  }
+
+  // Broadcast pass: the fully reduced buffer flows W-1 -> 0 -> ... -> W-2.
+  if (rank == world - 1) {
+    LOGCL_RETURN_IF_ERROR(SendChunked(Peer(0), data, count));
+  } else {
+    LOGCL_RETURN_IF_ERROR(RecvChunked(Peer((rank + world - 1) % world), data,
+                                      count));
+    if (rank != world - 2) {
+      LOGCL_RETURN_IF_ERROR(SendChunked(Peer(rank + 1), data, count));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProcessGroup::Broadcast(float* data, int64_t count, int root) {
+  if (root < 0 || root >= options_.world_size) {
+    return Status::InvalidArgument("broadcast root " + std::to_string(root) +
+                                   " outside the world");
+  }
+  const int world = options_.world_size;
+  if (world == 1 || count == 0) return Status::Ok();
+  ScopedUs timer(BroadcastUsHist());
+  CollectivesCounter()->Increment();
+  if (options_.rank == root) {
+    for (int p = 0; p < world; ++p) {
+      if (p == root) continue;
+      LOGCL_RETURN_IF_ERROR(SendChunked(Peer(p), data, count));
+    }
+    return Status::Ok();
+  }
+  return RecvChunked(Peer(root), data, count);
+}
+
+Status ProcessGroup::AllGather(const float* input, int64_t count,
+                               float* output) {
+  const int world = options_.world_size;
+  const int rank = options_.rank;
+  if (count < 0) return Status::InvalidArgument("negative element count");
+  std::copy(input, input + count,
+            output + static_cast<int64_t>(rank) * count);
+  if (world == 1 || count == 0) return Status::Ok();
+  ScopedUs timer(AllGatherUsHist());
+  CollectivesCounter()->Increment();
+  // Classic ring allgather: at step s every rank forwards the block it
+  // received at step s-1 (its own at s=0). Even ranks send first, odd ranks
+  // receive first — on a ring of blocking sockets this parity break makes
+  // every transfer's completion chain terminate at a receive-first rank, so
+  // no buffer-size assumption is needed for deadlock freedom.
+  Connection& next = Peer((rank + 1) % world);
+  Connection& prev = Peer((rank + world - 1) % world);
+  for (int s = 0; s < world - 1; ++s) {
+    int64_t send_block = (rank - s + world) % world;
+    int64_t recv_block = (rank - s - 1 + world) % world;
+    float* send_ptr = output + send_block * count;
+    float* recv_ptr = output + recv_block * count;
+    if (rank % 2 == 0) {
+      LOGCL_RETURN_IF_ERROR(SendChunked(next, send_ptr, count));
+      LOGCL_RETURN_IF_ERROR(RecvChunked(prev, recv_ptr, count));
+    } else {
+      LOGCL_RETURN_IF_ERROR(RecvChunked(prev, recv_ptr, count));
+      LOGCL_RETURN_IF_ERROR(SendChunked(next, send_ptr, count));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ProcessGroup::Barrier() {
+  const int world = options_.world_size;
+  const int rank = options_.rank;
+  if (world == 1) return Status::Ok();
+  CollectivesCounter()->Increment();
+  uint8_t token = 0xB7;
+  if (rank == 0) {
+    // Gather one token from every rank (ascending), then release everyone.
+    for (int p = 1; p < world; ++p) {
+      uint8_t t = 0;
+      LOGCL_RETURN_IF_ERROR(Peer(p).ReadAll(&t, 1));
+    }
+    for (int p = 1; p < world; ++p) {
+      LOGCL_RETURN_IF_ERROR(Peer(p).WriteAll(&token, 1));
+    }
+    return Status::Ok();
+  }
+  LOGCL_RETURN_IF_ERROR(Peer(0).WriteAll(&token, 1));
+  uint8_t release = 0;
+  return Peer(0).ReadAll(&release, 1);
+}
+
+}  // namespace dist
+}  // namespace logcl

@@ -1,0 +1,121 @@
+// ProcessGroup: a fixed set of `world_size` ranks connected over the socket
+// transport, with deterministic collectives for data-parallel training.
+//
+// Rendezvous (rank-0 bootstrap):
+//   1. every rank opens its own mesh listener (TCP port 0 or a unix path
+//      derived from the master path), so nothing ever races on a busy port;
+//   2. ranks 1..W-1 connect to rank 0's master address and send
+//      {rank, mesh_address}; rank 0 gathers all W entries and replies with
+//      the full address book;
+//   3. each rank connects to every lower rank's mesh listener and accepts
+//      one connection from every higher rank, yielding a full mesh of
+//      W*(W-1)/2 connections identified by a hello frame.
+//
+// Collectives and the determinism contract:
+//   - AllReduceSum uses a chunk-pipelined ring: chunks of kChunkElems floats
+//     flow rank 0 -> 1 -> ... -> W-1, each hop adding its own contribution,
+//     then the fully reduced chunks flow back W-1 -> 0 -> ... -> W-2. Every
+//     element is therefore accumulated in ASCENDING RANK ORDER
+//     (((x0 + x1) + x2) + ...), independent of chunking and timing — the
+//     result is bitwise identical run-to-run, across thread counts, and to
+//     a single process that sums the same per-rank buffers in rank order
+//     (DistributedTrainer's parity oracle relies on exactly this).
+//   - Broadcast sends root's buffer to every peer directly (chunked).
+//   - AllGather runs the classic W-1-step ring; neighbours alternate
+//     send-first/recv-first by rank parity so the ring of blocking sockets
+//     can never deadlock, whatever the kernel buffer sizes.
+//   - Barrier is a star over rank 0 (gather tokens, broadcast release).
+//
+// Every blocking operation inherits the transport deadline, so a dropped or
+// wedged peer surfaces as a Status within io_timeout_ms instead of hanging
+// the fleet. ProcessGroup is not thread-safe: one collective at a time.
+//
+// Observability: logcl.dist.allreduce_us / broadcast_us / allgather_us
+// histograms, logcl.dist.collectives counter, logcl.dist.rendezvous_us
+// histogram (DESIGN.md §16).
+
+#ifndef LOGCL_DIST_PROCESS_GROUP_H_
+#define LOGCL_DIST_PROCESS_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/transport.h"
+
+namespace logcl {
+namespace dist {
+
+struct ProcessGroupOptions {
+  int rank = 0;
+  int world_size = 1;
+  /// Rank 0's rendezvous address ("host:port" or "unix:<path>"); ignored
+  /// for world_size == 1.
+  std::string master;
+  /// Host peers use to reach this rank's TCP mesh listener (loopback by
+  /// default; set to the rank's reachable address on multi-host setups).
+  std::string advertise_host = "127.0.0.1";
+  /// Budget for the whole rendezvous (listen + connect-with-retry + mesh).
+  int64_t connect_timeout_ms = 10000;
+  /// Deadline applied to every blocking collective send/recv.
+  int64_t io_timeout_ms = kDefaultIoTimeoutMs;
+  /// Rank 0 only: a pre-opened master listener (moved from), so tests can
+  /// bind port 0 first and distribute the chosen port. When absent, rank 0
+  /// opens `master` itself.
+  Listener* master_listener = nullptr;
+
+  /// Reads LOGCL_DIST_RANK, LOGCL_DIST_WORLD and LOGCL_DIST_MASTER (the
+  /// launcher contract; see README "Distributed").
+  static ProcessGroupOptions FromEnv();
+};
+
+class ProcessGroup {
+ public:
+  /// Fixed chunk size (floats) for all chunked collectives. Part of the
+  /// determinism contract: never derived from world size or data length.
+  static constexpr int64_t kChunkElems = 64 * 1024;
+
+  /// Forms the group; blocks until all ranks are connected or the timeout
+  /// expires. world_size == 1 needs no master and opens no sockets.
+  static Result<std::unique_ptr<ProcessGroup>> Rendezvous(
+      ProcessGroupOptions options);
+
+  int rank() const { return options_.rank; }
+  int world_size() const { return options_.world_size; }
+
+  /// In-place elementwise sum over all ranks, accumulated in ascending rank
+  /// order (see file comment); every rank ends with identical bytes.
+  Status AllReduceSum(float* data, int64_t count);
+
+  /// Copies `data` on `root` into every rank's buffer.
+  Status Broadcast(float* data, int64_t count, int root);
+
+  /// Concatenates every rank's `input` (count floats each) into `output`
+  /// (world_size * count floats, rank-major).
+  Status AllGather(const float* input, int64_t count, float* output);
+
+  /// Blocks until every rank has arrived.
+  Status Barrier();
+
+ private:
+  explicit ProcessGroup(ProcessGroupOptions options);
+
+  Connection& Peer(int peer_rank);
+  Status SendChunked(Connection& conn, const float* data, int64_t count);
+  Status RecvChunked(Connection& conn, float* data, int64_t count);
+  /// Receives `count` floats and adds them elementwise into `data`
+  /// (incoming + own per element, chunk-by-chunk).
+  Status RecvReduceChunked(Connection& conn, float* data, int64_t count);
+
+  ProcessGroupOptions options_;
+  // connections_[r] is the mesh connection to rank r (invalid at r == rank).
+  std::vector<Connection> connections_;
+  std::vector<float> scratch_;  // chunk reduction buffer
+};
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_PROCESS_GROUP_H_

@@ -1,0 +1,81 @@
+// RPC message types for the replicated serving tier (ReplicaWorker <->
+// ServingRouter). Every frame's payload is a u32 message type followed by a
+// type-specific body (all little-endian, encoded with dist/wire.h):
+//
+//   kHello            -> (empty)
+//   kHelloAck         <- i64 entity_begin, i64 entity_end, i64 horizon,
+//                        i64 num_entities
+//   kScoreBatch       -> u64 B, B x (i64 subject, i64 relation)
+//   kScoreBatchAck    <- i64 horizon, i64 entity_begin, i64 entity_end,
+//                        f32 array of B*(end-begin) logits, row-major
+//   kTopK             -> u64 k, u64 B, B x (i64 subject, i64 relation)
+//   kTopKAck          <- i64 horizon, u64 B, B x { u64 m,
+//                        m x (i64 id, f32 logit, f32 prob) }
+//   kAdvancePrepare   -> quadruple array (the completed horizon's facts)
+//   kAdvancePrepareAck<- i64 staged_horizon
+//   kAdvanceCommit    -> (empty)
+//   kAdvanceCommitAck <- i64 horizon
+//   kShutdown         -> (empty)
+//   kShutdownAck      <- (empty)
+//   kError            <- u32 StatusCode, string message (any request may be
+//                        answered with this; the client rehydrates the
+//                        Status)
+//
+// Acks echo the worker's horizon so the router can assert that one fan-out
+// never mixes horizons (the coordinated-Advance invariant; see
+// serving_router.h).
+
+#ifndef LOGCL_DIST_PROTOCOL_H_
+#define LOGCL_DIST_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "dist/wire.h"
+
+namespace logcl {
+namespace dist {
+
+enum class MsgType : uint32_t {
+  kHello = 1,
+  kHelloAck = 2,
+  kScoreBatch = 3,
+  kScoreBatchAck = 4,
+  kTopK = 5,
+  kTopKAck = 6,
+  kAdvancePrepare = 7,
+  kAdvancePrepareAck = 8,
+  kAdvanceCommit = 9,
+  kAdvanceCommitAck = 10,
+  kShutdown = 11,
+  kShutdownAck = 12,
+  kError = 100,
+};
+
+/// Encodes `status` as a kError payload.
+inline std::vector<uint8_t> EncodeError(const Status& status) {
+  WireWriter writer;
+  writer.PutU32(static_cast<uint32_t>(MsgType::kError));
+  writer.PutU32(static_cast<uint32_t>(status.code()));
+  writer.PutString(status.message());
+  return writer.TakeBuffer();
+}
+
+/// Rehydrates the Status from a kError body (reader positioned after the
+/// type word).
+inline Status DecodeError(WireReader* reader) {
+  uint32_t code = 0;
+  std::string message;
+  LOGCL_RETURN_IF_ERROR(reader->GetU32(&code));
+  LOGCL_RETURN_IF_ERROR(reader->GetString(&message));
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kInternal)) {
+    return Status::Internal("peer error with unknown code: " + message);
+  }
+  return Status(static_cast<StatusCode>(code), std::move(message));
+}
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_PROTOCOL_H_

@@ -1,0 +1,412 @@
+#include "dist/transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/observability.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+// Registry handles, interned once (transport objects are created per
+// connection; the counters are process-wide like every logcl.* metric).
+Counter* BytesSentCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.bytes_sent");
+  return c;
+}
+Counter* BytesReceivedCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.bytes_received");
+  return c;
+}
+Counter* FramesSentCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.frames_sent");
+  return c;
+}
+Counter* FramesReceivedCounter() {
+  static Counter* c = Metrics().GetCounter("logcl.dist.frames_received");
+  return c;
+}
+
+int64_t NowMs() {
+  return static_cast<int64_t>(MonotonicNowNs() / 1000000ull);
+}
+
+// PollUntil tags its deadline Status with this marker (see IsTimeout).
+constexpr const char kDeadlineMarker[] = "deadline exceeded waiting on socket";
+
+std::string ErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Parsed form of a transport address.
+struct ParsedAddress {
+  bool is_unix = false;
+  std::string unix_path;   // AF_UNIX
+  std::string host;        // AF_INET (numeric or "localhost")
+  uint16_t port = 0;
+};
+
+Status ParseAddress(const std::string& address, ParsedAddress* out) {
+  if (address.rfind("unix:", 0) == 0) {
+    out->is_unix = true;
+    out->unix_path = address.substr(5);
+    if (out->unix_path.empty()) {
+      return Status::InvalidArgument("empty unix socket path in '" + address +
+                                     "'");
+    }
+    if (out->unix_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      return Status::InvalidArgument("unix socket path too long: '" +
+                                     out->unix_path + "'");
+    }
+    return Status::Ok();
+  }
+  size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= address.size()) {
+    return Status::InvalidArgument("address '" + address +
+                                   "' is not 'host:port' or 'unix:<path>'");
+  }
+  out->is_unix = false;
+  out->host = address.substr(0, colon);
+  if (out->host == "localhost") out->host = "127.0.0.1";
+  long port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    char c = address[i];
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("bad port in address '" + address + "'");
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in '" + address + "'");
+    }
+  }
+  out->port = static_cast<uint16_t>(port);
+  return Status::Ok();
+}
+
+Status FillSockaddrIn(const ParsedAddress& addr, sockaddr_in* sin) {
+  std::memset(sin, 0, sizeof(*sin));
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (::inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 host '" + addr.host +
+                                   "' (numeric addresses only)");
+  }
+  return Status::Ok();
+}
+
+void FillSockaddrUn(const ParsedAddress& addr, sockaddr_un* sun) {
+  std::memset(sun, 0, sizeof(*sun));
+  sun->sun_family = AF_UNIX;
+  std::strncpy(sun->sun_path, addr.unix_path.c_str(),
+               sizeof(sun->sun_path) - 1);
+}
+
+/// Waits until `fd` is ready for `events` (POLLIN/POLLOUT) or the absolute
+/// deadline passes. EINTR restarts with the remaining budget.
+Status PollUntil(int fd, short events, int64_t deadline_ms, const char* what) {
+  for (;;) {
+    int64_t remaining = deadline_ms - NowMs();
+    if (remaining <= 0) {
+      return Status::IoError(std::string(what) + ": " + kDeadlineMarker);
+    }
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, static_cast<int>(
+                                 remaining > 1000000 ? 1000000 : remaining));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage(what));
+    }
+    if (rc == 0) continue;  // re-check deadline
+    // Readable/writable OR error/hup: let the subsequent read/write surface
+    // the precise errno (a closed peer reports POLLIN + read()==0).
+    return Status::Ok();
+  }
+}
+
+void SetCloexec(int fd) { (void)fd; /* O_CLOEXEC set at socket(); no-op */ }
+
+int NewSocket(bool is_unix) {
+  return ::socket(is_unix ? AF_UNIX : AF_INET,
+                  SOCK_STREAM | SOCK_CLOEXEC, 0);
+}
+
+}  // namespace
+
+// --- Connection -------------------------------------------------------------
+
+Connection::Connection(int fd) : fd_(fd) {}
+
+Connection::~Connection() { Close(); }
+
+Connection::Connection(Connection&& other) noexcept
+    : fd_(other.fd_), io_timeout_ms_(other.io_timeout_ms_) {
+  other.fd_ = -1;
+}
+
+Connection& Connection::operator=(Connection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    io_timeout_ms_ = other.io_timeout_ms_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Connection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Connection> Connection::Connect(const std::string& address,
+                                       int64_t timeout_ms) {
+  ParsedAddress parsed;
+  LOGCL_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  int64_t deadline = NowMs() + timeout_ms;
+  Status last = Status::IoError("connect to '" + address + "' never attempted");
+  // Retry refused / not-yet-bound attempts: rendezvous peers may start
+  // before the master's listener exists.
+  for (;;) {
+    int fd = NewSocket(parsed.is_unix);
+    if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+    SetCloexec(fd);
+    int rc;
+    if (parsed.is_unix) {
+      sockaddr_un sun;
+      FillSockaddrUn(parsed, &sun);
+      do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun));
+      } while (rc < 0 && errno == EINTR);
+    } else {
+      sockaddr_in sin;
+      Status st = FillSockaddrIn(parsed, &sin);
+      if (!st.ok()) {
+        ::close(fd);
+        return st;
+      }
+      do {
+        rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin));
+      } while (rc < 0 && errno == EINTR);
+    }
+    if (rc == 0) {
+      if (!parsed.is_unix) {
+        int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      Connection conn(fd);
+      return conn;
+    }
+    int connect_errno = errno;
+    ::close(fd);
+    bool retryable = connect_errno == ECONNREFUSED ||
+                     connect_errno == ENOENT || connect_errno == EAGAIN ||
+                     connect_errno == ETIMEDOUT;
+    last = Status::IoError("connect to '" + address +
+                           "': " + std::strerror(connect_errno));
+    if (!retryable || NowMs() >= deadline) return last;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+Status Connection::WriteAll(const void* data, size_t len) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("write on a closed connection");
+  }
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  int64_t deadline = NowMs() + io_timeout_ms_;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    ssize_t n = ::send(fd_, p + sent, len - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      LOGCL_RETURN_IF_ERROR(PollUntil(fd_, POLLOUT, deadline, "write"));
+      continue;
+    }
+    return Status::IoError(ErrnoMessage("write"));
+  }
+  BytesSentCounter()->Add(len);
+  return Status::Ok();
+}
+
+Status Connection::ReadAll(void* data, size_t len) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("read on a closed connection");
+  }
+  uint8_t* p = static_cast<uint8_t*>(data);
+  size_t received = 0;
+  int64_t deadline = NowMs() + io_timeout_ms_;
+  while (received < len) {
+    // Wait for readability under the deadline first: a silent peer must
+    // become a Status, not a hang (the sockets are blocking).
+    LOGCL_RETURN_IF_ERROR(PollUntil(fd_, POLLIN, deadline, "read"));
+    ssize_t n = ::recv(fd_, p + received, len - received, 0);
+    if (n > 0) {
+      received += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("peer closed the connection mid-message (" +
+                             std::to_string(received) + "/" +
+                             std::to_string(len) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return Status::IoError(ErrnoMessage("read"));
+  }
+  BytesReceivedCounter()->Add(len);
+  return Status::Ok();
+}
+
+Status Connection::SendFrame(const void* data, size_t len) {
+  if (static_cast<uint64_t>(len) > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame of " + std::to_string(len) +
+                                   " bytes exceeds kMaxFrameBytes");
+  }
+  uint64_t header = static_cast<uint64_t>(len);  // little-endian host assumed
+  LOGCL_RETURN_IF_ERROR(WriteAll(&header, sizeof(header)));
+  if (len > 0) LOGCL_RETURN_IF_ERROR(WriteAll(data, len));
+  FramesSentCounter()->Increment();
+  return Status::Ok();
+}
+
+Status Connection::RecvFrame(std::vector<uint8_t>* payload) {
+  uint64_t header = 0;
+  LOGCL_RETURN_IF_ERROR(ReadAll(&header, sizeof(header)));
+  if (header > kMaxFrameBytes) {
+    return Status::IoError("frame header advertises " +
+                           std::to_string(header) +
+                           " bytes; stream is corrupt");
+  }
+  payload->resize(static_cast<size_t>(header));
+  if (header > 0) {
+    LOGCL_RETURN_IF_ERROR(ReadAll(payload->data(), payload->size()));
+  }
+  FramesReceivedCounter()->Increment();
+  return Status::Ok();
+}
+
+// --- Listener ---------------------------------------------------------------
+
+Listener::~Listener() { Close(); }
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_),
+      bound_address_(std::move(other.bound_address_)),
+      unix_path_(std::move(other.unix_path_)) {
+  other.fd_ = -1;
+  other.unix_path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    bound_address_ = std::move(other.bound_address_);
+    unix_path_ = std::move(other.unix_path_);
+    other.fd_ = -1;
+    other.unix_path_.clear();
+  }
+  return *this;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+Result<Listener> Listener::Open(const std::string& address) {
+  ParsedAddress parsed;
+  LOGCL_RETURN_IF_ERROR(ParseAddress(address, &parsed));
+  int fd = NewSocket(parsed.is_unix);
+  if (fd < 0) return Status::IoError(ErrnoMessage("socket"));
+  SetCloexec(fd);
+  Listener listener;
+  listener.fd_ = fd;
+  if (parsed.is_unix) {
+    // A stale socket file from a crashed predecessor would make bind fail;
+    // the path is ours by contract, so reclaim it.
+    ::unlink(parsed.unix_path.c_str());
+    sockaddr_un sun;
+    FillSockaddrUn(parsed, &sun);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sun), sizeof(sun)) < 0) {
+      return Status::IoError(ErrnoMessage("bind"));
+    }
+    listener.unix_path_ = parsed.unix_path;
+    listener.bound_address_ = address;
+  } else {
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sin;
+    LOGCL_RETURN_IF_ERROR(FillSockaddrIn(parsed, &sin));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) < 0) {
+      return Status::IoError(ErrnoMessage("bind"));
+    }
+    // Port 0 auto-assignment: advertise what the kernel actually chose.
+    sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) <
+        0) {
+      return Status::IoError(ErrnoMessage("getsockname"));
+    }
+    listener.bound_address_ =
+        parsed.host + ":" + std::to_string(ntohs(bound.sin_port));
+  }
+  if (::listen(fd, 64) < 0) {
+    return Status::IoError(ErrnoMessage("listen"));
+  }
+  return listener;
+}
+
+Result<Connection> Listener::Accept(int64_t timeout_ms) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("accept on a closed listener");
+  }
+  int64_t deadline = NowMs() + timeout_ms;
+  for (;;) {
+    LOGCL_RETURN_IF_ERROR(PollUntil(fd_, POLLIN, deadline, "accept"));
+    int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return Connection(fd);
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;
+    }
+    return Status::IoError(ErrnoMessage("accept"));
+  }
+}
+
+bool IsTimeout(const Status& status) {
+  return status.code() == StatusCode::kIoError &&
+         status.message().find(kDeadlineMarker) != std::string::npos;
+}
+
+}  // namespace dist
+}  // namespace logcl

@@ -1,0 +1,133 @@
+// Socket transport for the distributed tier: a thin, Status-based wrapper
+// over TCP and Unix-domain stream sockets with length-prefixed framing.
+//
+// Design notes:
+//  - Addresses are strings: "unix:<path>" selects an AF_UNIX stream socket,
+//    anything else is parsed as "<host>:<port>" over TCP (numeric IPv4
+//    addresses plus the literal "localhost"; the distributed tier targets
+//    loopback and rack-local deployments, not DNS).
+//  - Port 0 requests kernel auto-assignment; Listener::bound_address()
+//    advertises the chosen port so tests and rendezvous never race on a
+//    fixed port (and never flake on a busy one).
+//  - Every blocking operation (connect, accept, read, write) runs under a
+//    poll(2) deadline and returns Status instead of hanging: a dropped peer
+//    surfaces as kIoError within io_timeout_ms. Reads and writes restart on
+//    EINTR and resume after partial transfers; writes use MSG_NOSIGNAL so a
+//    closed peer is an error, not a SIGPIPE.
+//  - Framing: SendFrame prefixes the payload with a little-endian u64
+//    length; RecvFrame reads exactly one frame. Frames above kMaxFrameBytes
+//    are rejected (corrupt-stream guard). Raw ReadAll/WriteAll are exposed
+//    for bulk float payloads (collectives) that manage their own headers.
+//  - Observability: bytes and frames in/out feed the process-wide registry
+//    as logcl.dist.bytes_{sent,received} / logcl.dist.frames_{sent,received}
+//    (DESIGN.md §16).
+//
+// Connection and Listener are move-only owners of their file descriptor.
+// Neither is thread-safe: callers serialise access per object (the router
+// guards each replica connection with its own mutex; ProcessGroup uses each
+// mesh connection from one collective at a time).
+
+#ifndef LOGCL_DIST_TRANSPORT_H_
+#define LOGCL_DIST_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace logcl {
+namespace dist {
+
+/// Upper bound on a single frame's payload (guards against a corrupted or
+/// misaligned length prefix); bulk tensors are chunked well below this.
+inline constexpr uint64_t kMaxFrameBytes = 1ull << 31;
+
+/// Default deadline for blocking socket operations (overridable per object).
+inline constexpr int64_t kDefaultIoTimeoutMs = 30000;
+
+/// True when `status` is a blocking operation's deadline expiring (as
+/// opposed to a peer drop or protocol error). Serve loops use this to treat
+/// a short read/accept timeout as an idle poll tick rather than a failure.
+bool IsTimeout(const Status& status);
+
+/// One endpoint of an established stream connection (move-only fd owner).
+class Connection {
+ public:
+  Connection() = default;
+  ~Connection();
+  Connection(Connection&& other) noexcept;
+  Connection& operator=(Connection&& other) noexcept;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Connects to "unix:<path>" or "<host>:<port>", retrying refused /
+  /// not-yet-bound attempts until `timeout_ms` elapses (rendezvous peers may
+  /// start before the master listens).
+  static Result<Connection> Connect(const std::string& address,
+                                    int64_t timeout_ms = kDefaultIoTimeoutMs);
+
+  bool valid() const { return fd_ >= 0; }
+  /// Closes the descriptor; subsequent I/O returns kFailedPrecondition.
+  void Close();
+
+  /// Deadline applied to each subsequent blocking read/write.
+  void set_io_timeout_ms(int64_t ms) { io_timeout_ms_ = ms; }
+  int64_t io_timeout_ms() const { return io_timeout_ms_; }
+
+  /// Writes exactly `len` bytes (EINTR/partial-write aware, poll deadline).
+  Status WriteAll(const void* data, size_t len);
+  /// Reads exactly `len` bytes; a peer close mid-message is kIoError.
+  Status ReadAll(void* data, size_t len);
+
+  /// Writes one length-prefixed frame.
+  Status SendFrame(const void* data, size_t len);
+  Status SendFrame(const std::vector<uint8_t>& payload) {
+    return SendFrame(payload.data(), payload.size());
+  }
+  /// Reads one frame into `payload` (resized to the frame length).
+  Status RecvFrame(std::vector<uint8_t>* payload);
+
+ private:
+  friend class Listener;
+  explicit Connection(int fd);
+
+  int fd_ = -1;
+  int64_t io_timeout_ms_ = kDefaultIoTimeoutMs;
+};
+
+/// A bound, listening server socket (move-only fd owner).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds and listens on "unix:<path>" (any existing socket file at that
+  /// path is unlinked first) or "<host>:<port>" (port 0 = auto-assign).
+  static Result<Listener> Open(const std::string& address);
+
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// The address peers should connect to; for TCP with port 0 this carries
+  /// the kernel-chosen port.
+  const std::string& bound_address() const { return bound_address_; }
+
+  /// Accepts one connection within `timeout_ms`.
+  Result<Connection> Accept(int64_t timeout_ms = kDefaultIoTimeoutMs);
+
+ private:
+  int fd_ = -1;
+  std::string bound_address_;
+  // Unix-socket path owned by this listener, unlinked on Close.
+  std::string unix_path_;
+};
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_TRANSPORT_H_

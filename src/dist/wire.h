@@ -1,0 +1,137 @@
+// Wire encoding helpers shared by the rendezvous, collectives and serving
+// RPC protocols: a little-endian append-only writer and a bounds-checked
+// reader. Scalars are fixed-width (u32/u64/i64/f32), strings and blobs are
+// u64-length-prefixed. The reader never aborts on malformed input — every
+// getter returns Status so a corrupt or truncated frame from a misbehaving
+// peer degrades to an error, not UB.
+
+#ifndef LOGCL_DIST_WIRE_H_
+#define LOGCL_DIST_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tkg/quadruple.h"
+
+namespace logcl {
+namespace dist {
+
+/// Append-only little-endian buffer builder.
+class WireWriter {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutF32(float v) { PutRaw(&v, sizeof(v)); }
+
+  void PutString(const std::string& s) {
+    PutU64(s.size());
+    PutRaw(s.data(), s.size());
+  }
+
+  void PutF32Array(const float* data, size_t count) {
+    PutU64(count);
+    PutRaw(data, count * sizeof(float));
+  }
+
+  void PutQuadruples(const std::vector<Quadruple>& facts) {
+    PutU64(facts.size());
+    for (const Quadruple& q : facts) {
+      PutI64(q.subject);
+      PutI64(q.relation);
+      PutI64(q.object);
+      PutI64(q.time);
+    }
+  }
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t>&& TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  void PutRaw(const void* data, size_t len) {
+    size_t old_size = buffer_.size();
+    buffer_.resize(old_size + len);
+    std::memcpy(buffer_.data() + old_size, data, len);
+  }
+
+  std::vector<uint8_t> buffer_;
+};
+
+/// Bounds-checked sequential reader over a received payload. The payload
+/// must outlive the reader.
+class WireReader {
+ public:
+  WireReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::vector<uint8_t>& payload)
+      : WireReader(payload.data(), payload.size()) {}
+
+  Status GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetI64(int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  Status GetF32(float* v) { return GetRaw(v, sizeof(*v)); }
+
+  Status GetString(std::string* s) {
+    uint64_t len = 0;
+    LOGCL_RETURN_IF_ERROR(GetU64(&len));
+    if (len > Remaining()) return Truncated("string");
+    s->assign(reinterpret_cast<const char*>(data_ + offset_),
+              static_cast<size_t>(len));
+    offset_ += static_cast<size_t>(len);
+    return Status::Ok();
+  }
+
+  Status GetF32Array(std::vector<float>* out) {
+    uint64_t count = 0;
+    LOGCL_RETURN_IF_ERROR(GetU64(&count));
+    if (count > Remaining() / sizeof(float)) return Truncated("f32 array");
+    out->resize(static_cast<size_t>(count));
+    std::memcpy(out->data(), data_ + offset_,
+                static_cast<size_t>(count) * sizeof(float));
+    offset_ += static_cast<size_t>(count) * sizeof(float);
+    return Status::Ok();
+  }
+
+  Status GetQuadruples(std::vector<Quadruple>* facts) {
+    uint64_t count = 0;
+    LOGCL_RETURN_IF_ERROR(GetU64(&count));
+    if (count > Remaining() / (4 * sizeof(int64_t))) {
+      return Truncated("quadruple array");
+    }
+    facts->resize(static_cast<size_t>(count));
+    for (Quadruple& q : *facts) {
+      LOGCL_RETURN_IF_ERROR(GetI64(&q.subject));
+      LOGCL_RETURN_IF_ERROR(GetI64(&q.relation));
+      LOGCL_RETURN_IF_ERROR(GetI64(&q.object));
+      LOGCL_RETURN_IF_ERROR(GetI64(&q.time));
+    }
+    return Status::Ok();
+  }
+
+  size_t Remaining() const { return size_ - offset_; }
+  bool AtEnd() const { return offset_ == size_; }
+
+ private:
+  Status GetRaw(void* out, size_t len) {
+    if (len > Remaining()) return Truncated("scalar");
+    std::memcpy(out, data_ + offset_, len);
+    offset_ += len;
+    return Status::Ok();
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::IoError(std::string("truncated wire payload reading ") +
+                           what);
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t offset_ = 0;
+};
+
+}  // namespace dist
+}  // namespace logcl
+
+#endif  // LOGCL_DIST_WIRE_H_

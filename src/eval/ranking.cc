@@ -90,6 +90,37 @@ std::vector<std::pair<int64_t, float>> TopKSoftmax(const float* logits,
   return result;
 }
 
+std::vector<RankedEntity> TopKSoftmaxRange(const float* logits, int64_t n,
+                                           int64_t begin, int64_t end,
+                                           int64_t k) {
+  LOGCL_CHECK_GE(begin, 0);
+  LOGCL_CHECK_LE(begin, end);
+  LOGCL_CHECK_LE(end, n);
+  if (begin == end || k <= 0 || n == 0) return {};
+  // Select within the range (TopKPartial's lower-index tie-break carries
+  // over: subtracting `begin` preserves index order).
+  std::vector<int64_t> top = TopKPartial(logits + begin, end - begin, k);
+  // Normalise against the FULL row, exactly as TopKSoftmax would: same row
+  // max (a value, so any argmax agrees), same float exp, same
+  // index-ordered double accumulation.
+  float max_logit = logits[0];
+  for (int64_t i = 1; i < n; ++i) max_logit = std::max(max_logit, logits[i]);
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    float e = std::exp(logits[i] - max_logit);
+    sum += e;
+  }
+  std::vector<RankedEntity> result;
+  result.reserve(top.size());
+  for (int64_t local : top) {
+    int64_t id = begin + local;
+    float e = std::exp(logits[id] - max_logit);
+    result.push_back(
+        {id, logits[id], static_cast<float>(e / sum)});
+  }
+  return result;
+}
+
 void AccumulateRanks(const std::vector<std::vector<float>>& scores,
                      const std::vector<ScoredQuery>& queries,
                      const TimeAwareFilter* filter,

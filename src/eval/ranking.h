@@ -47,6 +47,26 @@ std::vector<int64_t> TopKPartial(const float* scores, int64_t n, int64_t k);
 std::vector<std::pair<int64_t, float>> TopKSoftmax(const float* logits,
                                                    int64_t n, int64_t k);
 
+/// One shard's contribution to a distributed top-k: entity id, raw logit
+/// and exact softmax probability.
+struct RankedEntity {
+  int64_t index = 0;
+  float logit = 0.0f;
+  float prob = 0.0f;
+};
+
+/// TopKSoftmax restricted to candidate ids in [begin, end), with the
+/// normaliser still folded over the FULL row: probabilities are bitwise
+/// identical to the same ids' entries in TopKSoftmax(logits, n, k). Used by
+/// entity-sharded serving replicas (src/dist/serving_router.h): each worker
+/// scores the full row, answers for its id range, and the router merges
+/// shard lists by (logit desc, id asc) — the exact TopKPartial order — so
+/// the merged top-k equals the single-row oracle element-for-element. At
+/// most min(k, end - begin) entries are returned, ordered logit-descending.
+std::vector<RankedEntity> TopKSoftmaxRange(const float* logits, int64_t n,
+                                           int64_t begin, int64_t end,
+                                           int64_t k);
+
 /// Scores one batch of queries: for query i, the row `scores[i]` ranks all
 /// entities; applies the time-aware filter and accumulates into `metrics`.
 /// `queries` supplies (subject, relation, time, target-object).

@@ -227,4 +227,8 @@ Status LoadModelCheckpoint(Module* model, const std::string& path) {
   return LoadParameters(path, &parameters);
 }
 
+Status SaveModelCheckpoint(const Module& model, const std::string& path) {
+  return SaveParameters(model.Parameters(), path);
+}
+
 }  // namespace logcl

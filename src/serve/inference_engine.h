@@ -164,6 +164,12 @@ class InferenceEngine {
 /// InferenceEngine.
 Status LoadModelCheckpoint(Module* model, const std::string& path);
 
+/// Writes a model's parameters to a tensor/serialization.h checkpoint —
+/// the counterpart of LoadModelCheckpoint, used after (possibly
+/// distributed) training to hand weights to a serving deploy. Round-trips
+/// bitwise: Save then Load restores identical parameter bytes.
+Status SaveModelCheckpoint(const Module& model, const std::string& path);
+
 }  // namespace logcl
 
 #endif  // LOGCL_SERVE_INFERENCE_ENGINE_H_

@@ -1,0 +1,291 @@
+// Collectives tests: every collective is checked against a single-process
+// oracle at world sizes 1, 2 and 3 with in-process rank threads over real
+// sockets, including ragged lengths that straddle the chunk boundary. The
+// determinism contract — rank-order accumulation, bitwise identical on
+// every rank — is asserted with integer compares of the float bits.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/process_group.h"
+#include "dist/transport.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+using WorldBody = std::function<Status(ProcessGroup&)>;
+
+/// Runs `body(group)` on `world` in-process rank threads connected through
+/// a loopback TCP rendezvous (port 0 throughout). Returns per-rank Status.
+std::vector<Status> RunWorld(int world, const WorldBody& body,
+                             int64_t io_timeout_ms = kDefaultIoTimeoutMs) {
+  Result<Listener> master = Listener::Open("127.0.0.1:0");
+  EXPECT_TRUE(master.ok()) << master.status().message();
+  std::string master_address = master.value().bound_address();
+  std::vector<Status> results(static_cast<size_t>(world), Status::Ok());
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      ProcessGroupOptions options;
+      options.rank = r;
+      options.world_size = world;
+      options.master = master_address;
+      options.io_timeout_ms = io_timeout_ms;
+      if (r == 0) options.master_listener = &master.value();
+      Result<std::unique_ptr<ProcessGroup>> group =
+          ProcessGroup::Rendezvous(options);
+      if (!group.ok()) {
+        results[static_cast<size_t>(r)] = group.status();
+        return;
+      }
+      results[static_cast<size_t>(r)] = body(*group.value());
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  return results;
+}
+
+/// Deterministic per-rank test pattern with negative values and exact
+/// binary fractions mixed with non-exact ones.
+float PatternValue(int rank, int64_t i) {
+  float sign = ((i + rank) % 3 == 0) ? -1.0f : 1.0f;
+  return sign * (0.001f * static_cast<float>((i * 37 + rank * 101) % 997) +
+                 static_cast<float>(rank) * 0.25f);
+}
+
+void ExpectBitwiseEqual(const std::vector<float>& got,
+                        const std::vector<float>& want, const char* what) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    uint32_t g, w;
+    std::memcpy(&g, &got[i], 4);
+    std::memcpy(&w, &want[i], 4);
+    ASSERT_EQ(g, w) << what << " diverges at element " << i;
+  }
+}
+
+// Chunk-straddling and degenerate lengths. 64*1024 + 13 spans two chunks
+// with a ragged tail; 3 * 64 * 1024 exercises a multi-chunk pipeline.
+const int64_t kLengths[] = {0, 1, 5, ProcessGroup::kChunkElems + 13,
+                            3 * ProcessGroup::kChunkElems};
+
+TEST(CollectivesTest, AllReduceSumMatchesRankOrderOracleAtWorlds123) {
+  for (int world = 1; world <= 3; ++world) {
+    for (int64_t n : kLengths) {
+      // Oracle: left-fold over ranks in ascending order, elementwise —
+      // exactly the accumulation order the ring guarantees.
+      std::vector<float> oracle(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        float acc = PatternValue(0, i);
+        for (int r = 1; r < world; ++r) acc = PatternValue(r, i) + acc;
+        oracle[static_cast<size_t>(i)] = acc;
+      }
+      std::vector<std::vector<float>> outputs(
+          static_cast<size_t>(world), std::vector<float>(static_cast<size_t>(n)));
+      std::vector<Status> results = RunWorld(world, [&](ProcessGroup& group) {
+        std::vector<float>& data = outputs[static_cast<size_t>(group.rank())];
+        for (int64_t i = 0; i < n; ++i) {
+          data[static_cast<size_t>(i)] = PatternValue(group.rank(), i);
+        }
+        return group.AllReduceSum(data.data(), n);
+      });
+      for (int r = 0; r < world; ++r) {
+        ASSERT_TRUE(results[static_cast<size_t>(r)].ok())
+            << "world " << world << " rank " << r << ": "
+            << results[static_cast<size_t>(r)].message();
+        ExpectBitwiseEqual(outputs[static_cast<size_t>(r)], oracle,
+                           "allreduce");
+      }
+    }
+  }
+}
+
+TEST(CollectivesTest, AllReduceSumIsRunToRunDeterministic) {
+  const int world = 3;
+  const int64_t n = ProcessGroup::kChunkElems + 13;
+  std::vector<std::vector<float>> runs;
+  for (int run = 0; run < 2; ++run) {
+    std::vector<float> rank0_out(static_cast<size_t>(n));
+    std::vector<Status> results = RunWorld(world, [&](ProcessGroup& group) {
+      std::vector<float> data(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        data[static_cast<size_t>(i)] = PatternValue(group.rank(), i);
+      }
+      Status status = group.AllReduceSum(data.data(), n);
+      if (group.rank() == 0) rank0_out = data;
+      return status;
+    });
+    for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.message();
+    runs.push_back(std::move(rank0_out));
+  }
+  ExpectBitwiseEqual(runs[0], runs[1], "allreduce across runs");
+}
+
+TEST(CollectivesTest, BroadcastDeliversRootBufferFromAnyRoot) {
+  for (int world = 2; world <= 3; ++world) {
+    for (int root : {0, world - 1}) {
+      const int64_t n = ProcessGroup::kChunkElems + 7;
+      std::vector<float> expected(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        expected[static_cast<size_t>(i)] = PatternValue(root, i);
+      }
+      std::vector<std::vector<float>> outputs(
+          static_cast<size_t>(world), std::vector<float>(static_cast<size_t>(n)));
+      std::vector<Status> results = RunWorld(world, [&](ProcessGroup& group) {
+        std::vector<float>& data = outputs[static_cast<size_t>(group.rank())];
+        if (group.rank() == root) {
+          for (int64_t i = 0; i < n; ++i) {
+            data[static_cast<size_t>(i)] = PatternValue(root, i);
+          }
+        }
+        return group.Broadcast(data.data(), n, root);
+      });
+      for (int r = 0; r < world; ++r) {
+        ASSERT_TRUE(results[static_cast<size_t>(r)].ok())
+            << results[static_cast<size_t>(r)].message();
+        ExpectBitwiseEqual(outputs[static_cast<size_t>(r)], expected,
+                           "broadcast");
+      }
+    }
+  }
+}
+
+TEST(CollectivesTest, AllGatherConcatenatesRankMajor) {
+  for (int world = 1; world <= 3; ++world) {
+    const int64_t n = 1000;  // deliberately not a multiple of anything
+    std::vector<float> expected(static_cast<size_t>(world * n));
+    for (int r = 0; r < world; ++r) {
+      for (int64_t i = 0; i < n; ++i) {
+        expected[static_cast<size_t>(r * n + i)] = PatternValue(r, i);
+      }
+    }
+    std::vector<std::vector<float>> outputs(
+        static_cast<size_t>(world),
+        std::vector<float>(static_cast<size_t>(world * n)));
+    std::vector<Status> results = RunWorld(world, [&](ProcessGroup& group) {
+      std::vector<float> input(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        input[static_cast<size_t>(i)] = PatternValue(group.rank(), i);
+      }
+      return group.AllGather(input.data(), n,
+                             outputs[static_cast<size_t>(group.rank())].data());
+    });
+    for (int r = 0; r < world; ++r) {
+      ASSERT_TRUE(results[static_cast<size_t>(r)].ok())
+          << results[static_cast<size_t>(r)].message();
+      ExpectBitwiseEqual(outputs[static_cast<size_t>(r)], expected,
+                         "allgather");
+    }
+  }
+}
+
+TEST(CollectivesTest, BarrierSynchronisesAllRanks) {
+  const int world = 3;
+  const int rounds = 5;
+  std::atomic<int> arrivals{0};
+  std::vector<Status> results = RunWorld(world, [&](ProcessGroup& group) {
+    for (int round = 0; round < rounds; ++round) {
+      arrivals.fetch_add(1);
+      LOGCL_RETURN_IF_ERROR(group.Barrier());
+      // After the barrier every rank of this round must have arrived.
+      if (arrivals.load() < (round + 1) * world) {
+        return Status::Internal("barrier released before all ranks arrived");
+      }
+    }
+    return Status::Ok();
+  });
+  for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.message();
+}
+
+TEST(CollectivesTest, DroppedPeerPropagatesStatusNotHang) {
+  const int world = 2;
+  const int64_t n = 256;
+  // Rank 1 exits immediately (destroying its ProcessGroup closes its mesh
+  // connections); rank 0's collective must fail within the short deadline
+  // instead of hanging.
+  std::vector<Status> results = RunWorld(
+      world,
+      [&](ProcessGroup& group) -> Status {
+        if (group.rank() == 1) return Status::Ok();  // drop out
+        std::vector<float> data(static_cast<size_t>(n), 1.0f);
+        Status status = group.AllReduceSum(data.data(), n);
+        if (status.ok()) {
+          return Status::Internal("allreduce succeeded against a dead peer");
+        }
+        return Status::Ok();
+      },
+      /*io_timeout_ms=*/2000);
+  for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.message();
+}
+
+TEST(CollectivesTest, RendezvousValidatesOptions) {
+  ProcessGroupOptions options;
+  options.rank = 2;
+  options.world_size = 2;
+  EXPECT_EQ(ProcessGroup::Rendezvous(options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.rank = 0;
+  options.world_size = 2;
+  options.master = "";  // multi-rank world needs a master
+  EXPECT_EQ(ProcessGroup::Rendezvous(options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(CollectivesTest, WorldOfOneNeedsNoSockets) {
+  ProcessGroupOptions options;  // defaults: rank 0, world 1, no master
+  Result<std::unique_ptr<ProcessGroup>> group =
+      ProcessGroup::Rendezvous(options);
+  ASSERT_TRUE(group.ok()) << group.status().message();
+  std::vector<float> data = {1.0f, 2.0f};
+  ASSERT_TRUE(group.value()->AllReduceSum(data.data(), 2).ok());
+  EXPECT_EQ(data[0], 1.0f);
+  ASSERT_TRUE(group.value()->Barrier().ok());
+  std::vector<float> out(2);
+  ASSERT_TRUE(group.value()->AllGather(data.data(), 2, out.data()).ok());
+  EXPECT_EQ(out[1], 2.0f);
+}
+
+TEST(CollectivesTest, UnixSocketRendezvousWorks) {
+  // The mesh inherits the unix transport from the master address (the
+  // multi-process launcher path).
+  std::string master = "unix:/tmp/logcl_collective_" +
+                       std::to_string(::getpid()) + ".sock";
+  std::vector<std::thread> ranks;
+  std::vector<Status> results(2, Status::Ok());
+  std::vector<std::vector<float>> outputs(2, std::vector<float>(3));
+  for (int r = 0; r < 2; ++r) {
+    ranks.emplace_back([&, r] {
+      ProcessGroupOptions options;
+      options.rank = r;
+      options.world_size = 2;
+      options.master = master;
+      Result<std::unique_ptr<ProcessGroup>> group =
+          ProcessGroup::Rendezvous(options);
+      if (!group.ok()) {
+        results[static_cast<size_t>(r)] = group.status();
+        return;
+      }
+      std::vector<float>& data = outputs[static_cast<size_t>(r)];
+      for (int64_t i = 0; i < 3; ++i) data[static_cast<size_t>(i)] = PatternValue(r, i);
+      results[static_cast<size_t>(r)] =
+          group.value()->AllReduceSum(data.data(), 3);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  for (const Status& s : results) ASSERT_TRUE(s.ok()) << s.message();
+  ExpectBitwiseEqual(outputs[0], outputs[1], "unix allreduce");
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace logcl

@@ -1,0 +1,156 @@
+// Multi-process launch test: forks real dist_rank_main processes (fork +
+// execve, one per rank) over a unix-socket rendezvous, waits for every rank
+// to exit 0, then loads the checkpoints each rank wrote and asserts the
+// cross-process parity contract: every rank's parameters are bitwise
+// identical to each other AND to the in-parent DataParallelSimulator replay
+// of the same run. Exercised at 1 and 4 intra-op threads.
+//
+// This is the CI stand-in for a real 2-node launch: separate address
+// spaces, separate allocators, separate thread pools — only the socket
+// protocol connects them.
+
+#include <libgen.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "dist/dist_trainer.h"
+#include "dist_test_util.h"
+#include "serve/inference_engine.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+namespace fs = std::filesystem;
+
+using dist_test::DistConfig;
+using dist_test::DistData;
+using dist_test::FlattenParameters;
+
+/// Directory holding the current test binary — dist_rank_main sits next to
+/// it in the build tree.
+std::string SelfDirectory() {
+  char buffer[4096];
+  ssize_t len = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (len <= 0) return ".";
+  buffer[len] = '\0';
+  return ::dirname(buffer);
+}
+
+struct RankProcess {
+  pid_t pid = -1;
+  std::string checkpoint;
+};
+
+/// Forks + execs dist_rank_main for `rank`. All strings are materialised
+/// BEFORE fork (no allocation between fork and execve).
+RankProcess LaunchRank(const std::string& binary, int rank, int world,
+                       const std::string& master, int epochs, int threads,
+                       const fs::path& workdir) {
+  RankProcess process;
+  process.checkpoint =
+      (workdir / ("rank" + std::to_string(rank) + ".ckpt")).string();
+  std::vector<std::string> env_strings = {
+      "LOGCL_DIST_RANK=" + std::to_string(rank),
+      "LOGCL_DIST_WORLD=" + std::to_string(world),
+      "LOGCL_DIST_MASTER=" + master,
+      "LOGCL_DIST_EPOCHS=" + std::to_string(epochs),
+      "LOGCL_DIST_CHECKPOINT=" + process.checkpoint,
+      "LOGCL_NUM_THREADS=" + std::to_string(threads),
+  };
+  std::vector<char*> envp;
+  for (std::string& s : env_strings) envp.push_back(s.data());
+  envp.push_back(nullptr);
+  std::string argv0 = binary;
+  char* argv[] = {argv0.data(), nullptr};
+
+  process.pid = ::fork();
+  if (process.pid == 0) {
+    ::execve(binary.c_str(), argv, envp.data());
+    ::_exit(127);  // execve only returns on failure
+  }
+  return process;
+}
+
+void RunLaunch(int world, int threads) {
+  const int epochs = 2;
+  std::string binary = SelfDirectory() + "/dist_rank_main";
+  ASSERT_TRUE(fs::exists(binary))
+      << binary << " missing — build the dist_rank_main target";
+
+  fs::path workdir =
+      fs::temp_directory_path() /
+      ("logcl_dist_launch_" + std::to_string(::getpid()) + "_t" +
+       std::to_string(threads));
+  fs::create_directories(workdir);
+  std::string master = "unix:" + (workdir / "master.sock").string();
+
+  std::vector<RankProcess> ranks;
+  for (int r = 0; r < world; ++r) {
+    ranks.push_back(
+        LaunchRank(binary, r, world, master, epochs, threads, workdir));
+    ASSERT_GT(ranks.back().pid, 0) << "fork failed for rank " << r;
+  }
+  for (const RankProcess& rank : ranks) {
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(rank.pid, &wstatus, 0), rank.pid);
+    ASSERT_TRUE(WIFEXITED(wstatus)) << "rank did not exit normally";
+    ASSERT_EQ(WEXITSTATUS(wstatus), 0) << "rank exited non-zero";
+  }
+
+  // Load every rank's checkpoint into a fresh model and flatten.
+  std::vector<std::vector<float>> params;
+  for (const RankProcess& rank : ranks) {
+    TkgDataset data = DistData();
+    LogClModel model(&data, DistConfig());
+    Status loaded = LoadModelCheckpoint(&model, rank.checkpoint);
+    ASSERT_TRUE(loaded.ok()) << loaded.message();
+    params.push_back(FlattenParameters(model));
+  }
+
+  // The in-parent oracle: the single-process virtual-rank replay.
+  std::vector<float> expected;
+  {
+    int previous = GetNumThreads();
+    SetNumThreads(threads);
+    TkgDataset data = DistData();
+    LogClModel model(&data, DistConfig());
+    AdamOptimizer optimizer(model.Parameters());
+    DataParallelSimulator simulator(&model, &optimizer, world);
+    for (int e = 0; e < epochs; ++e) simulator.TrainEpoch();
+    expected = FlattenParameters(model);
+    SetNumThreads(previous);
+  }
+
+  for (int r = 0; r < world; ++r) {
+    ASSERT_EQ(params[static_cast<size_t>(r)].size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      uint32_t got, want;
+      std::memcpy(&got, &params[static_cast<size_t>(r)][i], 4);
+      std::memcpy(&want, &expected[i], 4);
+      ASSERT_EQ(got, want)
+          << "rank " << r << " diverges from the simulator at element " << i;
+    }
+  }
+  fs::remove_all(workdir);
+}
+
+TEST(DistLaunchTest, TwoProcessesMatchSimulatorSingleThread) {
+  RunLaunch(/*world=*/2, /*threads=*/1);
+}
+
+TEST(DistLaunchTest, TwoProcessesMatchSimulatorFourThreads) {
+  RunLaunch(/*world=*/2, /*threads=*/4);
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace logcl

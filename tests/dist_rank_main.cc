@@ -1,0 +1,74 @@
+// dist_rank_main: one data-parallel rank as a real OS process, driven
+// entirely by environment variables. The multi-process launcher test
+// (dist_launch_test.cc) forks one of these per rank, waits for all to exit
+// 0, then compares the checkpoints every rank wrote — the cross-PROCESS
+// leg of the bitwise-parity contract that the in-process thread tests
+// cannot cover (separate address spaces, separate allocators, separate
+// thread pools).
+//
+// Environment:
+//   LOGCL_DIST_RANK / LOGCL_DIST_WORLD / LOGCL_DIST_MASTER  rendezvous
+//   LOGCL_DIST_EPOCHS       epochs to train (default 2)
+//   LOGCL_DIST_CHECKPOINT   where to save final parameters (optional)
+//   LOGCL_NUM_THREADS       intra-op threads (read by the runtime)
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "dist/dist_trainer.h"
+#include "dist/process_group.h"
+#include "dist_test_util.h"
+#include "serve/inference_engine.h"
+
+namespace {
+
+int Run() {
+  using namespace logcl;
+  using namespace logcl::dist;
+
+  ProcessGroupOptions options = ProcessGroupOptions::FromEnv();
+  Result<std::unique_ptr<ProcessGroup>> group =
+      ProcessGroup::Rendezvous(options);
+  if (!group.ok()) {
+    std::fprintf(stderr, "[rank %d] rendezvous failed: %s\n", options.rank,
+                 std::string(group.status().message()).c_str());
+    return 1;
+  }
+
+  TkgDataset data = dist_test::DistData();
+  LogClModel model(&data, dist_test::DistConfig());
+  AdamOptimizer optimizer(model.Parameters());
+  DistributedTrainer trainer(group.value().get(), &model, &optimizer);
+
+  int epochs = 2;
+  if (const char* env = std::getenv("LOGCL_DIST_EPOCHS")) {
+    epochs = std::atoi(env);
+  }
+  for (int e = 0; e < epochs; ++e) {
+    Result<EpochStats> stats = trainer.TrainEpoch();
+    if (!stats.ok()) {
+      std::fprintf(stderr, "[rank %d] epoch %d failed: %s\n", options.rank, e,
+                   std::string(stats.status().message()).c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "[rank %d] epoch %d loss %.6f steps %lld\n",
+                 options.rank, e, stats.value().loss,
+                 static_cast<long long>(stats.value().steps));
+  }
+
+  if (const char* path = std::getenv("LOGCL_DIST_CHECKPOINT")) {
+    Status saved = SaveModelCheckpoint(model, path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[rank %d] checkpoint save failed: %s\n",
+                   options.rank, std::string(saved.message()).c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,65 @@
+// Shared fixtures for the distributed-tier tests and the multi-process rank
+// binary (dist_rank_main.cc): one small synthetic TKG and one small LogCL
+// configuration, regenerated identically from fixed seeds so every rank —
+// in-process thread or forked process — builds bitwise-identical starting
+// state without any file exchange.
+
+#ifndef LOGCL_TESTS_DIST_TEST_UTIL_H_
+#define LOGCL_TESTS_DIST_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/logcl_model.h"
+#include "synth/generator.h"
+#include "tensor/optimizer.h"
+#include "tkg/dataset.h"
+
+namespace logcl {
+namespace dist_test {
+
+/// Every caller gets its own dataset instance: TkgDataset's lazy snapshot
+/// cache is not thread-safe, so concurrent in-process ranks must not share
+/// one (process ranks naturally do not).
+inline TkgDataset DistData() {
+  SynthConfig config;
+  config.name = "dist-test";
+  config.seed = 505;
+  config.num_entities = 20;
+  config.num_relations = 4;
+  config.num_timestamps = 14;
+  config.recurring_pool = 20;
+  config.recurring_prob = 0.35;
+  config.alternating_pool = 10;
+  config.num_cyclic = 6;
+  config.chains_per_timestamp = 2.0;
+  config.noise_per_timestamp = 1.0;
+  return GenerateSyntheticTkg(config);
+}
+
+inline LogClConfig DistConfig() {
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  config.local.num_layers = 1;
+  config.local.time_dim = 4;
+  config.global.num_layers = 1;
+  config.decoder.num_kernels = 8;
+  config.seed = 77;
+  return config;
+}
+
+/// Flattens a model's parameters for bitwise comparison.
+inline std::vector<float> FlattenParameters(const LogClModel& model) {
+  std::vector<float> flat;
+  for (const Tensor& p : model.Parameters()) {
+    const std::vector<float>& data = p.data();
+    flat.insert(flat.end(), data.begin(), data.end());
+  }
+  return flat;
+}
+
+}  // namespace dist_test
+}  // namespace logcl
+
+#endif  // LOGCL_TESTS_DIST_TEST_UTIL_H_

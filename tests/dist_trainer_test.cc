@@ -1,0 +1,259 @@
+// Distributed-trainer tests: the bitwise parity chain
+//   plain TrainEpoch == world-1 DistributedTrainer
+//                    == DataParallelSimulator(1)
+// and
+//   2-rank DistributedTrainer (real sockets, in-process rank threads)
+//                    == DataParallelSimulator(2)
+// at intra-op thread counts 1 and 4 — plus GradientBuckets and sharding
+// units. "Bitwise" means integer-compared float bits throughout.
+
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+#include "dist/dist_trainer.h"
+#include "dist/gradient_buckets.h"
+#include "dist/process_group.h"
+#include "dist_test_util.h"
+
+namespace logcl {
+namespace dist {
+namespace {
+
+using dist_test::DistConfig;
+using dist_test::DistData;
+using dist_test::FlattenParameters;
+
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) : previous_(GetNumThreads()) {
+    SetNumThreads(n);
+  }
+  ~ThreadCountGuard() { SetNumThreads(previous_); }
+
+ private:
+  int previous_;
+};
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    uint32_t ai, bi;
+    std::memcpy(&ai, &a[i], 4);
+    std::memcpy(&bi, &b[i], 4);
+    ASSERT_EQ(ai, bi) << what << " diverges at parameter element " << i;
+  }
+}
+
+TEST(ShardingTest, RoundRobinCoversEveryFactOnce) {
+  std::vector<Quadruple> facts;
+  for (int64_t i = 0; i < 11; ++i) facts.push_back({i, 0, i + 1, 3});
+  const int world = 3;
+  std::vector<int> seen(11, 0);
+  size_t total = 0;
+  for (int r = 0; r < world; ++r) {
+    std::vector<Quadruple> shard =
+        DistributedTrainer::ShardForRank(facts, r, world);
+    total += shard.size();
+    int64_t last_subject = -1;
+    for (const Quadruple& q : shard) {
+      seen[static_cast<size_t>(q.subject)]++;
+      // Round-robin keeps the original relative order inside a shard.
+      EXPECT_GT(q.subject, last_subject);
+      last_subject = q.subject;
+    }
+  }
+  EXPECT_EQ(total, facts.size());
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // World of one is the identity.
+  EXPECT_EQ(DistributedTrainer::ShardForRank(facts, 0, 1).size(),
+            facts.size());
+}
+
+TEST(GradientBucketsTest, GatherScatterRoundTripAndBucketing) {
+  Tensor a = Tensor::Zeros({3, 4}, /*requires_grad=*/true);
+  Tensor b = Tensor::Zeros({5}, /*requires_grad=*/true);
+  GradientBuckets buckets({a, b});
+  EXPECT_EQ(buckets.total_elems(), 17);
+  EXPECT_EQ(buckets.num_buckets(), 1);  // tiny models fit one bucket
+  EXPECT_EQ(buckets.bucket_elems(0), 17);
+
+  for (size_t i = 0; i < 12; ++i) a.mutable_grad()[i] = 0.5f * (i + 1);
+  for (size_t i = 0; i < 5; ++i) b.mutable_grad()[i] = -1.0f * (i + 1);
+  buckets.GatherGrads();
+  EXPECT_EQ(buckets.flat()[0], 0.5f);
+  EXPECT_EQ(buckets.flat()[12], -1.0f);
+
+  buckets.ScatterGrads(0.5f);
+  EXPECT_EQ(a.grad()[0], 0.25f);
+  EXPECT_EQ(b.grad()[4], -2.5f);
+
+  // Data transfers use the same layout.
+  a.mutable_data()[3] = 7.0f;
+  buckets.GatherData();
+  EXPECT_EQ(buckets.flat()[3], 7.0f);
+  buckets.flat();  // const accessor compiles
+}
+
+TEST(GradientBucketsTest, AccumulatePreservesNegativeZero) {
+  Tensor a = Tensor::Zeros({2}, /*requires_grad=*/true);
+  GradientBuckets lhs({a}), rhs({a});
+  a.mutable_grad()[0] = -0.0f;
+  a.mutable_grad()[1] = 2.0f;
+  rhs.GatherGrads();
+  lhs.CopyFrom(rhs);
+  uint32_t bits;
+  std::memcpy(&bits, &lhs.flat()[0], 4);
+  EXPECT_EQ(bits, 0x80000000u);  // CopyFrom keeps -0.0 exactly
+  lhs.AccumulateFrom(rhs);
+  EXPECT_EQ(lhs.flat()[1], 4.0f);
+}
+
+TEST(GradientBucketsTest, LargeParameterSpansMultipleBuckets) {
+  Tensor big = Tensor::Zeros({GradientBuckets::kBucketElems + 100},
+                             /*requires_grad=*/true);
+  GradientBuckets buckets({big});
+  EXPECT_EQ(buckets.num_buckets(), 2);
+  EXPECT_EQ(buckets.bucket_elems(0), GradientBuckets::kBucketElems);
+  EXPECT_EQ(buckets.bucket_elems(1), 100);
+}
+
+// Runs a real W-rank DistributedTrainer with in-process rank threads over
+// loopback sockets for `epochs` epochs; returns each rank's final flattened
+// parameters.
+std::vector<std::vector<float>> RunDistributedEpochs(int world, int epochs) {
+  Result<Listener> master = Listener::Open("127.0.0.1:0");
+  EXPECT_TRUE(master.ok()) << master.status().message();
+  std::string master_address = master.value().bound_address();
+  std::vector<std::vector<float>> params(static_cast<size_t>(world));
+  std::vector<Status> results(static_cast<size_t>(world), Status::Ok());
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < world; ++r) {
+    ranks.emplace_back([&, r] {
+      // Per-rank dataset + model, exactly as separate processes would
+      // (TkgDataset's lazy caches are not shareable across rank threads).
+      TkgDataset data = DistData();
+      LogClModel model(&data, DistConfig());
+      AdamOptimizer optimizer(model.Parameters());
+      ProcessGroupOptions options;
+      options.rank = r;
+      options.world_size = world;
+      options.master = master_address;
+      if (r == 0) options.master_listener = &master.value();
+      Result<std::unique_ptr<ProcessGroup>> group =
+          ProcessGroup::Rendezvous(options);
+      if (!group.ok()) {
+        results[static_cast<size_t>(r)] = group.status();
+        return;
+      }
+      DistributedTrainer trainer(group.value().get(), &model, &optimizer);
+      for (int e = 0; e < epochs; ++e) {
+        Result<EpochStats> stats = trainer.TrainEpoch();
+        if (!stats.ok()) {
+          results[static_cast<size_t>(r)] = stats.status();
+          return;
+        }
+        if (stats.value().steps <= 0) {
+          results[static_cast<size_t>(r)] =
+              Status::Internal("epoch took no steps");
+          return;
+        }
+      }
+      params[static_cast<size_t>(r)] = FlattenParameters(model);
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  for (const Status& s : results) EXPECT_TRUE(s.ok()) << s.message();
+  return params;
+}
+
+TEST(DistributedTrainerTest, WorldOfOneMatchesPlainTrainEpochBitwise) {
+  ThreadCountGuard guard(1);
+  const int epochs = 2;
+  TkgDataset plain_data = DistData();
+  LogClModel plain_model(&plain_data, DistConfig());
+  AdamOptimizer plain_optimizer(plain_model.Parameters());
+  for (int e = 0; e < epochs; ++e) plain_model.TrainEpoch(&plain_optimizer);
+
+  std::vector<std::vector<float>> dist_params =
+      RunDistributedEpochs(/*world=*/1, epochs);
+  ASSERT_EQ(dist_params.size(), 1u);
+  ExpectBitwiseEqual(dist_params[0], FlattenParameters(plain_model),
+                     "world-1 distributed vs plain");
+}
+
+TEST(DistributedTrainerTest, SimulatorWorldOneMatchesPlainTrainEpoch) {
+  ThreadCountGuard guard(1);
+  TkgDataset plain_data = DistData();
+  LogClModel plain_model(&plain_data, DistConfig());
+  AdamOptimizer plain_optimizer(plain_model.Parameters());
+  EpochStats plain_stats = plain_model.TrainEpoch(&plain_optimizer);
+
+  TkgDataset sim_data = DistData();
+  LogClModel sim_model(&sim_data, DistConfig());
+  AdamOptimizer sim_optimizer(sim_model.Parameters());
+  DataParallelSimulator simulator(&sim_model, &sim_optimizer, /*world=*/1);
+  EpochStats sim_stats = simulator.TrainEpoch();
+
+  ExpectBitwiseEqual(FlattenParameters(sim_model),
+                     FlattenParameters(plain_model),
+                     "simulator(1) vs plain");
+  EXPECT_EQ(sim_stats.steps, plain_stats.steps);
+  EXPECT_DOUBLE_EQ(sim_stats.loss, plain_stats.loss);
+}
+
+void ExpectTwoRankRunMatchesSimulator(int threads) {
+  ThreadCountGuard guard(threads);
+  const int epochs = 2;
+  std::vector<std::vector<float>> dist_params =
+      RunDistributedEpochs(/*world=*/2, epochs);
+  ASSERT_EQ(dist_params.size(), 2u);
+  ASSERT_FALSE(dist_params[0].empty());
+  // Every rank ends with identical parameters...
+  ExpectBitwiseEqual(dist_params[0], dist_params[1], "rank 0 vs rank 1");
+
+  // ...and they equal the single-process virtual-rank replay.
+  TkgDataset sim_data = DistData();
+  LogClModel sim_model(&sim_data, DistConfig());
+  AdamOptimizer sim_optimizer(sim_model.Parameters());
+  DataParallelSimulator simulator(&sim_model, &sim_optimizer, /*world=*/2);
+  for (int e = 0; e < epochs; ++e) {
+    EpochStats stats = simulator.TrainEpoch();
+    ASSERT_GT(stats.steps, 0);
+  }
+  ExpectBitwiseEqual(dist_params[0], FlattenParameters(sim_model),
+                     "2-rank distributed vs simulator(2)");
+}
+
+TEST(DistributedTrainerTest, TwoRanksMatchSimulatorBitwiseSingleThread) {
+  ExpectTwoRankRunMatchesSimulator(/*threads=*/1);
+}
+
+TEST(DistributedTrainerTest, TwoRanksMatchSimulatorBitwiseFourThreads) {
+  ExpectTwoRankRunMatchesSimulator(/*threads=*/4);
+}
+
+TEST(DistributedTrainerTest, SimulatorIsThreadCountInvariant) {
+  // The repo-wide determinism contract extends through the simulator: the
+  // same virtual 3-rank run at 1 and 4 intra-op threads is bitwise equal.
+  std::vector<std::vector<float>> runs;
+  for (int threads : {1, 4}) {
+    ThreadCountGuard guard(threads);
+    TkgDataset data = DistData();
+    LogClModel model(&data, DistConfig());
+    AdamOptimizer optimizer(model.Parameters());
+    DataParallelSimulator simulator(&model, &optimizer, /*world=*/3);
+    simulator.TrainEpoch();
+    runs.push_back(FlattenParameters(model));
+  }
+  ExpectBitwiseEqual(runs[0], runs[1], "simulator across thread counts");
+}
+
+}  // namespace
+}  // namespace dist
+}  // namespace logcl

@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <thread>
 #include <vector>
@@ -391,6 +392,43 @@ TEST(ServeCheckpointTest, LoadedModelServesIdenticalScores) {
   auto snapshot = EngineSnapshot::Build(&deployed, 25);
   ExpectScoresBitwiseEqual(snapshot->ScoreBatch(AsServeQueries(queries)),
                            trained.ScoreQueries(queries));
+}
+
+TEST(ServeCheckpointTest, SaveModelCheckpointRoundTripsBitwise) {
+  TkgDataset data = ServeData();
+  LogClModel trained(&data, ServeConfig());
+  AdamOptimizer optimizer(trained.Parameters(), {});
+  trained.TrainEpoch(&optimizer);
+  std::string path =
+      (fs::temp_directory_path() / "logcl_serve_ckpt_roundtrip.bin").string();
+  ASSERT_TRUE(SaveModelCheckpoint(trained, path).ok());
+
+  LogClModel restored(&data, ServeConfig());
+  ASSERT_TRUE(LoadModelCheckpoint(&restored, path).ok());
+  fs::remove(path);
+
+  std::vector<Tensor> want = trained.Parameters();
+  std::vector<Tensor> got = restored.Parameters();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t p = 0; p < want.size(); ++p) {
+    const std::vector<float>& a = want[p].data();
+    const std::vector<float>& b = got[p].data();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      uint32_t ai, bi;
+      std::memcpy(&ai, &a[i], 4);
+      std::memcpy(&bi, &b[i], 4);
+      ASSERT_EQ(ai, bi) << "parameter " << p << " element " << i;
+    }
+  }
+}
+
+TEST(ServeCheckpointTest, SaveToUnwritablePathIsStatusNotCrash) {
+  TkgDataset data = ServeData();
+  LogClModel model(&data, ServeConfig());
+  Status status =
+      SaveModelCheckpoint(model, "/nonexistent-dir/nested/ckpt.bin");
+  EXPECT_FALSE(status.ok());
 }
 
 }  // namespace
