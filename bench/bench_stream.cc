@@ -1,0 +1,385 @@
+// Streaming continual-learning benchmark (DESIGN.md §17, EXPERIMENTS.md):
+//
+//   1. Generator scale — StreamGenerator throughput at the ~1M-fact scale of
+//      a real ICEWS05-15/GDELT run, with the measured history-repetition
+//      rate and the (bounded) reservoir footprint.
+//   2. Continual-learning loop — a StreamSession ingesting live snapshots
+//      (staleness eval, quiesced sparse fine-tune, dirty-row writeback,
+//      advance, freshness eval) while an open-loop client submits query
+//      traffic throughout, including during the quiesced fine-tune spans.
+//   3. Offered-load sweep — open-loop query load at fractions/multiples of
+//      the measured closed-loop capacity against an admission-controlled
+//      engine: p50/p99 latency and shed rate per offered rate. Sheds should
+//      be ~0 below saturation and climb above it — load shedding, not
+//      collapse.
+//
+// `--smoke` (or LOGCL_BENCH_FAST=1) runs a seconds-scale profile of the
+// same three sections for CI.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
+#include "bench_common.h"
+#include "core/logcl_model.h"
+#include "eval/drift.h"
+#include "serve/inference_engine.h"
+#include "stream/stream_generator.h"
+#include "stream/stream_session.h"
+
+namespace logcl {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+bool g_smoke = false;
+
+// Resident set size in MiB, from /proc/self/statm (0 where unavailable).
+// The continual loop logs it per row so unbounded growth shows up in the
+// table instead of as a late OOM.
+double ResidentSetMib() {
+#if defined(__linux__)
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0.0;
+  long long total = 0, resident = 0;
+  int matched = std::fscanf(f, "%lld %lld", &total, &resident);
+  std::fclose(f);
+  if (matched != 2) return 0.0;
+  return static_cast<double>(resident) *
+         static_cast<double>(sysconf(_SC_PAGESIZE)) / (1024.0 * 1024.0);
+#else
+  return 0.0;
+#endif
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  size_t index = static_cast<size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[index];
+}
+
+// --- 1. Generator scale ----------------------------------------------------
+
+void RunGeneratorScale() {
+  StreamConfig config;
+  config.num_entities = 10000;
+  config.num_relations = 250;
+  config.facts_per_snapshot = 2000;
+  config.repeat_reservoir = 100000;
+  const uint64_t target = g_smoke ? 100000 : 2000000;
+
+  bench::PrintSectionTitle("Stream generation at scale (target " +
+                           std::to_string(target) + " facts)");
+  StreamGenerator gen(config);
+  Clock::time_point start = Clock::now();
+  uint64_t snapshots = 0;
+  while (gen.facts_emitted() < target) {
+    volatile size_t sink = gen.NextSnapshot().size();
+    (void)sink;
+    ++snapshots;
+  }
+  double seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  double reservoir_mb = static_cast<double>(config.repeat_reservoir) * 24.0 /
+                        (1024.0 * 1024.0);
+  std::printf(
+      "facts=%llu snapshots=%llu  %.2f Mfacts/s  measured_repeat=%.3f "
+      "(configured %.2f)  reservoir<=%.1f MiB\n\n",
+      static_cast<unsigned long long>(gen.facts_emitted()),
+      static_cast<unsigned long long>(snapshots),
+      static_cast<double>(gen.facts_emitted()) / seconds / 1e6,
+      gen.measured_repeat_rate(), config.history_repeat_rate, reservoir_mb);
+}
+
+// --- 2. Continual-learning loop --------------------------------------------
+
+/// Open-loop client: submits top-10 queries at `rate` QPS on a fixed
+/// schedule until stopped, independent of completions (futures are harvested
+/// in submission order on the same thread — scoring dominates harvesting, so
+/// ready-time skew is negligible).
+class OpenLoopClient {
+ public:
+  OpenLoopClient(InferenceEngine* engine, std::vector<ServeQuery> queries,
+                 double rate)
+      : engine_(engine), queries_(std::move(queries)), rate_(rate) {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  ~OpenLoopClient() { Stop(); }
+
+  void Stop() {
+    stop_.store(true);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  uint64_t submitted() const { return submitted_; }
+  uint64_t answered() const { return answered_; }
+  uint64_t shed() const { return shed_; }
+  /// Client-clock latencies (us) of answered requests.
+  const std::vector<double>& latencies_us() const { return latencies_us_; }
+
+ private:
+  struct Pending {
+    Clock::time_point sent;
+    std::future<InferenceEngine::EngineResponse> future;
+  };
+
+  void Harvest(bool drain) {
+    while (!pending_.empty()) {
+      Pending& p = pending_.front();
+      if (!drain && p.future.wait_for(std::chrono::seconds(0)) !=
+                        std::future_status::ready) {
+        return;
+      }
+      InferenceEngine::EngineResponse response = p.future.get();
+      if (response.status.ok()) {
+        ++answered_;
+        latencies_us_.push_back(
+            std::chrono::duration<double>(Clock::now() - p.sent).count() *
+            1e6);
+      } else {
+        ++shed_;
+      }
+      pending_.pop_front();
+    }
+  }
+
+  void Run() {
+    Clock::time_point start = Clock::now();
+    uint64_t i = 0;
+    while (!stop_.load()) {
+      Clock::time_point due =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(static_cast<double>(i) /
+                                                    rate_));
+      std::this_thread::sleep_until(due);
+      if (stop_.load()) break;
+      Clock::time_point sent = Clock::now();
+      auto result =
+          engine_->Submit(queries_[i % queries_.size()], /*k=*/10);
+      ++submitted_;
+      ++i;
+      if (result.ok()) {
+        pending_.push_back(Pending{sent, std::move(result).value()});
+      } else {
+        ++shed_;  // rejected at submit (queue full)
+      }
+      Harvest(/*drain=*/false);
+    }
+    Harvest(/*drain=*/true);
+  }
+
+  InferenceEngine* engine_;
+  std::vector<ServeQuery> queries_;
+  double rate_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::deque<Pending> pending_;
+  uint64_t submitted_ = 0;
+  uint64_t answered_ = 0;
+  uint64_t shed_ = 0;
+  std::vector<double> latencies_us_;
+};
+
+std::vector<ServeQuery> QueriesFrom(const std::vector<Quadruple>& facts,
+                                    size_t n) {
+  std::vector<ServeQuery> queries;
+  queries.reserve(n);
+  for (size_t i = 0; i < n && !facts.empty(); ++i) {
+    const Quadruple& q = facts[i % facts.size()];
+    queries.push_back(ServeQuery{q.subject, q.relation});
+  }
+  return queries;
+}
+
+void RunContinualLoop() {
+  StreamConfig stream;
+  stream.num_entities = g_smoke ? 300 : 2000;
+  stream.num_relations = g_smoke ? 20 : 50;
+  stream.facts_per_snapshot = g_smoke ? 100 : 2000;
+  stream.warmup_timestamps = g_smoke ? 6 : 12;
+  // Full profile streams >1M facts (the generator lands slightly under its
+  // per-snapshot target when the reservoir de-duplicates repeats).
+  int64_t ingests = g_smoke ? 3 : 520;
+  // Diagnostic override: run the same full-scale profile for fewer (or more)
+  // ingests, e.g. LOGCL_BENCH_STREAM_INGESTS=25 for a minutes-scale run.
+  if (const char* env = std::getenv("LOGCL_BENCH_STREAM_INGESTS")) {
+    ingests = std::max<int64_t>(1, std::atoll(env));
+  }
+
+  bench::PrintSectionTitle(
+      "Continual-learning loop (" + std::to_string(ingests) + " ingests x " +
+      std::to_string(stream.facts_per_snapshot) + " facts, live query load)");
+
+  StreamGenerator gen(stream);
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  LogClModel model(&dataset, config);
+  FitModel(&model, bench::Epochs(g_smoke ? 1 : 4), bench::kLearningRate);
+
+  StreamSessionOptions options;
+  options.engine.max_queue_depth = 256;
+  options.engine.admission_deadline_us = 200000;
+  options.adam.learning_rate = 1e-3f;
+  options.eval_queries = g_smoke ? 32 : 128;
+  options.mmap_checkpoint_path = "bench_stream.ckpt";
+  StreamSession session(&model, stream.warmup_timestamps, options);
+
+  OpenLoopClient client(&session.engine(),
+                        QueriesFrom(dataset.FactsAt(0), 64),
+                        /*rate=*/g_smoke ? 50.0 : 200.0);
+
+  std::printf("%-6s %10s %9s %9s %11s %8s %6s %8s %7s %7s %7s %8s\n", "t",
+              "loss", "mrr_stale", "mrr_fresh", "rows_wr", "served", "shed",
+              "ms", "ft_ms", "adv_ms", "ev_ms", "rss_mb");
+  std::printf("%s\n", std::string(107, '-').c_str());
+  uint64_t facts_streamed = 0;
+  double ingest_seconds = 0.0;
+  const int64_t log_stride = std::max<int64_t>(1, ingests / 10);
+  for (int64_t i = 0; i < ingests; ++i) {
+    std::vector<Quadruple> facts = gen.NextSnapshot();
+    facts_streamed += facts.size();
+    StreamIngestReport report = session.IngestSnapshot(facts);
+    ingest_seconds += report.seconds;
+    bool log_row = g_smoke || i < 3 || (i + 1) % log_stride == 0;
+    if (log_row) {
+      std::printf(
+          "%-6lld %10.4f %9.2f %9.2f %11lld %8llu %6llu %8.1f %7.1f %7.1f "
+          "%7.1f %8.0f\n",
+          static_cast<long long>(report.time), report.finetune_loss,
+          report.drift.mrr_stale, report.drift.mrr_fresh,
+          static_cast<long long>(report.rows_written),
+          static_cast<unsigned long long>(report.served),
+          static_cast<unsigned long long>(report.shed), report.seconds * 1e3,
+          report.seconds_finetune * 1e3, report.seconds_advance * 1e3,
+          report.seconds_eval * 1e3, ResidentSetMib());
+      std::fflush(stdout);
+    }
+  }
+  client.Stop();
+  std::remove("bench_stream.ckpt");
+  const DriftTracker& drift = session.drift();
+  std::printf(
+      "\nstreamed %llu facts in %.1f s of ingest (%.0f facts/s sustained)\n",
+      static_cast<unsigned long long>(facts_streamed), ingest_seconds,
+      static_cast<double>(facts_streamed) / ingest_seconds);
+  std::printf("%s\n", drift.ToString().c_str());
+  std::printf(
+      "query traffic: submitted=%llu answered=%llu shed=%llu p99=%.0f us\n\n",
+      static_cast<unsigned long long>(client.submitted()),
+      static_cast<unsigned long long>(client.answered()),
+      static_cast<unsigned long long>(client.shed()),
+      Percentile(client.latencies_us(), 0.99));
+}
+
+// --- 3. Offered-load sweep -------------------------------------------------
+
+void RunOfferedLoadSweep() {
+  StreamConfig stream;
+  stream.num_entities = g_smoke ? 300 : 2000;
+  stream.num_relations = 20;
+  stream.facts_per_snapshot = g_smoke ? 100 : 500;
+  stream.warmup_timestamps = 6;
+
+  StreamGenerator gen(stream);
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClConfig config;
+  config.embedding_dim = 16;
+  config.local.history_length = 3;
+  LogClModel model(&dataset, config);
+
+  std::vector<ServeQuery> queries = QueriesFrom(dataset.FactsAt(0), 256);
+  int64_t horizon = stream.warmup_timestamps;
+
+  // Closed-loop capacity estimate: unthrottled clients against an engine
+  // without admission control.
+  double capacity_qps;
+  {
+    EngineOptions unlimited;
+    InferenceEngine engine(&model, horizon, unlimited);
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> done{0};
+    constexpr int kClients = 8;
+    std::vector<std::thread> clients;
+    Clock::time_point start = Clock::now();
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        uint64_t i = static_cast<uint64_t>(c);
+        while (!stop.load()) {
+          engine.TopK(queries[i % queries.size()], 10);
+          done.fetch_add(1);
+          i += kClients;
+        }
+      });
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(g_smoke ? 500 : 2000));
+    stop.store(true);
+    for (std::thread& t : clients) t.join();
+    double seconds =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    capacity_qps = static_cast<double>(done.load()) / seconds;
+  }
+
+  bench::PrintSectionTitle(
+      "Open-loop offered-load sweep (closed-loop capacity ~" +
+      std::to_string(static_cast<int64_t>(capacity_qps)) + " QPS)");
+  std::printf("%-10s %10s %10s %10s %10s %10s\n", "offered", "x_cap",
+              "answered", "p50 us", "p99 us", "shed%");
+  std::printf("%s\n", std::string(66, '-').c_str());
+
+  for (double factor : {0.25, 0.5, 2.0, 4.0}) {
+    EngineOptions options;
+    options.max_queue_depth = 64;
+    options.admission_deadline_us = 50000;
+    InferenceEngine engine(&model, horizon, options);
+    double rate = capacity_qps * factor;
+    OpenLoopClient client(&engine, queries, rate);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(g_smoke ? 1000 : 4000));
+    client.Stop();
+    double shed_pct =
+        client.submitted() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(client.shed()) /
+                  static_cast<double>(client.submitted());
+    std::printf("%-10.0f %10.2f %10llu %10.0f %10.0f %9.2f%%\n", rate, factor,
+                static_cast<unsigned long long>(client.answered()),
+                Percentile(client.latencies_us(), 0.50),
+                Percentile(client.latencies_us(), 0.99), shed_pct);
+  }
+  std::printf(
+      "\nexpectation: shed%% ~0 below capacity, rising above it (bounded "
+      "queue + %d ms deadline shed instead of unbounded latency).\n",
+      50);
+}
+
+void Run() {
+  RunGeneratorScale();
+  RunContinualLoop();
+  RunOfferedLoadSweep();
+}
+
+}  // namespace
+}  // namespace logcl
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) logcl::g_smoke = true;
+  }
+  if (logcl::bench::FastMode()) logcl::g_smoke = true;
+  logcl::Run();
+  return 0;
+}

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/runtime_config.h"
 #include "common/stringpiece.h"
 
 namespace logcl {
@@ -46,17 +47,8 @@ constexpr uint32_t kHistHeaderCells = 3;
 constexpr uint32_t kHistCells =
     kHistHeaderCells + static_cast<uint32_t>(HistogramBuckets::kNumBuckets);
 
-bool EnvEnabled(const char* name, bool default_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return default_value;
-  std::string value(env);
-  if (value == "0" || value == "false" || value == "off") return false;
-  if (value == "1" || value == "true" || value == "on") return true;
-  return default_value;
-}
-
 std::atomic<bool>& EnabledFlag() {
-  static std::atomic<bool> flag(EnvEnabled("LOGCL_OBSERVABILITY", true));
+  static std::atomic<bool> flag(RuntimeConfig::Get().observability);
   return flag;
 }
 
@@ -548,6 +540,8 @@ void DumpMetrics(std::ostream& os, MetricsFormat format) {
           break;
       }
     }
+    os << "config\n";
+    DumpEffectiveConfig(os);
     return;
   }
   std::string out = "{\n  \"counters\": {";
@@ -578,27 +572,36 @@ void DumpMetrics(std::ostream& os, MetricsFormat format) {
   append_section(MetricKind::kGauge);
   out += "\n  },\n  \"histograms\": {";
   append_section(MetricKind::kHistogram);
+  out += "\n  },\n  \"config\": {";
+  {
+    bool first = true;
+    for (const RuntimeConfigEntry& entry : EffectiveConfig()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    \"";
+      AppendJsonEscaped(&out, entry.env);
+      out += "\": \"";
+      AppendJsonEscaped(&out, entry.value);
+      out += "\"";
+    }
+  }
   out += "\n  }\n}\n";
   os << out;
 }
 
 bool EnableMetricsDumpAtExit() {
-  const char* mode = std::getenv("LOGCL_METRICS_DUMP");
-  if (mode == nullptr) return false;
-  std::string value(mode);
-  if (value.empty() || value == "0" || value == "off") return false;
+  const std::string& mode = RuntimeConfig::Get().metrics_dump;
+  if (mode.empty() || mode == "0" || mode == "off") return false;
   static bool registered = false;
   if (registered) return true;
   registered = true;
   std::atexit([] {
-    const char* mode_env = std::getenv("LOGCL_METRICS_DUMP");
-    MetricsFormat format = (mode_env != nullptr && std::string(mode_env) ==
-                            "json")
+    const RuntimeConfig& config = RuntimeConfig::Get();
+    MetricsFormat format = config.metrics_dump == "json"
                                ? MetricsFormat::kJson
                                : MetricsFormat::kText;
-    const char* path = std::getenv("LOGCL_METRICS_DUMP_FILE");
-    if (path != nullptr && path[0] != '\0') {
-      std::ofstream file(path);
+    if (!config.metrics_dump_file.empty()) {
+      std::ofstream file(config.metrics_dump_file);
       if (file) {
         DumpMetrics(file, format);
         return;

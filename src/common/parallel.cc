@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/observability.h"
+#include "common/runtime_config.h"
 
 namespace logcl {
 namespace {
@@ -28,10 +29,8 @@ struct Job {
 };
 
 int DefaultNumThreads() {
-  if (const char* env = std::getenv("LOGCL_NUM_THREADS")) {
-    int n = std::atoi(env);
-    if (n > 0) return n;
-  }
+  int configured = RuntimeConfig::Get().num_threads;
+  if (configured > 0) return configured;
   unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kIoError,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,
 };
 
 /// Value-semantic error carrier.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status Internal(std::string message) {
     return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

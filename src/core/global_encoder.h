@@ -85,6 +85,15 @@ class GlobalEncoder : public Module {
 
   const GlobalEncoderOptions& options() const { return options_; }
 
+  /// Drops the cross-epoch subgraph cache. Required after the presented
+  /// HistoryIndex is mutated IN PLACE (e.g. LogClModel::ExtendHistory):
+  /// the cache only self-invalidates when a different index instance
+  /// appears, so in-place extension would otherwise serve stale subgraphs.
+  void InvalidateSubgraphCache() const {
+    subgraph_cache_.clear();
+    cached_history_ = nullptr;
+  }
+
  private:
   GlobalEncoderOptions options_;
   RelGraphEncoder aggregator_;

@@ -304,11 +304,6 @@ EpochStats LogClModel::ForwardBackwardOnFacts(
   step.steps = 1;  // every visited timestamp counts toward the epoch mean
   if (facts.empty()) return step;
 
-  // Two-phase propagation (Section III.F): the original query set and the
-  // inverse query set are scored in separate forward phases, so the
-  // entity-aware attention of one phase never observes the answer side of
-  // the other. The query-independent snapshot evolution is shared between
-  // the phases; both phase losses feed one optimization step.
   Tensor h0 = BaseEntities(/*training=*/true);
   LocalEncoderOutput local;
   if (config_.use_local) {
@@ -319,6 +314,40 @@ EpochStats LogClModel::ForwardBackwardOnFacts(
     step.seconds_local =
         static_cast<double>(MonotonicNowNs() - local_start) * 1e-9;
   }
+  return RunTrainingPhases(facts, h0, local, std::move(step));
+}
+
+EpochStats LogClModel::ForwardBackwardOnFacts(
+    const std::vector<Quadruple>& facts,
+    const std::vector<const SnapshotGraph*>& graphs,
+    const std::vector<int64_t>& times, int64_t t) {
+  EpochStats step;
+  step.steps = 1;
+  if (facts.empty()) return step;
+
+  Tensor h0 = BaseEntities(/*training=*/true);
+  LocalEncoderOutput local;
+  if (config_.use_local) {
+    LOGCL_TRACE_SCOPE("local_evolution");
+    uint64_t local_start = MonotonicNowNs();
+    local = local_encoder_.EncodeSequence(graphs, times, t, h0,
+                                          base_relations_,
+                                          /*training=*/true, &rng_);
+    step.seconds_local =
+        static_cast<double>(MonotonicNowNs() - local_start) * 1e-9;
+  }
+  return RunTrainingPhases(facts, h0, local, std::move(step));
+}
+
+EpochStats LogClModel::RunTrainingPhases(const std::vector<Quadruple>& facts,
+                                         const Tensor& h0,
+                                         const LocalEncoderOutput& local,
+                                         EpochStats step) {
+  // Two-phase propagation (Section III.F): the original query set and the
+  // inverse query set are scored in separate forward phases, so the
+  // entity-aware attention of one phase never observes the answer side of
+  // the other. The query-independent snapshot evolution is shared between
+  // the phases; both phase losses feed one optimization step.
   Tensor loss;
   int phases = 0;
   double task = 0.0, contrast = 0.0, lg = 0.0, gl = 0.0, ll = 0.0, gg = 0.0;
@@ -371,6 +400,46 @@ EpochStats LogClModel::ForwardBackwardOnFacts(
         static_cast<double>(MonotonicNowNs() - backward_start) * 1e-9;
   }
   return step;
+}
+
+void LogClModel::ExtendHistory(const std::vector<Quadruple>& facts) {
+  if (facts.empty()) return;
+  history_.AddFacts(facts);
+  // The subgraph cache keys against the index contents; it only
+  // self-invalidates when a *different* index instance shows up, so an
+  // in-place extension must drop it explicitly.
+  global_encoder_.InvalidateSubgraphCache();
+}
+
+double LogClModel::SparseStepOnGradients(const EpochStats& step,
+                                         SparseAdamOptimizer* optimizer) {
+  std::vector<std::vector<int64_t>> touched;
+  touched.reserve(optimizer->parameters().size());
+  for (const Tensor& p : optimizer->parameters()) {
+    touched.push_back(SparseAdamOptimizer::NonZeroGradRows(p));
+  }
+  optimizer->Step(touched);
+  return step.loss;
+}
+
+double LogClModel::TrainOnTimestampSparse(int64_t t,
+                                          SparseAdamOptimizer* optimizer) {
+  const std::vector<Quadruple>& facts = dataset().FactsAt(t);
+  if (facts.empty()) return 0.0;
+  optimizer->ZeroGrad();
+  EpochStats step = ForwardBackwardOnFacts(facts, t);
+  return SparseStepOnGradients(step, optimizer);
+}
+
+double LogClModel::TrainOnStreamFacts(
+    const std::vector<Quadruple>& facts,
+    const std::vector<const SnapshotGraph*>& graphs,
+    const std::vector<int64_t>& times, int64_t t,
+    SparseAdamOptimizer* optimizer) {
+  if (facts.empty()) return 0.0;
+  optimizer->ZeroGrad();
+  EpochStats step = ForwardBackwardOnFacts(facts, graphs, times, t);
+  return SparseStepOnGradients(step, optimizer);
 }
 
 std::vector<std::pair<int64_t, float>> LogClModel::PredictTopK(

@@ -145,6 +145,38 @@ class LogClModel : public TkgModel {
   EpochStats ForwardBackwardOnFacts(const std::vector<Quadruple>& facts,
                                     int64_t t);
 
+  /// Same, but with the local evolution computed over an explicit snapshot
+  /// window (`graphs[i]` at `times[i]`, ascending, all < t) instead of the
+  /// dataset's own snapshots — the streaming fine-tune entry, whose newest
+  /// snapshots are not part of any TkgDataset. Bitwise-identical to the
+  /// dataset overload when the window equals the dataset's trailing
+  /// snapshots (LocalEncoder::Encode delegates to EncodeSequence).
+  EpochStats ForwardBackwardOnFacts(
+      const std::vector<Quadruple>& facts,
+      const std::vector<const SnapshotGraph*>& graphs,
+      const std::vector<int64_t>& times, int64_t t);
+
+  /// Extends the model's own history index with `facts` plus inverses (all
+  /// at or beyond the index's maximum time) — the continual-learning step
+  /// behind StreamSession::Advance. Invalidates the global encoder's
+  /// subgraph cache, which is keyed against the (now mutated-in-place)
+  /// index.
+  void ExtendHistory(const std::vector<Quadruple>& facts);
+
+  double TrainOnTimestampSparse(int64_t t,
+                                SparseAdamOptimizer* optimizer) override;
+
+  /// One sparse-update fine-tune step on streamed facts at timestamp `t`
+  /// over an explicit snapshot window: zero grads, two-phase
+  /// forward/backward, then a SparseAdam step on the rows the batch's
+  /// gradients actually touched (NonZeroGradRows scan — LogCL's softmax
+  /// makes entity grads dense, so sparsity is measured, not assumed). No
+  /// gradient clipping runs on this path. Returns the step's mean loss.
+  double TrainOnStreamFacts(const std::vector<Quadruple>& facts,
+                            const std::vector<const SnapshotGraph*>& graphs,
+                            const std::vector<int64_t>& times, int64_t t,
+                            SparseAdamOptimizer* optimizer);
+
   /// The training RNG stream, exposed so a single process can replay the
   /// per-rank streams of a distributed run (dropout consumption depends on
   /// batch size, so virtual ranks need independent streams). Rng is a small
@@ -205,6 +237,19 @@ class LogClModel : public TkgModel {
   /// timestamp is empty (TrainEpoch's historical mean denominator counts
   /// every visited timestamp).
   EpochStats TrainStep(int64_t t, AdamOptimizer* optimizer);
+
+  /// The two-phase forward + backward shared by both ForwardBackwardOnFacts
+  /// overloads, given an already-computed local evolution. `step` carries
+  /// the local-phase timing accumulated by the caller.
+  EpochStats RunTrainingPhases(const std::vector<Quadruple>& facts,
+                               const Tensor& base_entities,
+                               const LocalEncoderOutput& local,
+                               EpochStats step);
+
+  /// ZeroGrad + forward/backward + touched-row scan + sparse step; the
+  /// shared tail of the two sparse training entries.
+  double SparseStepOnGradients(const EpochStats& step,
+                               SparseAdamOptimizer* optimizer);
 
   /// Base entity matrix, noise-injected when configured (skipped for
   /// non-training forwards in eval mode).

@@ -12,6 +12,7 @@
 #include "eval/metrics.h"
 #include "nn/module.h"
 #include "tensor/optimizer.h"
+#include "tensor/sparse_adam.h"
 #include "tkg/dataset.h"
 #include "tkg/filters.h"
 
@@ -90,6 +91,18 @@ class TkgModel : public Module {
   /// of timestamp `t` after it has been evaluated. Models that do not
   /// support online updates keep the default no-op.
   virtual double TrainOnTimestamp(int64_t t, AdamOptimizer* optimizer) {
+    (void)t;
+    (void)optimizer;
+    return 0.0;
+  }
+
+  /// Sparse-update variant of the online-learning hook: the same gradient
+  /// update, but stepping only the parameter rows the batch's gradients
+  /// touch (tensor/sparse_adam.h) — the streaming continual-learning entry.
+  /// No gradient clipping runs on this path. Models that do not support
+  /// sparse online updates keep the default no-op.
+  virtual double TrainOnTimestampSparse(int64_t t,
+                                        SparseAdamOptimizer* optimizer) {
     (void)t;
     (void)optimizer;
     return 0.0;

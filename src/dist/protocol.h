@@ -69,7 +69,12 @@ inline Status DecodeError(WireReader* reader) {
   std::string message;
   LOGCL_RETURN_IF_ERROR(reader->GetU32(&code));
   LOGCL_RETURN_IF_ERROR(reader->GetString(&message));
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kInternal)) {
+  // kUnavailable is the enum's tail; anything past it is a peer speaking a
+  // newer protocol. Keeping the bound current preserves the serving
+  // rejection taxonomy across the wire — a worker's admission-control shed
+  // (kUnavailable) must reach the router's caller as kUnavailable, not be
+  // flattened into kInternal.
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnavailable)) {
     return Status::Internal("peer error with unknown code: " + message);
   }
   return Status(static_cast<StatusCode>(code), std::move(message));

@@ -1,0 +1,61 @@
+#include "eval/drift.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "eval/ranking.h"
+
+namespace logcl {
+
+EvalResult EvalScoredFacts(const std::vector<std::vector<float>>& score_rows,
+                           const std::vector<Quadruple>& facts) {
+  LOGCL_CHECK_EQ(score_rows.size(), facts.size());
+  MetricsAccumulator metrics;
+  for (size_t i = 0; i < facts.size(); ++i) {
+    metrics.AddRank(RankOfTarget(score_rows[i], facts[i].object));
+  }
+  return metrics.Result();
+}
+
+DriftTracker::DriftTracker(int64_t window) : capacity_(window) {
+  LOGCL_CHECK_GT(window, 0);
+}
+
+void DriftTracker::Add(DriftPoint point) {
+  ++advances_;
+  window_.push_back(point);
+  while (static_cast<int64_t>(window_.size()) > capacity_) {
+    window_.pop_front();
+  }
+}
+
+namespace {
+double WeightedMean(const std::deque<DriftPoint>& window,
+                    double DriftPoint::*field) {
+  double sum = 0.0;
+  int64_t count = 0;
+  for (const DriftPoint& p : window) {
+    sum += p.*field * static_cast<double>(p.count);
+    count += p.count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+}  // namespace
+
+double DriftTracker::rolling_stale_mrr() const {
+  return WeightedMean(window_, &DriftPoint::mrr_stale);
+}
+
+double DriftTracker::rolling_fresh_mrr() const {
+  return WeightedMean(window_, &DriftPoint::mrr_fresh);
+}
+
+std::string DriftTracker::ToString() const {
+  std::ostringstream os;
+  os << "drift[window=" << window_.size() << "] stale_mrr="
+     << rolling_stale_mrr() << " fresh_mrr=" << rolling_fresh_mrr()
+     << " gap=" << rolling_gap();
+  return os.str();
+}
+
+}  // namespace logcl

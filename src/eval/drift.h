@@ -1,0 +1,70 @@
+// Drift / staleness evaluation for the streaming continual-learning tier.
+//
+// When facts for timestamp t arrive, a serving snapshot frozen at horizon t
+// answers queries about t WITHOUT having seen t's facts — that gap is model
+// staleness. After the session advances (history extended, weights
+// fine-tuned, evolution window rotated), the same queries re-score against
+// the fresh snapshot. The per-advance pair (stale MRR, fresh MRR) and its
+// rolling window quantify how much accuracy the continual-learning loop buys
+// back, and whether the model is drifting (both curves sagging together) or
+// merely stale (fresh recovering what stale loses).
+
+#ifndef LOGCL_EVAL_DRIFT_H_
+#define LOGCL_EVAL_DRIFT_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "eval/metrics.h"
+#include "tkg/quadruple.h"
+
+namespace logcl {
+
+/// Metrics of `facts` treated as object-prediction queries: row i of
+/// `score_rows` ranks every entity for (facts[i].subject, facts[i].relation)
+/// and the target is facts[i].object. Raw (unfiltered) protocol — drift
+/// tracking compares the same batch against itself across horizons, so the
+/// filter would cancel out.
+EvalResult EvalScoredFacts(const std::vector<std::vector<float>>& score_rows,
+                           const std::vector<Quadruple>& facts);
+
+/// One advance's staleness measurement.
+struct DriftPoint {
+  int64_t time = 0;        // the horizon the facts arrived at
+  double mrr_stale = 0.0;  // MRR (percent) before history/weights saw `time`
+  double mrr_fresh = 0.0;  // MRR (percent) after advance + fine-tune
+  int64_t count = 0;       // queries evaluated
+};
+
+/// Rolling window over per-advance DriftPoints. Means are query-weighted
+/// (an advance contributing 3 queries should not outvote one with 300).
+class DriftTracker {
+ public:
+  /// `window` = number of trailing advances the rolling means cover.
+  explicit DriftTracker(int64_t window = 8);
+
+  void Add(DriftPoint point);
+
+  /// Rolling query-weighted means over the trailing window (percent).
+  double rolling_stale_mrr() const;
+  double rolling_fresh_mrr() const;
+  /// fresh - stale: what the continual-learning advance recovered.
+  double rolling_gap() const { return rolling_fresh_mrr() - rolling_stale_mrr(); }
+
+  int64_t advances() const { return advances_; }
+  const std::deque<DriftPoint>& window() const { return window_; }
+
+  /// One-line rendering, e.g. for per-advance streaming logs.
+  std::string ToString() const;
+
+ private:
+  int64_t capacity_;
+  int64_t advances_ = 0;
+  std::deque<DriftPoint> window_;
+};
+
+}  // namespace logcl
+
+#endif  // LOGCL_EVAL_DRIFT_H_

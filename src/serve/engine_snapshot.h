@@ -93,6 +93,15 @@ class EngineSnapshot {
   const LogClModel& model() const { return *model_; }
   const HistoryIndex& history() const { return *history_; }
 
+  /// The trailing evolution window feeding the next Advance: (timestamp,
+  /// snapshot graph) pairs, ascending, all strictly before time(). The
+  /// streaming session fine-tunes over exactly this window so training and
+  /// serving condition on the same local context.
+  const std::vector<std::pair<int64_t, std::shared_ptr<const SnapshotGraph>>>&
+  window() const {
+    return window_;
+  }
+
  private:
   EngineSnapshot() = default;
 

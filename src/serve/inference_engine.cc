@@ -4,8 +4,10 @@
 #include <cstdio>
 
 #include "common/logging.h"
+#include "common/runtime_config.h"
+#include "common/stringpiece.h"
 #include "eval/ranking.h"
-#include "tensor/serialization.h"
+#include "tensor/checkpoint.h"
 
 namespace logcl {
 
@@ -23,10 +25,11 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
 std::string EngineStats::ToString() const {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),
-                "requests=%llu batches=%llu advances=%llu "
+                "requests=%llu shed=%llu batches=%llu advances=%llu "
                 "mean_batch=%.2f max_batch=%llu peak_queue=%llu "
                 "mean_latency_us=%.1f max_latency_us=%llu",
                 static_cast<unsigned long long>(requests),
+                static_cast<unsigned long long>(shed),
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(advances), MeanBatchSize(),
                 static_cast<unsigned long long>(max_batch),
@@ -41,6 +44,7 @@ InferenceEngine::InferenceEngine(LogClModel* model, int64_t time,
     : model_(model),
       options_(options),
       requests_counter_(Metrics().GetCounter("logcl.serve.requests")),
+      shed_counter_(Metrics().GetCounter("logcl.serve.shed")),
       batches_counter_(Metrics().GetCounter("logcl.serve.batches")),
       advances_counter_(Metrics().GetCounter("logcl.serve.advances")),
       batch_size_hist_(Metrics().GetHistogram("logcl.serve.batch_size")),
@@ -65,21 +69,33 @@ InferenceEngine::~InferenceEngine() {
   dispatcher_.join();
 }
 
-std::future<InferenceEngine::RequestResult> InferenceEngine::Submit(
+Result<std::future<InferenceEngine::EngineResponse>> InferenceEngine::Submit(
     const ServeQuery& query, int64_t k) {
   const TkgDataset& dataset = model_->dataset();
-  LOGCL_CHECK_GE(query.subject, 0);
-  LOGCL_CHECK_LT(query.subject, dataset.num_entities());
-  LOGCL_CHECK_GE(query.relation, 0);
-  LOGCL_CHECK_LT(query.relation, dataset.num_relations_with_inverse());
+  if (query.subject < 0 || query.subject >= dataset.num_entities() ||
+      query.relation < 0 ||
+      query.relation >= dataset.num_relations_with_inverse()) {
+    return Status::InvalidArgument(StrFormat(
+        "query ids out of range: subject=%lld relation=%lld",
+        static_cast<long long>(query.subject),
+        static_cast<long long>(query.relation)));
+  }
   Request request;
   request.query = query;
   request.k = k;
   request.enqueued = std::chrono::steady_clock::now();
-  std::future<RequestResult> future = request.promise.get_future();
+  std::future<EngineResponse> future = request.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    LOGCL_CHECK(!stopping_) << "Submit after engine shutdown";
+    if (stopping_) {
+      return Status::FailedPrecondition("Submit after engine shutdown");
+    }
+    if (options_.max_queue_depth > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+      ++stats_.shed;
+      shed_counter_->Increment();
+      return Status::Unavailable("queue full: admission control shed");
+    }
     queue_.push_back(std::move(request));
     stats_.peak_queue_depth =
         std::max<uint64_t>(stats_.peak_queue_depth, queue_.size());
@@ -90,13 +106,48 @@ std::future<InferenceEngine::RequestResult> InferenceEngine::Submit(
 }
 
 std::vector<float> InferenceEngine::Score(const ServeQuery& query) {
-  return Submit(query, /*k=*/0).get().row;
+  Result<std::vector<float>> result = TryScore(query);
+  LOGCL_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 std::vector<std::pair<int64_t, float>> InferenceEngine::TopK(
     const ServeQuery& query, int64_t k) {
+  Result<std::vector<std::pair<int64_t, float>>> result = TryTopK(query, k);
+  LOGCL_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<std::vector<float>> InferenceEngine::TryScore(
+    const ServeQuery& query) {
+  Result<std::future<EngineResponse>> submitted = Submit(query, /*k=*/0);
+  if (!submitted.ok()) return submitted.status();
+  EngineResponse response = submitted.value().get();
+  if (!response.status.ok()) return response.status;
+  return std::move(response.row);
+}
+
+Result<std::vector<std::pair<int64_t, float>>> InferenceEngine::TryTopK(
+    const ServeQuery& query, int64_t k) {
   LOGCL_CHECK_GE(k, 1);
-  return Submit(query, k).get().topk;
+  Result<std::future<EngineResponse>> submitted = Submit(query, k);
+  if (!submitted.ok()) return submitted.status();
+  EngineResponse response = submitted.value().get();
+  if (!response.status.ok()) return response.status;
+  return std::move(response.topk);
+}
+
+void InferenceEngine::Pause() {
+  std::unique_lock<std::mutex> lock(mu_);
+  paused_ = true;
+  queue_cv_.notify_all();  // kick the dispatcher out of its coalescing wait
+  idle_cv_.wait(lock, [&] { return !in_flight_; });
+}
+
+void InferenceEngine::Resume() {
+  std::lock_guard<std::mutex> lock(mu_);
+  paused_ = false;
+  queue_cv_.notify_all();
 }
 
 void InferenceEngine::Advance(std::vector<Quadruple> new_facts) {
@@ -125,22 +176,36 @@ EngineStats InferenceEngine::Snapshot() const {
 void InferenceEngine::DispatcherLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stopping_) return;  // drained
-      continue;
-    }
+    queue_cv_.wait(lock, [&] {
+      return stopping_ || (!paused_ && !queue_.empty());
+    });
+    if (stopping_ && queue_.empty()) return;  // drained
+    if (paused_ && !stopping_) continue;
+    if (queue_.empty()) continue;
     // Deadline-bounded coalescing: hold the batch open for stragglers until
-    // the oldest request ages out or the batch fills. Shutdown flushes
-    // immediately.
+    // the oldest request ages out or the batch fills. Shutdown and Pause
+    // flush immediately.
     size_t target = static_cast<size_t>(options_.max_batch_size);
     auto deadline = queue_.front().enqueued +
                     std::chrono::microseconds(options_.batch_deadline_us);
-    while (!stopping_ && queue_.size() < target &&
+    while (!stopping_ && !paused_ && queue_.size() < target &&
            std::chrono::steady_clock::now() < deadline) {
       queue_cv_.wait_until(lock, deadline, [&] {
-        return stopping_ || queue_.size() >= target;
+        return stopping_ || paused_ || queue_.size() >= target;
       });
+    }
+    if (paused_ && !stopping_) continue;  // leave requests queued
+    // Age out requests past the admission deadline: their seats go to
+    // fresher requests and they answer kUnavailable without being scored.
+    std::vector<Request> shed;
+    if (options_.admission_deadline_us > 0) {
+      auto now = std::chrono::steady_clock::now();
+      auto max_age = std::chrono::microseconds(options_.admission_deadline_us);
+      while (!queue_.empty() && now - queue_.front().enqueued > max_age) {
+        shed.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      stats_.shed += shed.size();
     }
     std::vector<Request> batch;
     size_t take = std::min(queue_.size(), target);
@@ -151,9 +216,23 @@ void InferenceEngine::DispatcherLoop() {
     }
     queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
     std::shared_ptr<const EngineSnapshot> snapshot = snapshot_;
+    in_flight_ = !batch.empty();
     lock.unlock();
-    ProcessBatch(std::move(batch), snapshot);
+    if (!shed.empty()) {
+      shed_counter_->Add(shed.size());
+      for (Request& r : shed) {
+        EngineResponse response;
+        response.status =
+            Status::Unavailable("request aged past admission deadline");
+        r.promise.set_value(std::move(response));
+      }
+    }
+    if (!batch.empty()) ProcessBatch(std::move(batch), snapshot);
     lock.lock();
+    if (in_flight_) {
+      in_flight_ = false;
+      idle_cv_.notify_all();
+    }
   }
 }
 
@@ -183,7 +262,7 @@ void InferenceEngine::ProcessBatch(
                              : scores.shape().cols();
   const float* data = quantized ? nullptr : scores.data().data();
 
-  std::vector<RequestResult> results(batch.size());
+  std::vector<EngineResponse> results(batch.size());
   uint64_t batch_latency_total = 0;
   uint64_t batch_latency_max = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -224,11 +303,20 @@ void InferenceEngine::ProcessBatch(
 Status LoadModelCheckpoint(Module* model, const std::string& path) {
   LOGCL_CHECK(model != nullptr);
   std::vector<Tensor> parameters = model->Parameters();
-  return LoadParameters(path, &parameters);
+  if (RuntimeConfig::Get().mmap_checkpoint) {
+    Result<checkpoint::MmapCheckpoint> view = checkpoint::Open(path);
+    // v1 checkpoints cannot be mapped; fall through to the streamed reader
+    // so old files stay loadable with the knob on.
+    if (view.ok()) return view.value().Materialize(&parameters);
+    if (view.status().code() != StatusCode::kInvalidArgument) {
+      return view.status();
+    }
+  }
+  return checkpoint::Load(path, &parameters);
 }
 
 Status SaveModelCheckpoint(const Module& model, const std::string& path) {
-  return SaveParameters(model.Parameters(), path);
+  return checkpoint::Save(model.Parameters(), path);
 }
 
 }  // namespace logcl

@@ -14,6 +14,15 @@
 // Advance(new_facts) builds the successor snapshot copy-on-write and
 // publishes it with an atomic shared_ptr swap: batches already scoring keep
 // the snapshot they started with, later batches see the new horizon.
+//
+// Admission control (streaming tier): `max_queue_depth` bounds the pending
+// queue — a full queue rejects the submission with a typed kUnavailable
+// status instead of queueing — and `admission_deadline_us` sheds queued
+// requests that aged past their deadline before scoring started (their
+// response carries kUnavailable). Sheds surface as the `logcl.serve.shed`
+// counter and EngineStats::shed. Submit's rejection taxonomy: kUnavailable
+// = shed (retryable backpressure), kFailedPrecondition = engine shutting
+// down, kInvalidArgument = ids out of range (caller bug, not load).
 // Observability: per-engine counters are available via Snapshot(); the same
 // activity feeds the process-wide metrics registry as `logcl.serve.*`
 // counters, latency/batch-size histograms and a queue-depth gauge
@@ -54,6 +63,14 @@ struct EngineOptions {
   /// back to fp32 when the model has no query-independent candidates
   /// (global-only configurations).
   ScorePrecision precision = ScorePrecisionFromEnv();
+  /// Admission control: most requests allowed to wait in the queue; a full
+  /// queue rejects new submissions with kUnavailable. 0 = unbounded (the
+  /// pre-streaming behaviour).
+  int64_t max_queue_depth = 0;
+  /// Deadline-based shedding: a queued request older than this when its
+  /// batch forms is answered kUnavailable instead of scored (its seat goes
+  /// to a fresher request). 0 = never shed on age.
+  int64_t admission_deadline_us = 0;
 };
 
 /// Snapshot of the engine's counters (monotonic since construction).
@@ -65,6 +82,7 @@ struct EngineStats {
   uint64_t peak_queue_depth = 0;  // most requests pending at once
   uint64_t total_latency_us = 0;  // submit -> answer, summed
   uint64_t max_latency_us = 0;
+  uint64_t shed = 0;              // rejected by admission control
 
   double MeanBatchSize() const {
     return batches == 0 ? 0.0
@@ -94,13 +112,47 @@ class InferenceEngine {
   InferenceEngine(const InferenceEngine&) = delete;
   InferenceEngine& operator=(const InferenceEngine&) = delete;
 
+  /// One answered request: `row` filled for full-row submissions (k == 0),
+  /// `topk` for top-k ones. `status` is kUnavailable when the request was
+  /// shed by the admission deadline after it had been queued.
+  struct EngineResponse {
+    Status status = Status::Ok();
+    std::vector<float> row;                       // k == 0
+    std::vector<std::pair<int64_t, float>> topk;  // k > 0
+  };
+
+  /// Typed submission: validates and enqueues the query, returning the
+  /// future that will carry its answer. Rejections are immediate and typed:
+  /// kInvalidArgument (ids out of range), kFailedPrecondition (engine
+  /// shutting down), kUnavailable (queue at max_queue_depth — shed). A
+  /// deadline shed after queueing arrives through the future's
+  /// EngineResponse::status instead.
+  Result<std::future<EngineResponse>> Submit(const ServeQuery& query,
+                                             int64_t k);
+
   /// Blocking: the full logits row over all entities for one query,
   /// answered by whichever snapshot is current when its batch executes.
+  /// Crashes on rejection (use TryScore where shedding is configured).
   std::vector<float> Score(const ServeQuery& query);
 
   /// Blocking: top-k (entity, probability) without a full softmax.
+  /// Crashes on rejection (use TryTopK where shedding is configured).
   std::vector<std::pair<int64_t, float>> TopK(const ServeQuery& query,
                                               int64_t k);
+
+  /// Typed blocking variants: a shed (at submit or at batch formation)
+  /// surfaces as kUnavailable instead of crashing.
+  Result<std::vector<float>> TryScore(const ServeQuery& query);
+  Result<std::vector<std::pair<int64_t, float>>> TryTopK(
+      const ServeQuery& query, int64_t k);
+
+  /// Quiesces scoring: blocks until the in-flight batch (if any) finishes,
+  /// then holds the dispatcher idle — queued requests wait, submissions
+  /// still enqueue (and still shed on depth). The streaming session pauses
+  /// the engine while fine-tuning mutates the weights its snapshots read;
+  /// Resume() restarts dispatch.
+  void Pause();
+  void Resume();
 
   /// Folds the completed horizon snapshot into a successor (copy-on-write;
   /// see EngineSnapshot::Advance) and atomically publishes it. Safe to call
@@ -118,18 +170,13 @@ class InferenceEngine {
   EngineStats Snapshot() const;
 
  private:
-  struct RequestResult {
-    std::vector<float> row;                       // k == 0
-    std::vector<std::pair<int64_t, float>> topk;  // k > 0
-  };
   struct Request {
     ServeQuery query;
     int64_t k = 0;  // 0 = full row
     std::chrono::steady_clock::time_point enqueued;
-    std::promise<RequestResult> promise;
+    std::promise<EngineResponse> promise;
   };
 
-  std::future<RequestResult> Submit(const ServeQuery& query, int64_t k);
   void DispatcherLoop();
   void ProcessBatch(std::vector<Request> batch,
                     const std::shared_ptr<const EngineSnapshot>& snapshot);
@@ -137,18 +184,23 @@ class InferenceEngine {
   LogClModel* model_;
   EngineOptions options_;
 
-  mutable std::mutex mu_;  // guards queue_, snapshot_, stats_, stopping_
+  mutable std::mutex mu_;  // guards queue_, snapshot_, stats_, stopping_,
+                           // paused_, in_flight_
   std::condition_variable queue_cv_;
+  std::condition_variable idle_cv_;  // signals in_flight_ -> false
   std::deque<Request> queue_;
   std::shared_ptr<const EngineSnapshot> snapshot_;
   EngineStats stats_;
   bool stopping_ = false;
+  bool paused_ = false;
+  bool in_flight_ = false;  // a batch is scoring outside the lock
 
   std::mutex advance_mu_;  // serialises copy-on-write snapshot builds
   std::thread dispatcher_;
 
   // Registry handles (shared across engine instances; interned once).
   Counter* requests_counter_;
+  Counter* shed_counter_;
   Counter* batches_counter_;
   Counter* advances_counter_;
   Histogram* batch_size_hist_;
@@ -158,14 +210,16 @@ class InferenceEngine {
   Gauge* queue_depth_gauge_;
 };
 
-/// Restores a model's parameters from a tensor/serialization.h checkpoint
+/// Restores a model's parameters from a tensor/checkpoint.h checkpoint
 /// (shapes must match the model's configuration) — the serving deploy path:
 /// construct the model from config, load the trained weights, wrap in an
-/// InferenceEngine.
+/// InferenceEngine. With LOGCL_MMAP_CKPT=1 v2 checkpoints are read through
+/// an mmap view (bitwise-identical result); v1 files fall back to the
+/// streamed reader.
 Status LoadModelCheckpoint(Module* model, const std::string& path);
 
-/// Writes a model's parameters to a tensor/serialization.h checkpoint —
-/// the counterpart of LoadModelCheckpoint, used after (possibly
+/// Writes a model's parameters to a tensor/checkpoint.h checkpoint (format
+/// v2) — the counterpart of LoadModelCheckpoint, used after (possibly
 /// distributed) training to hand weights to a serving deploy. Round-trips
 /// bitwise: Save then Load restores identical parameter bytes.
 Status SaveModelCheckpoint(const Module& model, const std::string& path);

@@ -6,14 +6,13 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/runtime_config.h"
 #include "tensor/simd.h"
 
 namespace logcl {
 
 ScorePrecision ScorePrecisionFromEnv() {
-  const char* v = std::getenv("LOGCL_QUANT");
-  if (v == nullptr) return ScorePrecision::kFp32;
-  std::string s(v);
+  const std::string& s = RuntimeConfig::Get().quant;
   if (s == "bf16") return ScorePrecision::kBf16;
   if (s == "int8") return ScorePrecision::kInt8;
   return ScorePrecision::kFp32;

@@ -1,0 +1,100 @@
+#include "stream/stream_generator.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+#include "synth/generator.h"
+
+namespace logcl {
+
+StreamGenerator::StreamGenerator(StreamConfig config)
+    : config_(std::move(config)), rng_(config_.seed) {
+  LOGCL_CHECK_GT(config_.num_entities, 1);
+  LOGCL_CHECK_GT(config_.num_relations, 0);
+  LOGCL_CHECK_GT(config_.facts_per_snapshot, 0);
+  LOGCL_CHECK_GT(config_.entity_zipf, 0.0);
+  LOGCL_CHECK_GE(config_.history_repeat_rate, 0.0);
+  LOGCL_CHECK_LE(config_.history_repeat_rate, 1.0);
+  LOGCL_CHECK_GT(config_.repeat_reservoir, 0);
+  LOGCL_CHECK_GE(config_.warmup_timestamps, 3);
+  zipf_cdf_ = BuildZipfCdf(config_.num_entities, config_.entity_zipf);
+  reservoir_.reserve(static_cast<size_t>(
+      std::min<int64_t>(config_.repeat_reservoir, 1 << 20)));
+}
+
+StreamGenerator::Triple StreamGenerator::FreshTriple() {
+  auto sample_entity = [this]() {
+    double u = rng_.Uniform();
+    auto it = std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return std::min<int64_t>(it - zipf_cdf_.begin(),
+                             config_.num_entities - 1);
+  };
+  Triple t;
+  t.subject = sample_entity();
+  t.relation = static_cast<int64_t>(
+      rng_.UniformInt(static_cast<uint64_t>(config_.num_relations)));
+  do {
+    t.object = sample_entity();
+  } while (t.object == t.subject);
+  return t;
+}
+
+void StreamGenerator::OfferToReservoir(const Triple& triple) {
+  ++reservoir_offered_;
+  if (static_cast<int64_t>(reservoir_.size()) < config_.repeat_reservoir) {
+    reservoir_.push_back(triple);
+    return;
+  }
+  // Uniform reservoir sampling: the new triple replaces a random slot with
+  // probability capacity / offered, so every offered triple is equally
+  // likely to be resident.
+  uint64_t slot = rng_.UniformInt(reservoir_offered_);
+  if (slot < reservoir_.size()) {
+    reservoir_[static_cast<size_t>(slot)] = triple;
+  }
+}
+
+std::vector<Quadruple> StreamGenerator::NextSnapshot() {
+  int64_t t = next_time_++;
+  std::vector<Quadruple> facts;
+  facts.reserve(static_cast<size_t>(config_.facts_per_snapshot));
+  std::unordered_set<Quadruple, QuadrupleHash> dedupe;
+  for (int64_t i = 0; i < config_.facts_per_snapshot; ++i) {
+    bool repeat = !reservoir_.empty() &&
+                  rng_.Bernoulli(config_.history_repeat_rate);
+    Triple triple;
+    if (repeat) {
+      triple = reservoir_[static_cast<size_t>(
+          rng_.UniformInt(static_cast<uint64_t>(reservoir_.size())))];
+    } else {
+      triple = FreshTriple();
+      OfferToReservoir(triple);
+    }
+    Quadruple q{triple.subject, triple.relation, triple.object, t};
+    if (!dedupe.insert(q).second) continue;
+    facts.push_back(q);
+    ++facts_emitted_;
+    if (repeat) ++repeats_emitted_;
+  }
+  return facts;
+}
+
+TkgDataset StreamGenerator::WarmupDataset() {
+  LOGCL_CHECK_EQ(next_time_, 0)
+      << "WarmupDataset must run before streaming starts";
+  int64_t w = config_.warmup_timestamps;
+  std::vector<Quadruple> train, valid, test;
+  for (int64_t t = 0; t < w; ++t) {
+    std::vector<Quadruple> facts = NextSnapshot();
+    std::vector<Quadruple>* split =
+        t < w - 2 ? &train : (t == w - 2 ? &valid : &test);
+    split->insert(split->end(), facts.begin(), facts.end());
+  }
+  return TkgDataset::FromQuadruples("stream-warmup", config_.num_entities,
+                                    config_.num_relations, std::move(train),
+                                    std::move(valid), std::move(test));
+}
+
+}  // namespace logcl

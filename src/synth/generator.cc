@@ -19,15 +19,42 @@ struct Triple {
   int64_t object;
 };
 
-Triple RandomTriple(const SynthConfig& config, Rng* rng) {
+// Entity draw under the configured reuse distribution. The uniform path
+// (entity_zipf == 0) keeps the exact historical UniformInt call so old
+// seeds reproduce bitwise; the Zipf path consumes one Uniform() instead.
+class EntityDist {
+ public:
+  explicit EntityDist(const SynthConfig& config)
+      : num_entities_(config.num_entities) {
+    if (config.entity_zipf > 0.0) {
+      cdf_ = BuildZipfCdf(config.num_entities, config.entity_zipf);
+    }
+  }
+
+  int64_t Sample(Rng* rng) const {
+    if (cdf_.empty()) {
+      return static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(num_entities_)));
+    }
+    double u = rng->Uniform();
+    auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    int64_t idx = it - cdf_.begin();
+    return std::min(idx, num_entities_ - 1);
+  }
+
+ private:
+  int64_t num_entities_;
+  std::vector<double> cdf_;
+};
+
+Triple RandomTriple(const SynthConfig& config, const EntityDist& entities,
+                    Rng* rng) {
   Triple t;
-  t.subject = static_cast<int64_t>(rng->UniformInt(
-      static_cast<uint64_t>(config.num_entities)));
+  t.subject = entities.Sample(rng);
   t.relation = static_cast<int64_t>(rng->UniformInt(
       static_cast<uint64_t>(config.num_relations)));
   do {
-    t.object = static_cast<int64_t>(rng->UniformInt(
-        static_cast<uint64_t>(config.num_entities)));
+    t.object = entities.Sample(rng);
   } while (t.object == t.subject && config.num_entities > 1);
   return t;
 }
@@ -81,6 +108,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
   LOGCL_CHECK_GE(config.cycle_min, 1);
   LOGCL_CHECK_GE(config.cycle_max, config.cycle_min);
   Rng rng(config.seed);
+  EntityDist entities(config);
 
   std::vector<Quadruple> facts;
   std::unordered_set<Quadruple, QuadrupleHash> dedupe;
@@ -93,7 +121,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
   {
     Rng stream = rng.Split();
     for (int64_t i = 0; i < config.recurring_pool; ++i) {
-      Triple triple = RandomTriple(config, &stream);
+      Triple triple = RandomTriple(config, entities, &stream);
       Lifetime window = DrawLifetime(config, &stream);
       for (int64_t t = window.begin; t < window.end; ++t) {
         if (stream.Bernoulli(config.recurring_prob)) {
@@ -108,8 +136,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
   {
     Rng stream = rng.Split();
     for (int64_t i = 0; i < config.alternating_pool; ++i) {
-      int64_t subject = static_cast<int64_t>(
-          stream.UniformInt(static_cast<uint64_t>(config.num_entities)));
+      int64_t subject = entities.Sample(&stream);
       int64_t relation = static_cast<int64_t>(
           stream.UniformInt(static_cast<uint64_t>(config.num_relations)));
       int64_t k = config.alternating_objects_min +
@@ -118,8 +145,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
                       config.alternating_objects_min + 1)));
       std::vector<int64_t> objects;
       while (static_cast<int64_t>(objects.size()) < k) {
-        int64_t candidate = static_cast<int64_t>(
-            stream.UniformInt(static_cast<uint64_t>(config.num_entities)));
+        int64_t candidate = entities.Sample(&stream);
         if (candidate != subject &&
             std::find(objects.begin(), objects.end(), candidate) ==
                 objects.end()) {
@@ -152,7 +178,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
   {
     Rng stream = rng.Split();
     for (int64_t i = 0; i < config.num_cyclic; ++i) {
-      Triple triple = RandomTriple(config, &stream);
+      Triple triple = RandomTriple(config, entities, &stream);
       int64_t period = config.cycle_min +
                        static_cast<int64_t>(stream.UniformInt(
                            static_cast<uint64_t>(config.cycle_max -
@@ -183,7 +209,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
       for (int64_t c = 0; c < n; ++c) {
         const std::vector<int64_t>& script = scripts[static_cast<size_t>(
             stream.UniformInt(static_cast<uint64_t>(config.num_scripts)))];
-        Triple bind = RandomTriple(config, &stream);
+        Triple bind = RandomTriple(config, entities, &stream);
         for (int64_t i = 0; i < config.chain_length; ++i) {
           emit(bind.subject, script[static_cast<size_t>(i)], bind.object,
                t + i);
@@ -198,7 +224,7 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
     for (int64_t t = 0; t < config.num_timestamps; ++t) {
       int64_t n = Poisson(config.noise_per_timestamp, &stream);
       for (int64_t i = 0; i < n; ++i) {
-        Triple triple = RandomTriple(config, &stream);
+        Triple triple = RandomTriple(config, entities, &stream);
         emit(triple.subject, triple.relation, triple.object, t);
       }
     }
@@ -226,6 +252,19 @@ TkgDataset GenerateSyntheticTkg(const SynthConfig& config) {
   return TkgDataset::FromQuadruples(config.name, config.num_entities,
                                     config.num_relations, std::move(train),
                                     std::move(valid), std::move(test));
+}
+
+std::vector<double> BuildZipfCdf(int64_t n, double exponent) {
+  LOGCL_CHECK_GT(n, 0);
+  std::vector<double> cdf(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf[static_cast<size_t>(k)] = total;
+  }
+  for (double& c : cdf) c /= total;
+  cdf.back() = 1.0;  // guard against accumulated rounding at the tail
+  return cdf;
 }
 
 }  // namespace logcl

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "tkg/dataset.h"
 
@@ -82,7 +83,21 @@ struct SynthConfig {
   // Chronological split fractions (test gets the remainder).
   double train_fraction = 0.8;
   double valid_fraction = 0.1;
+
+  // Power-law entity reuse (ICEWS/GDELT-shaped): when > 0, entity draws
+  // follow a Zipf(entity_zipf) rank distribution instead of uniform, so a
+  // head of entities dominates interactions the way a few states dominate
+  // real event dumps. 0 keeps the exact pre-existing uniform draws
+  // (bitwise-identical datasets for existing seeds — the RNG call sequence
+  // does not change).
+  double entity_zipf = 0.0;
 };
+
+/// CDF of the Zipf(exponent) rank distribution over `n` items:
+/// P(rank k) ∝ 1 / (k+1)^exponent. Shared by the offline generator and the
+/// streaming generator (src/stream) so both draw from the same head/tail
+/// shape. Sample by upper_bound(cdf, Uniform()).
+std::vector<double> BuildZipfCdf(int64_t n, double exponent);
 
 /// Deterministically generates a dataset from `config` (same seed -> same
 /// data). Duplicate (s, r, o, t) facts are removed.

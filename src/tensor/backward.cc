@@ -50,6 +50,7 @@
 
 #include "common/logging.h"
 #include "common/observability.h"
+#include "common/runtime_config.h"
 #include "common/parallel.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/tensor.h"
@@ -65,10 +66,7 @@ constexpr uint32_t kNoIndex = 0xffffffffu;
 // inter-op enabled: pool dispatch costs more than the whole replay.
 constexpr size_t kMinInterOpNodes = 16;
 
-bool DefaultInterOp() {
-  const char* env = std::getenv("LOGCL_INTEROP");
-  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
-}
+bool DefaultInterOp() { return RuntimeConfig::Get().interop; }
 
 std::atomic<bool>& InterOpFlag() {
   static std::atomic<bool> enabled{DefaultInterOp()};

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/observability.h"
+#include "common/runtime_config.h"
 #include "common/stringpiece.h"
 
 namespace logcl {
@@ -20,23 +21,20 @@ namespace {
 // thread can reuse them.
 constexpr size_t kThreadCacheMaxBytes = size_t{32} << 20;
 
-bool EnvFlag(const char* name, bool default_value) {
-  const char* env = std::getenv(name);
-  if (env == nullptr) return default_value;
-  std::string value(env);
-  if (value == "0" || value == "false" || value == "off") return false;
-  if (value == "1" || value == "true" || value == "on") return true;
-  return default_value;
-}
-
 std::atomic<bool>& PoolEnabledFlag() {
-  static std::atomic<bool> flag(EnvFlag("LOGCL_TENSOR_POOL", true));
+  static std::atomic<bool> flag(RuntimeConfig::Get().tensor_pool);
   return flag;
 }
 
 std::atomic<bool>& PoisonFlag() {
-  static std::atomic<bool> flag(EnvFlag("LOGCL_POISON_UNINIT", false));
+  static std::atomic<bool> flag(RuntimeConfig::Get().poison_uninit);
   return flag;
+}
+
+std::atomic<int64_t>& PoolCapFlag() {
+  static std::atomic<int64_t> cap(RuntimeConfig::Get().pool_max_mb *
+                                  (int64_t{1} << 20));
+  return cap;
 }
 
 // Per-thread statistics block. Only the owning thread writes, so updates are
@@ -112,30 +110,54 @@ class GlobalPool {
     if (it == buckets_.end() || it->second.empty()) return false;
     *out = std::move(it->second.back());
     it->second.pop_back();
+    bytes_ -= static_cast<int64_t>(num_elements * sizeof(float));
     return true;
   }
 
-  void Push(std::vector<float>&& buffer) {
+  // Pools `buffer`. When BufferPoolCapBytes() would be exceeded, every
+  // pooled buffer is dropped first and the hot working set re-pools within
+  // an iteration — bounded memory for workloads whose allocation sizes
+  // drift (each new size is a bucket the old sizes never vacate). Returns
+  // (buffers, bytes) dropped — including `buffer` itself when it alone
+  // exceeds the cap — so the caller can settle the pooled_* stat gauges.
+  std::pair<int64_t, int64_t> Push(std::vector<float>&& buffer) {
+    const int64_t incoming = static_cast<int64_t>(buffer.size() *
+                                                  sizeof(float));
+    const int64_t cap = BufferPoolCapBytes();
     std::lock_guard<std::mutex> lock(mu_);
+    std::pair<int64_t, int64_t> dropped{0, 0};
+    if (cap > 0 && bytes_ + incoming > cap) dropped = TrimLocked();
+    if (cap > 0 && incoming > cap) {
+      dropped.first += 1;
+      dropped.second += incoming;
+      return dropped;  // buffer dies here: it could never be cap-resident
+    }
     buckets_[buffer.size()].push_back(std::move(buffer));
+    bytes_ += incoming;
+    return dropped;
   }
 
   // Drops all buckets; returns (buffers, bytes) dropped for the counters.
   std::pair<int64_t, int64_t> Trim() {
     std::lock_guard<std::mutex> lock(mu_);
-    int64_t buffers = 0;
-    int64_t bytes = 0;
-    for (auto& [n, list] : buckets_) {
-      buffers += static_cast<int64_t>(list.size());
-      bytes += static_cast<int64_t>(n * list.size() * sizeof(float));
-    }
-    buckets_.clear();
-    return {buffers, bytes};
+    return TrimLocked();
   }
 
  private:
+  std::pair<int64_t, int64_t> TrimLocked() {
+    int64_t buffers = 0;
+    for (auto& [n, list] : buckets_) {
+      buffers += static_cast<int64_t>(list.size());
+    }
+    int64_t bytes = bytes_;
+    buckets_.clear();
+    bytes_ = 0;
+    return {buffers, bytes};
+  }
+
   std::mutex mu_;
   std::unordered_map<size_t, std::vector<std::vector<float>>> buckets_;
+  int64_t bytes_ = 0;  // pooled bytes in buckets_, maintained under mu_
 };
 
 GlobalPool& Global() {
@@ -258,14 +280,23 @@ struct ThreadCache {
 
   ~ThreadCache() {
     // Keep the buffers pooled: hand them to the global tier (still counted
-    // in pooled_bytes, so no counter adjustment). The stats block stays
+    // in pooled_bytes unless the cap drops them). The stats block stays
     // registered so this thread's counts survive.
+    int64_t dropped_buffers = 0;
+    int64_t dropped_bytes = 0;
+    auto spill = [&](std::vector<float>&& buffer) {
+      auto [buffers, bytes] = Global().Push(std::move(buffer));
+      dropped_buffers += buffers;
+      dropped_bytes += bytes;
+    };
     for (Slot& slot : front) {
-      if (!slot.buffer.empty()) Global().Push(std::move(slot.buffer));
+      if (!slot.buffer.empty()) spill(std::move(slot.buffer));
     }
     for (auto& [n, list] : buckets) {
-      for (auto& buffer : list) Global().Push(std::move(buffer));
+      for (auto& buffer : list) spill(std::move(buffer));
     }
+    Bump(stats->pooled_buffers, -dropped_buffers);
+    Bump(stats->pooled_bytes, -dropped_bytes);
   }
 };
 
@@ -296,6 +327,15 @@ bool PoisonUninitEnabled() {
 
 void SetPoisonUninitEnabled(bool enabled) {
   PoisonFlag().store(enabled, std::memory_order_relaxed);
+}
+
+int64_t BufferPoolCapBytes() {
+  return PoolCapFlag().load(std::memory_order_relaxed);
+}
+
+void SetBufferPoolCapBytes(int64_t cap_bytes) {
+  PoolCapFlag().store(cap_bytes < 0 ? 0 : cap_bytes,
+                      std::memory_order_relaxed);
 }
 
 std::vector<float> AcquireBuffer(size_t num_elements, BufferFill fill) {
@@ -350,7 +390,9 @@ void ReleaseBuffer(std::vector<float>&& buffer) {
   std::vector<float> owned = std::move(buffer);
   buffer.clear();
   if (!cache.TryPush(std::move(owned))) {
-    Global().Push(std::move(owned));
+    auto [dropped_buffers, dropped_bytes] = Global().Push(std::move(owned));
+    Bump(stats.pooled_buffers, -dropped_buffers);
+    Bump(stats.pooled_bytes, -dropped_bytes);
   }
 }
 

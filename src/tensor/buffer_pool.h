@@ -25,9 +25,16 @@
 //    pops the buffer out of the free list; Release is only called by owners
 //    giving up their storage (TensorNode destruction, PooledBuffer scope
 //    exit, Backward's grad recycling).
+//  - The global tier is byte-capped (LOGCL_POOL_MAX_MB, default 1024).
+//    Workloads whose allocation sizes drift — streaming ingest grows
+//    history-dependent tensor shapes every snapshot — would otherwise strand
+//    every superseded size in a bucket nothing ever pops again, growing the
+//    process without bound. Exceeding the cap drops all pooled buffers; the
+//    live working set re-pools within an iteration.
 //  - Env toggles: LOGCL_TENSOR_POOL=0 restores malloc-per-op (Acquire always
 //    allocates fresh zeroed storage, Release frees); LOGCL_POISON_UNINIT=1
-//    enables the poison-fill debug mode.
+//    enables the poison-fill debug mode; LOGCL_POOL_MAX_MB=0 removes the
+//    global-tier cap.
 
 #ifndef LOGCL_TENSOR_BUFFER_POOL_H_
 #define LOGCL_TENSOR_BUFFER_POOL_H_
@@ -56,6 +63,12 @@ void SetBufferPoolEnabled(bool enabled);
 /// (LOGCL_POISON_UNINIT=1; see BufferFill).
 bool PoisonUninitEnabled();
 void SetPoisonUninitEnabled(bool enabled);
+
+/// Byte cap on the global free-list tier (LOGCL_POOL_MAX_MB; 0 =
+/// unbounded). Crossing it drops every pooled buffer — see the file
+/// comment on size drift. Thread-local caches have their own fixed bound.
+int64_t BufferPoolCapBytes();
+void SetBufferPoolCapBytes(int64_t cap_bytes);
 
 /// Returns a buffer with exactly `num_elements` elements, recycled when the
 /// pool holds one of that size. See BufferFill for the contents contract.

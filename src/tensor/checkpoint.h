@@ -1,0 +1,106 @@
+// Unified checkpoint API: one versioned container for model parameters with
+// three entry points — checkpoint::Save (write), checkpoint::Load (streamed
+// read into existing tensors), checkpoint::Open (zero-copy mmap view with
+// incremental dirty-row writeback for streaming continual learning).
+//
+// Format v2 (little-endian), designed so the data region can be mapped and
+// scored from directly:
+//   magic        "LGCLCKPT"   8 bytes
+//   version      u32 (= 2)
+//   header_bytes u32          size of everything before the data region
+//   count        u64          number of tensors
+//   per tensor:
+//     rank        u32
+//     reserved    u32 (= 0)
+//     dims        u64[rank]
+//     data_offset u64         absolute file offset, 64-byte aligned
+//   data region: float32 payloads at their offsets (zero padding between)
+//
+// Format v1 (magic, version u32=1, count u64, then per tensor rank/dims/data
+// with no offset table) is still readable via checkpoint::Load for
+// checkpoints written before the redesign; Save always emits v2.
+//
+// Loading is strict: the checkpoint must contain exactly the same number of
+// tensors with exactly the same shapes as the destination parameters
+// (checkpoints are tied to a model configuration, as in other frameworks).
+
+#ifndef LOGCL_TENSOR_CHECKPOINT_H_
+#define LOGCL_TENSOR_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace logcl {
+namespace checkpoint {
+
+/// Writes `parameters` to `path` (overwrites). Always emits format v2.
+Status Save(const std::vector<Tensor>& parameters, const std::string& path);
+
+/// Loads a checkpoint (v1 or v2) into `parameters` in place; tensor count
+/// and shapes must match exactly. Bitwise-identical result for either
+/// on-disk version of the same parameters.
+Status Load(const std::string& path, std::vector<Tensor>* parameters);
+
+/// A v2 checkpoint mapped read-write into the address space. `data(i)`
+/// points straight into the file mapping; WritebackRows copies only the
+/// dirty rows of a tensor back into the mapping, so a streaming session
+/// persists incremental fine-tune deltas without rewriting the file.
+class MmapCheckpoint {
+ public:
+  MmapCheckpoint() = default;
+  ~MmapCheckpoint();
+
+  MmapCheckpoint(MmapCheckpoint&& other) noexcept;
+  MmapCheckpoint& operator=(MmapCheckpoint&& other) noexcept;
+  MmapCheckpoint(const MmapCheckpoint&) = delete;
+  MmapCheckpoint& operator=(const MmapCheckpoint&) = delete;
+
+  size_t tensor_count() const { return tensors_.size(); }
+  const Shape& shape(size_t i) const { return tensors_[i].shape; }
+
+  /// Read view into the mapping; valid until the object is destroyed.
+  const float* data(size_t i) const;
+
+  /// Copies the mapped payloads into `parameters` (strict shape check).
+  /// Bitwise-identical to checkpoint::Load on the same file.
+  Status Materialize(std::vector<Tensor>* parameters) const;
+
+  /// Copies rows `rows` of `src` (which must match tensor `i`'s shape) into
+  /// the mapping. Rows must be in range; duplicates are harmless. For rank-1
+  /// tensors a "row" is a single element.
+  Status WritebackRows(size_t i, const Tensor& src,
+                       const std::vector<int64_t>& rows);
+
+  /// Copies the full payload of tensor `i` from `src` into the mapping.
+  Status WritebackAll(size_t i, const Tensor& src);
+
+  /// msync()s the mapping so writebacks reach the file durably.
+  Status Flush();
+
+ private:
+  friend Result<MmapCheckpoint> Open(const std::string& path);
+
+  struct Entry {
+    Shape shape;
+    uint64_t offset = 0;  // absolute file offset of the float32 payload
+  };
+
+  void Reset();
+
+  void* base_ = nullptr;
+  size_t length_ = 0;
+  std::string path_;
+  std::vector<Entry> tensors_;
+};
+
+/// Maps `path` (must be format v2) read-write and returns a view over it.
+Result<MmapCheckpoint> Open(const std::string& path);
+
+}  // namespace checkpoint
+}  // namespace logcl
+
+#endif  // LOGCL_TENSOR_CHECKPOINT_H_

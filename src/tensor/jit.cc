@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "common/observability.h"
+#include "common/runtime_config.h"
 #include "tensor/jit_internal.h"
 
 namespace logcl {
@@ -23,12 +24,8 @@ using internal::TraceState;
 constexpr size_t kMaxPlans = 16;
 
 std::atomic<bool>& JitFlag() {
-  static std::atomic<bool>* flag = new std::atomic<bool>([] {
-    const char* env = std::getenv("LOGCL_JIT");
-    if (env == nullptr) return false;  // default OFF this PR
-    std::string value(env);
-    return !(value == "0" || value == "false" || value == "off");
-  }());
+  static std::atomic<bool>* flag =
+      new std::atomic<bool>(RuntimeConfig::Get().jit);
   return *flag;
 }
 

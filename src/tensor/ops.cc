@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "common/observability.h"
 #include "common/parallel.h"
+#include "common/runtime_config.h"
 #include "tensor/buffer_pool.h"
 #include "tensor/elementwise_kernels.h"
 #include "tensor/jit.h"
@@ -1080,12 +1081,7 @@ void ScatterComposeGrad(const float* ga, const std::vector<int64_t>& index,
 }
 
 bool& FusedMessagePassingFlag() {
-  static bool flag = [] {
-    const char* env = std::getenv("LOGCL_FUSED_MP");
-    if (env == nullptr) return true;
-    std::string value(env);
-    return !(value == "0" || value == "false" || value == "off");
-  }();
+  static bool flag = RuntimeConfig::Get().fused_mp;
   return flag;
 }
 

@@ -1,98 +1,21 @@
 #include "tensor/serialization.h"
 
-#include <cstdint>
-#include <cstring>
-#include <fstream>
-
-#include "common/stringpiece.h"
+#include "tensor/checkpoint.h"
 
 namespace logcl {
 
-namespace {
-
-constexpr char kMagic[8] = {'L', 'G', 'C', 'L', 'C', 'K', 'P', 'T'};
-constexpr uint32_t kVersion = 1;
-
-template <typename T>
-void WritePod(std::ofstream& out, const T& value) {
-  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::ifstream& in, T* value) {
-  in.read(reinterpret_cast<char*>(value), sizeof(T));
-  return static_cast<bool>(in);
-}
-
-}  // namespace
+// Deprecated shims kept for source compatibility; the implementation moved
+// to tensor/checkpoint.{h,cc} when the checkpoint API was unified. New code
+// should call checkpoint::Save / checkpoint::Load directly.
 
 Status SaveParameters(const std::vector<Tensor>& parameters,
                       const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IoError("cannot open for write: " + path);
-  out.write(kMagic, sizeof(kMagic));
-  WritePod(out, kVersion);
-  WritePod(out, static_cast<uint64_t>(parameters.size()));
-  for (const Tensor& p : parameters) {
-    if (!p.defined()) {
-      return Status::InvalidArgument("undefined tensor in parameter list");
-    }
-    WritePod(out, static_cast<uint32_t>(p.shape().rank()));
-    for (int64_t dim : p.shape().dims()) {
-      WritePod(out, static_cast<uint64_t>(dim));
-    }
-    out.write(reinterpret_cast<const char*>(p.data().data()),
-              static_cast<std::streamsize>(p.data().size() * sizeof(float)));
-  }
-  if (!out) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return checkpoint::Save(parameters, path);
 }
 
 Status LoadParameters(const std::string& path,
                       std::vector<Tensor>* parameters) {
-  if (parameters == nullptr) {
-    return Status::InvalidArgument("null parameter list");
-  }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::IoError("cannot open for read: " + path);
-  char magic[8];
-  in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("not a LogCL checkpoint: " + path);
-  }
-  uint32_t version = 0;
-  if (!ReadPod(in, &version) || version != kVersion) {
-    return Status::InvalidArgument(
-        StrFormat("unsupported checkpoint version %u", version));
-  }
-  uint64_t count = 0;
-  if (!ReadPod(in, &count)) return Status::IoError("truncated header");
-  if (count != parameters->size()) {
-    return Status::FailedPrecondition(StrFormat(
-        "checkpoint has %llu tensors, model has %zu",
-        static_cast<unsigned long long>(count), parameters->size()));
-  }
-  for (size_t i = 0; i < parameters->size(); ++i) {
-    Tensor& p = (*parameters)[i];
-    uint32_t rank = 0;
-    if (!ReadPod(in, &rank)) return Status::IoError("truncated tensor header");
-    std::vector<int64_t> dims(rank);
-    for (uint32_t d = 0; d < rank; ++d) {
-      uint64_t dim = 0;
-      if (!ReadPod(in, &dim)) return Status::IoError("truncated dims");
-      dims[d] = static_cast<int64_t>(dim);
-    }
-    if (Shape(dims) != p.shape()) {
-      return Status::FailedPrecondition(StrFormat(
-          "tensor %zu shape mismatch: checkpoint %s vs model %s", i,
-          Shape(dims).ToString().c_str(), p.shape().ToString().c_str()));
-    }
-    std::vector<float>& data = p.mutable_data();
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in) return Status::IoError("truncated tensor data");
-  }
-  return Status::Ok();
+  return checkpoint::Load(path, parameters);
 }
 
 }  // namespace logcl

@@ -1,16 +1,8 @@
-// Parameter checkpointing: saves/loads a model's parameter list to a simple
-// versioned binary format, so trained models survive process restarts (used
-// by the CLI tool and the online-deployment story).
-//
-// Format (little-endian):
-//   magic  "LGCLCKPT"        8 bytes
-//   version                  u32 (currently 1)
-//   tensor count             u64
-//   per tensor: rank u32, dims u64[rank], float32 data[prod(dims)]
-//
-// Loading is strict: the checkpoint must contain exactly the same number of
-// tensors with exactly the same shapes as the destination parameters
-// (checkpoints are tied to a model configuration, as in other frameworks).
+// DEPRECATED: thin shims over the unified checkpoint API in
+// tensor/checkpoint.h. SaveParameters forwards to checkpoint::Save (which
+// writes format v2) and LoadParameters to checkpoint::Load (which reads v1
+// and v2). New code should include tensor/checkpoint.h directly; these
+// wrappers exist only so pre-redesign call sites keep compiling.
 
 #ifndef LOGCL_TENSOR_SERIALIZATION_H_
 #define LOGCL_TENSOR_SERIALIZATION_H_

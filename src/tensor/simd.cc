@@ -21,6 +21,8 @@
 #include <cstring>
 #include <limits>
 
+#include "common/runtime_config.h"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
 #define LOGCL_SIMD_X86 1
@@ -990,12 +992,7 @@ constexpr KernelTable kTable = {
 // Dispatch.
 // ---------------------------------------------------------------------------
 
-bool SimdEnvEnabled() {
-  const char* v = std::getenv("LOGCL_SIMD");
-  if (v == nullptr) return true;
-  std::string s(v);
-  return !(s == "0" || s == "false" || s == "off" || s == "OFF");
-}
+bool SimdEnvEnabled() { return RuntimeConfig::Get().simd; }
 
 SimdIsa DetectIsa() {
 #if defined(LOGCL_SIMD_X86)

@@ -1,0 +1,196 @@
+#include "tensor/sparse_adam.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace logcl {
+
+namespace {
+
+// Bit-pattern zero test: a row whose moments are all +0.0 bitwise cannot
+// move under a zero-gradient replay, so its catch-up short-circuits. -0.0
+// fails the test on purpose (a zero-gradient step rewrites it to +0.0, so
+// it must be replayed for bitwise parity with the dense optimizer).
+inline bool BitsZero(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits == 0;
+}
+
+}  // namespace
+
+SparseAdamOptimizer::SparseAdamOptimizer(std::vector<Tensor> parameters,
+                                         AdamOptions options)
+    : parameters_(std::move(parameters)), options_(options) {
+  moment1_.reserve(parameters_.size());
+  moment2_.reserve(parameters_.size());
+  for (const Tensor& p : parameters_) {
+    LOGCL_CHECK(p.defined());
+    LOGCL_CHECK(p.requires_grad()) << "optimizer parameter without grad";
+    size_t n = p.data().size();
+    moment1_.emplace_back(n, BufferFill::kZero);
+    moment2_.emplace_back(n, BufferFill::kZero);
+    int64_t rows = p.shape().rank() >= 2 ? p.shape().dims()[0]
+                                         : static_cast<int64_t>(n);
+    num_rows_.push_back(rows);
+    row_len_.push_back(rows > 0 ? static_cast<int64_t>(n) / rows : 0);
+    last_step_.emplace_back(static_cast<size_t>(rows), 0);
+    dirty_.emplace_back(static_cast<size_t>(rows), 0);
+  }
+}
+
+void SparseAdamOptimizer::ZeroGrad() {
+  for (Tensor& p : parameters_) p.ZeroGrad();
+}
+
+std::vector<int64_t> SparseAdamOptimizer::NonZeroGradRows(
+    const Tensor& parameter) {
+  const std::vector<float>& grad = parameter.grad();
+  int64_t rows = parameter.shape().rank() >= 2
+                     ? parameter.shape().dims()[0]
+                     : static_cast<int64_t>(grad.size());
+  int64_t row_len =
+      rows > 0 ? static_cast<int64_t>(grad.size()) / rows : 0;
+  std::vector<int64_t> touched;
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* g = grad.data() + r * row_len;
+    for (int64_t j = 0; j < row_len; ++j) {
+      // Bit test, not == 0.0f: a -0.0 gradient decays moments differently
+      // from the +0.0 a replay substitutes, so it counts as touched.
+      if (!BitsZero(g[j])) {
+        touched.push_back(r);
+        break;
+      }
+    }
+  }
+  return touched;
+}
+
+bool SparseAdamOptimizer::ReplayRow(size_t i, int64_t row,
+                                    int64_t target_step) {
+  int64_t& last = last_step_[i][static_cast<size_t>(row)];
+  if (last >= target_step) return false;
+  int64_t len = row_len_[i];
+  float* d = parameters_[i].mutable_data().data() + row * len;
+  float* m = &moment1_[i][static_cast<size_t>(row * len)];
+  float* v = &moment2_[i][static_cast<size_t>(row * len)];
+  if (options_.weight_decay == 0.0f) {
+    // Zero moments (bitwise) stay zero under g = 0 and leave the row's
+    // values untouched, for any number of skipped steps.
+    bool all_zero = true;
+    for (int64_t j = 0; j < len; ++j) {
+      if (!BitsZero(m[j]) || !BitsZero(v[j])) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) {
+      last = target_step;
+      return false;
+    }
+  }
+  // Replay the skipped steps with g = 0, arithmetic identical to
+  // AdamOptimizer::Step so a touched row rejoins the dense trajectory
+  // bitwise. The loop usually terminates long before target_step via the
+  // decayed moments reaching bitwise zero.
+  for (int64_t s = last + 1; s <= target_step; ++s) {
+    float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(s));
+    float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(s));
+    for (int64_t j = 0; j < len; ++j) {
+      float& dj = d[j];
+      float& mj = m[j];
+      float& vj = v[j];
+      if (options_.weight_decay > 0.0f) {
+        dj -= options_.learning_rate * options_.weight_decay * dj;
+      }
+      mj = options_.beta1 * mj + (1.0f - options_.beta1) * 0.0f;
+      vj = options_.beta2 * vj + (1.0f - options_.beta2) * 0.0f * 0.0f;
+      float m_hat = mj / bias1;
+      float v_hat = vj / bias2;
+      dj -= options_.learning_rate * m_hat /
+            (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+  last = target_step;
+  return true;
+}
+
+void SparseAdamOptimizer::Step(
+    const std::vector<std::vector<int64_t>>& touched_rows) {
+  LOGCL_CHECK_EQ(touched_rows.size(), parameters_.size());
+  ++step_;
+  float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(step_));
+  float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(step_));
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    const std::vector<int64_t>& rows = touched_rows[i];
+    std::vector<float>& data = parameters_[i].mutable_data();
+    const std::vector<float>& grad = parameters_[i].grad();
+    PooledBuffer& m1 = moment1_[i];
+    PooledBuffer& m2 = moment2_[i];
+    int64_t len = row_len_[i];
+    // Rows update independently, so the split is free to vary with the
+    // thread count without changing the result (same argument as the dense
+    // optimizer's element split).
+    ParallelFor(
+        0, static_cast<int64_t>(rows.size()), /*grain=*/16,
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            int64_t row = rows[static_cast<size_t>(r)];
+            LOGCL_CHECK(row >= 0 && row < num_rows_[i])
+                << "touched row out of range";
+            ReplayRow(i, row, step_ - 1);
+            float* d = data.data() + row * len;
+            const float* g = grad.data() + row * len;
+            float* m = &m1[static_cast<size_t>(row * len)];
+            float* v = &m2[static_cast<size_t>(row * len)];
+            for (int64_t j = 0; j < len; ++j) {
+              float gj = g[j];
+              float& dj = d[j];
+              float& mj = m[j];
+              float& vj = v[j];
+              if (options_.weight_decay > 0.0f) {
+                dj -= options_.learning_rate * options_.weight_decay * dj;
+              }
+              mj = options_.beta1 * mj + (1.0f - options_.beta1) * gj;
+              vj = options_.beta2 * vj + (1.0f - options_.beta2) * gj * gj;
+              float m_hat = mj / bias1;
+              float v_hat = vj / bias2;
+              dj -= options_.learning_rate * m_hat /
+                    (std::sqrt(v_hat) + options_.epsilon);
+            }
+            last_step_[i][static_cast<size_t>(row)] = step_;
+            dirty_[i][static_cast<size_t>(row)] = 1;
+          }
+        });
+  }
+}
+
+void SparseAdamOptimizer::CatchUp() {
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    ParallelFor(0, num_rows_[i], /*grain=*/64, [&](int64_t r0, int64_t r1) {
+      for (int64_t row = r0; row < r1; ++row) {
+        if (ReplayRow(i, row, step_)) {
+          dirty_[i][static_cast<size_t>(row)] = 1;
+        }
+      }
+    });
+  }
+}
+
+std::vector<std::vector<int64_t>> SparseAdamOptimizer::DrainDirtyRows() {
+  std::vector<std::vector<int64_t>> drained(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    for (int64_t row = 0; row < num_rows_[i]; ++row) {
+      if (dirty_[i][static_cast<size_t>(row)] != 0) {
+        drained[i].push_back(row);
+        dirty_[i][static_cast<size_t>(row)] = 0;
+      }
+    }
+  }
+  return drained;
+}
+
+}  // namespace logcl

@@ -1,0 +1,564 @@
+// Tests for the streaming continual-learning tier: SparseAdam bitwise parity
+// with dense Adam (including lazy catch-up and signed-zero corner cases),
+// mmap checkpoint round-trips and dirty-row writeback, typed admission-
+// control shedding under overload (and that it never deadlocks), the
+// StreamGenerator's statistics, and the StreamSession's drift numbers
+// against an offline re-evaluation built from the public primitives.
+
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/logcl_model.h"
+#include "eval/drift.h"
+#include "serve/engine_snapshot.h"
+#include "serve/inference_engine.h"
+#include "stream/stream_generator.h"
+#include "stream/stream_session.h"
+#include "synth/generator.h"
+#include "tensor/buffer_pool.h"
+#include "tensor/checkpoint.h"
+#include "tensor/optimizer.h"
+#include "tensor/sparse_adam.h"
+
+namespace logcl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// SparseAdam parity
+// ---------------------------------------------------------------------------
+
+std::vector<Tensor> DeterministicParams() {
+  std::vector<float> a(8 * 4);
+  for (size_t i = 0; i < a.size(); ++i) {
+    a[i] = 0.05f * static_cast<float>(i % 11) - 0.2f;
+  }
+  std::vector<float> b(6);
+  for (size_t i = 0; i < b.size(); ++i) {
+    b[i] = 0.3f - 0.07f * static_cast<float>(i);
+  }
+  return {Tensor::FromVector(Shape({8, 4}), a, /*requires_grad=*/true),
+          Tensor::FromVector(Shape({6}), b, /*requires_grad=*/true)};
+}
+
+/// Writes `value(i)` into row `row` of the parameter's gradient.
+void SetRowGrad(Tensor& parameter, int64_t row, float base) {
+  int64_t row_len = parameter.shape().rank() == 1
+                        ? 1
+                        : parameter.num_elements() / parameter.shape().dim(0);
+  std::vector<float>& grad = parameter.mutable_grad();
+  for (int64_t j = 0; j < row_len; ++j) {
+    grad[static_cast<size_t>(row * row_len + j)] =
+        base + 0.01f * static_cast<float>(j);
+  }
+}
+
+void ExpectBitwiseEqual(const std::vector<Tensor>& a,
+                        const std::vector<Tensor>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].num_elements(), b[i].num_elements());
+    EXPECT_EQ(0, std::memcmp(a[i].data().data(), b[i].data().data(),
+                             sizeof(float) * a[i].data().size()))
+        << "parameter " << i << " diverged";
+  }
+}
+
+class StreamSparseAdamTest : public ::testing::TestWithParam<float> {};
+
+TEST_P(StreamSparseAdamTest, BitwiseParityWithDenseAdam) {
+  AdamOptions options;
+  options.learning_rate = 0.05f;
+  options.weight_decay = GetParam();
+
+  std::vector<Tensor> dense_params = DeterministicParams();
+  std::vector<Tensor> sparse_params = DeterministicParams();
+  AdamOptimizer dense(dense_params, options);
+  SparseAdamOptimizer sparse(sparse_params, options);
+
+  // Scripted touch sets: rows come and go, some rows stay silent for many
+  // steps before being touched again (exercising multi-step replay).
+  const std::vector<std::vector<int64_t>> touches_p0 = {
+      {0, 3}, {3}, {1, 5, 7}, {0}, {}, {3, 5}, {2}, {0, 1, 2, 3, 4, 5, 6, 7}};
+  const std::vector<std::vector<int64_t>> touches_p1 = {
+      {2}, {}, {0, 5}, {}, {1}, {2}, {}, {0, 1, 2, 3, 4, 5}};
+
+  for (size_t s = 0; s < touches_p0.size(); ++s) {
+    dense.ZeroGrad();
+    sparse.ZeroGrad();
+    float base = 0.1f + 0.03f * static_cast<float>(s);
+    for (int64_t row : touches_p0[s]) {
+      SetRowGrad(dense_params[0], row, base);
+      SetRowGrad(sparse_params[0], row, base);
+    }
+    for (int64_t row : touches_p1[s]) {
+      SetRowGrad(dense_params[1], row, -base);
+      SetRowGrad(sparse_params[1], row, -base);
+    }
+    dense.Step();
+    std::vector<std::vector<int64_t>> touched;
+    for (const Tensor& p : sparse_params) {
+      touched.push_back(SparseAdamOptimizer::NonZeroGradRows(p));
+    }
+    EXPECT_EQ(touched[0], touches_p0[s]);
+    EXPECT_EQ(touched[1], touches_p1[s]);
+    sparse.Step(touched);
+
+    // Touched rows must already match dense, step by step.
+    for (int64_t row : touches_p0[s]) {
+      for (int64_t j = 0; j < 4; ++j) {
+        EXPECT_EQ(dense_params[0].at(row, j), sparse_params[0].at(row, j))
+            << "step " << s << " row " << row;
+      }
+    }
+  }
+
+  // After CatchUp every row (touched or not) is bitwise the dense state.
+  sparse.CatchUp();
+  ExpectBitwiseEqual(dense_params, sparse_params);
+
+  // Parity survives further sparse steps after a CatchUp.
+  dense.ZeroGrad();
+  sparse.ZeroGrad();
+  SetRowGrad(dense_params[0], 6, 0.2f);
+  SetRowGrad(sparse_params[0], 6, 0.2f);
+  dense.Step();
+  sparse.Step({{6}, {}});
+  sparse.CatchUp();
+  ExpectBitwiseEqual(dense_params, sparse_params);
+  EXPECT_EQ(dense.num_steps(), sparse.num_steps());
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightDecay, StreamSparseAdamTest,
+                         ::testing::Values(0.0f, 0.01f));
+
+TEST(StreamSparseAdamRowsTest, NegativeZeroGradientCountsAsTouched) {
+  Tensor p = Tensor::Zeros(Shape({3, 2}), /*requires_grad=*/true);
+  std::vector<float>& grad = p.mutable_grad();
+  grad.assign(p.data().size(), 0.0f);
+  grad[2] = -0.0f;  // row 1: signed zero — nonzero bits, zero value
+  grad[4] = 1.0f;   // row 2: plainly touched
+  std::vector<int64_t> rows = SparseAdamOptimizer::NonZeroGradRows(p);
+  EXPECT_EQ(rows, (std::vector<int64_t>{1, 2}));
+}
+
+TEST(StreamSparseAdamRowsTest, DirtyRowsDrainOnceAndAccumulate) {
+  std::vector<Tensor> params = DeterministicParams();
+  SparseAdamOptimizer sparse(params, {});
+  sparse.ZeroGrad();
+  SetRowGrad(params[0], 2, 0.5f);
+  SetRowGrad(params[1], 4, 0.5f);
+  sparse.Step({{2}, {4}});
+  std::vector<std::vector<int64_t>> dirty = sparse.DrainDirtyRows();
+  EXPECT_EQ(dirty[0], (std::vector<int64_t>{2}));
+  EXPECT_EQ(dirty[1], (std::vector<int64_t>{4}));
+  // Drained: nothing new until the next step touches something.
+  dirty = sparse.DrainDirtyRows();
+  EXPECT_TRUE(dirty[0].empty());
+  EXPECT_TRUE(dirty[1].empty());
+}
+
+// ---------------------------------------------------------------------------
+// Mmap checkpoint
+// ---------------------------------------------------------------------------
+
+TEST(StreamCheckpointTest, MmapViewMatchesInMemoryLoad) {
+  std::vector<Tensor> params = DeterministicParams();
+  fs::path path = fs::temp_directory_path() / "stream_ckpt_roundtrip.bin";
+  ASSERT_TRUE(checkpoint::Save(params, path.string()).ok());
+
+  std::vector<Tensor> loaded = {Tensor::Zeros(Shape({8, 4})),
+                                Tensor::Zeros(Shape({6}))};
+  ASSERT_TRUE(checkpoint::Load(path.string(), &loaded).ok());
+  ExpectBitwiseEqual(params, loaded);
+
+  Result<checkpoint::MmapCheckpoint> opened = checkpoint::Open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  checkpoint::MmapCheckpoint view = std::move(opened).value();
+  ASSERT_EQ(view.tensor_count(), 2u);
+  std::vector<Tensor> materialized = {Tensor::Zeros(Shape({8, 4})),
+                                      Tensor::Zeros(Shape({6}))};
+  ASSERT_TRUE(view.Materialize(&materialized).ok());
+  ExpectBitwiseEqual(params, materialized);
+  // The raw view aliases the same bytes Load produced.
+  EXPECT_EQ(0, std::memcmp(view.data(0), params[0].data().data(),
+                           sizeof(float) * params[0].data().size()));
+  fs::remove(path);
+}
+
+TEST(StreamCheckpointTest, WritebackRowsPersistsOnlyDirtyRows) {
+  std::vector<Tensor> params = DeterministicParams();
+  fs::path path = fs::temp_directory_path() / "stream_ckpt_writeback.bin";
+  ASSERT_TRUE(checkpoint::Save(params, path.string()).ok());
+
+  // Mutate rows 1 and 5 of the matrix and element 3 of the vector.
+  std::vector<Tensor> mutated = DeterministicParams();
+  for (int64_t j = 0; j < 4; ++j) {
+    mutated[0].mutable_data()[1 * 4 + j] = 9.0f + static_cast<float>(j);
+    mutated[0].mutable_data()[5 * 4 + j] = -9.0f - static_cast<float>(j);
+  }
+  mutated[1].mutable_data()[3] = 42.0f;
+
+  {
+    Result<checkpoint::MmapCheckpoint> opened =
+        checkpoint::Open(path.string());
+    ASSERT_TRUE(opened.ok());
+    checkpoint::MmapCheckpoint view = std::move(opened).value();
+    ASSERT_TRUE(view.WritebackRows(0, mutated[0], {1, 5}).ok());
+    ASSERT_TRUE(view.WritebackRows(1, mutated[1], {3}).ok());
+    ASSERT_TRUE(view.Flush().ok());
+  }
+
+  // Re-read from scratch: dirty rows carry the new values, the rest the old.
+  std::vector<Tensor> reread = {Tensor::Zeros(Shape({8, 4})),
+                                Tensor::Zeros(Shape({6}))};
+  ASSERT_TRUE(checkpoint::Load(path.string(), &reread).ok());
+  for (int64_t row = 0; row < 8; ++row) {
+    for (int64_t j = 0; j < 4; ++j) {
+      float expected = (row == 1 || row == 5) ? mutated[0].at(row, j)
+                                              : params[0].at(row, j);
+      EXPECT_EQ(expected, reread[0].at(row, j)) << row << "," << j;
+    }
+  }
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(i == 3 ? 42.0f : params[1].at(i), reread[1].at(i));
+  }
+  fs::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Pool cap under streaming size drift
+// ---------------------------------------------------------------------------
+
+// Streaming ingest grows history-dependent tensor shapes every snapshot, so
+// each release lands in a fresh exact-size bucket that nothing ever pops
+// again. Without the global-tier byte cap the process grows without bound
+// (observed: ~750 MiB/ingest at bench_stream's full profile).
+TEST(StreamPoolCapTest, GlobalTierStaysBoundedUnderSizeDrift) {
+  const bool pool_was = BufferPoolEnabled();
+  const int64_t cap_was = BufferPoolCapBytes();
+  SetBufferPoolEnabled(true);
+  TrimBufferPool();
+  const int64_t cap = int64_t{100} << 20;  // 100 MiB global tier
+  SetBufferPoolCapBytes(cap);
+  const uint64_t base = PoolSnapshot().pooled_bytes;
+
+  // Each buffer is ~40 MiB — over the thread-cache budget, so every release
+  // spills straight to the capped global tier — and every size is new.
+  const size_t kBase = (size_t{40} << 20) / sizeof(float);
+  bool saw_trim = false;
+  uint64_t prev = base;
+  for (size_t i = 0; i < 10; ++i) {
+    ReleaseBuffer(AcquireBuffer(kBase + i * 1024, BufferFill::kUninit));
+    uint64_t pooled = PoolSnapshot().pooled_bytes;
+    EXPECT_LE(pooled - base, static_cast<uint64_t>(cap)) << "iteration " << i;
+    if (pooled < prev) saw_trim = true;
+    prev = pooled;
+  }
+  EXPECT_TRUE(saw_trim) << "cap never engaged: drifting sizes accumulated";
+
+  // A single buffer larger than the cap is freed, not pooled.
+  SetBufferPoolCapBytes(int64_t{1} << 20);
+  TrimBufferPool();
+  const uint64_t before_oversize = PoolSnapshot().pooled_bytes;
+  ReleaseBuffer(AcquireBuffer(kBase, BufferFill::kUninit));
+  EXPECT_EQ(before_oversize, PoolSnapshot().pooled_bytes);
+
+  SetBufferPoolCapBytes(cap_was);
+  TrimBufferPool();
+  SetBufferPoolEnabled(pool_was);
+}
+
+// ---------------------------------------------------------------------------
+// Admission control under overload
+// ---------------------------------------------------------------------------
+
+StreamConfig SmallStreamConfig() {
+  StreamConfig config;
+  config.num_entities = 40;
+  config.num_relations = 6;
+  config.facts_per_snapshot = 30;
+  config.warmup_timestamps = 6;
+  config.repeat_reservoir = 500;
+  return config;
+}
+
+LogClConfig SmallModelConfig() {
+  LogClConfig config;
+  config.embedding_dim = 8;
+  config.local.history_length = 2;
+  return config;
+}
+
+TEST(StreamShedTest, SubmitRejectionsAreTyped) {
+  StreamGenerator gen(SmallStreamConfig());
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClModel model(&dataset, SmallModelConfig());
+  EngineOptions options;
+  options.max_queue_depth = 2;
+  InferenceEngine engine(&model, dataset.num_timestamps() - 1, options);
+
+  // Out-of-range ids are a caller bug, not load.
+  Result<std::future<InferenceEngine::EngineResponse>> bad =
+      engine.Submit(ServeQuery{-1, 0}, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Pause dispatch so the queue cannot drain, then overfill it: exactly
+  // max_queue_depth submissions are accepted, the rest shed kUnavailable.
+  engine.Pause();
+  std::vector<std::future<InferenceEngine::EngineResponse>> accepted;
+  int64_t shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    Result<std::future<InferenceEngine::EngineResponse>> r =
+        engine.Submit(ServeQuery{1, 1}, 3);
+    if (r.ok()) {
+      accepted.push_back(std::move(r).value());
+    } else {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(static_cast<int64_t>(accepted.size()), 2);
+  EXPECT_EQ(shed, 8);
+  engine.Resume();
+  for (std::future<InferenceEngine::EngineResponse>& f : accepted) {
+    InferenceEngine::EngineResponse response = f.get();
+    EXPECT_TRUE(response.status.ok());
+    EXPECT_EQ(response.topk.size(), 3u);
+  }
+  EXPECT_EQ(engine.Snapshot().shed, 8u);
+}
+
+TEST(StreamShedTest, DeadlineShedAnswersThroughTheFuture) {
+  StreamGenerator gen(SmallStreamConfig());
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClModel model(&dataset, SmallModelConfig());
+  EngineOptions options;
+  options.admission_deadline_us = 1000;  // 1ms — ages out while paused
+  InferenceEngine engine(&model, dataset.num_timestamps() - 1, options);
+
+  engine.Pause();
+  std::vector<std::future<InferenceEngine::EngineResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    Result<std::future<InferenceEngine::EngineResponse>> r =
+        engine.Submit(ServeQuery{2, 0}, 0);
+    ASSERT_TRUE(r.ok());
+    futures.push_back(std::move(r).value());
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  engine.Resume();
+  uint64_t shed = 0;
+  for (std::future<InferenceEngine::EngineResponse>& f : futures) {
+    InferenceEngine::EngineResponse response = f.get();
+    if (!response.status.ok()) {
+      EXPECT_EQ(response.status.code(), StatusCode::kUnavailable);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(engine.Snapshot().shed, shed);
+}
+
+TEST(StreamShedTest, OverloadWithPauseResumeNeverDeadlocks) {
+  StreamGenerator gen(SmallStreamConfig());
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClModel model(&dataset, SmallModelConfig());
+  EngineOptions options;
+  options.max_queue_depth = 8;
+  options.admission_deadline_us = 2000;
+  InferenceEngine engine(&model, gen.next_time(), options);
+
+  std::atomic<uint64_t> answered{0};
+  std::atomic<uint64_t> shed{0};
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 40;
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        Result<std::vector<std::pair<int64_t, float>>> r =
+            engine.TryTopK(ServeQuery{(c + i) % 40, i % 6}, 5);
+        if (r.ok()) {
+          answered.fetch_add(1);
+        } else {
+          EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Interleave quiesce cycles and an advance with the query storm.
+  for (int i = 0; i < 5; ++i) {
+    engine.Pause();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    engine.Resume();
+  }
+  engine.Advance(gen.NextSnapshot());
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(answered.load() + shed.load(),
+            static_cast<uint64_t>(kClients * kPerClient));
+  // Destructor drains cleanly (no deadlock) — reaching here is the test.
+}
+
+// ---------------------------------------------------------------------------
+// StreamGenerator statistics
+// ---------------------------------------------------------------------------
+
+TEST(StreamGeneratorTest, DeterministicPerSeed) {
+  StreamGenerator a(SmallStreamConfig());
+  StreamGenerator b(SmallStreamConfig());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.NextSnapshot(), b.NextSnapshot());
+  }
+  StreamConfig other = SmallStreamConfig();
+  other.seed = 99;
+  StreamGenerator c(other);
+  c.NextSnapshot();
+  EXPECT_NE(a.NextSnapshot(), c.NextSnapshot());
+}
+
+TEST(StreamGeneratorTest, MeasuredRepeatRateTracksConfigured) {
+  StreamConfig config;
+  config.num_entities = 500;
+  config.num_relations = 20;
+  config.facts_per_snapshot = 400;
+  config.history_repeat_rate = 0.6;
+  StreamGenerator gen(config);
+  for (int i = 0; i < 100; ++i) gen.NextSnapshot();
+  EXPECT_NEAR(gen.measured_repeat_rate(), 0.6, 0.05);
+}
+
+TEST(StreamGeneratorTest, WarmupDatasetCoversExactlyTheWarmupWindow) {
+  StreamConfig config = SmallStreamConfig();
+  StreamGenerator gen(config);
+  TkgDataset dataset = gen.WarmupDataset();
+  EXPECT_EQ(dataset.num_timestamps(), config.warmup_timestamps);
+  EXPECT_EQ(gen.next_time(), config.warmup_timestamps);
+  EXPECT_EQ(dataset.num_entities(), config.num_entities);
+  // The live stream continues where the warmup stopped.
+  std::vector<Quadruple> next = gen.NextSnapshot();
+  ASSERT_FALSE(next.empty());
+  EXPECT_EQ(next.front().time, config.warmup_timestamps);
+}
+
+TEST(StreamGeneratorTest, ZipfHeadDominates) {
+  std::vector<double> cdf = BuildZipfCdf(1000, 1.1);
+  ASSERT_EQ(cdf.size(), 1000u);
+  // The head rank alone carries far more than the uniform 1/1000 share, and
+  // the cdf is monotone ending at 1.
+  EXPECT_GT(cdf[0], 0.05);
+  for (size_t i = 1; i < cdf.size(); ++i) EXPECT_GE(cdf[i], cdf[i - 1]);
+  EXPECT_NEAR(cdf.back(), 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// StreamSession drift vs offline re-eval
+// ---------------------------------------------------------------------------
+
+TEST(StreamSessionTest, DriftMatchesOfflineReEvalOnTwoAdvances) {
+  StreamConfig stream = SmallStreamConfig();
+  // Two identical universes: same warmup data, same model init, same
+  // pretraining, same scripted arrivals.
+  StreamGenerator gen_a(stream);
+  StreamGenerator gen_b(stream);
+  TkgDataset dataset_a = gen_a.WarmupDataset();
+  TkgDataset dataset_b = gen_b.WarmupDataset();
+  LogClModel model_a(&dataset_a, SmallModelConfig());
+  LogClModel model_b(&dataset_b, SmallModelConfig());
+  FitModel(&model_a, 2, 0.01f);
+  FitModel(&model_b, 2, 0.01f);
+
+  AdamOptions adam;
+  adam.learning_rate = 0.01f;
+
+  // Universe A: the StreamSession API.
+  StreamSessionOptions options;
+  options.adam = adam;
+  options.eval_queries = 1 << 20;  // evaluate every arrival
+  StreamSession session(&model_a, stream.warmup_timestamps, options);
+
+  // Universe B: the same loop hand-built from the public primitives.
+  model_b.SetEvalMode(true);
+  SparseAdamOptimizer optimizer_b(model_b.Parameters(), adam);
+  std::shared_ptr<const EngineSnapshot> snap =
+      EngineSnapshot::Build(&model_b, stream.warmup_timestamps);
+
+  auto score_rows = [](const EngineSnapshot& s,
+                       const std::vector<Quadruple>& facts) {
+    std::vector<ServeQuery> queries;
+    for (const Quadruple& q : facts) queries.push_back({q.subject, q.relation});
+    Tensor scores = s.ScoreBatch(queries);
+    int64_t cols = scores.shape().cols();
+    std::vector<std::vector<float>> rows(queries.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const float* begin =
+          scores.data().data() + static_cast<int64_t>(i) * cols;
+      rows[i].assign(begin, begin + cols);
+    }
+    return rows;
+  };
+
+  for (int advance = 0; advance < 2; ++advance) {
+    std::vector<Quadruple> facts_a = gen_a.NextSnapshot();
+    std::vector<Quadruple> facts_b = gen_b.NextSnapshot();
+    ASSERT_EQ(facts_a, facts_b);
+    int64_t t = snap->time();
+
+    StreamIngestReport report = session.IngestSnapshot(facts_a);
+
+    double stale = EvalScoredFacts(score_rows(*snap, facts_b), facts_b).mrr;
+    model_b.ExtendHistory(facts_b);
+    std::vector<const SnapshotGraph*> graphs;
+    std::vector<int64_t> times;
+    for (const auto& [wt, graph] : snap->window()) {
+      times.push_back(wt);
+      graphs.push_back(graph.get());
+    }
+    model_b.TrainOnStreamFacts(facts_b, graphs, times, t, &optimizer_b);
+    optimizer_b.CatchUp();
+    snap = snap->Advance(facts_b);
+    double fresh = EvalScoredFacts(score_rows(*snap, facts_b), facts_b).mrr;
+
+    EXPECT_EQ(report.drift.mrr_stale, stale) << "advance " << advance;
+    EXPECT_EQ(report.drift.mrr_fresh, fresh) << "advance " << advance;
+    EXPECT_EQ(report.drift.count, static_cast<int64_t>(facts_a.size()));
+    EXPECT_EQ(report.time, t);
+  }
+  EXPECT_EQ(session.drift().advances(), 2);
+}
+
+TEST(StreamSessionTest, MmapWritebackPersistsFineTunedRows) {
+  StreamConfig stream = SmallStreamConfig();
+  StreamGenerator gen(stream);
+  TkgDataset dataset = gen.WarmupDataset();
+  LogClModel model(&dataset, SmallModelConfig());
+  FitModel(&model, 1, 0.01f);
+
+  fs::path path = fs::temp_directory_path() / "stream_session_ckpt.bin";
+  StreamSessionOptions options;
+  options.eval_queries = 8;
+  options.mmap_checkpoint_path = path.string();
+  {
+    StreamSession session(&model, stream.warmup_timestamps, options);
+    StreamIngestReport report = session.IngestSnapshot(gen.NextSnapshot());
+    EXPECT_GT(report.rows_written, 0);
+  }
+  // The checkpoint on disk now equals the live fine-tuned parameters.
+  std::vector<Tensor> params = model.Parameters();
+  std::vector<Tensor> reloaded;
+  for (const Tensor& p : params) reloaded.push_back(Tensor::Zeros(p.shape()));
+  ASSERT_TRUE(checkpoint::Load(path.string(), &reloaded).ok());
+  ExpectBitwiseEqual(params, reloaded);
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace logcl
